@@ -1,0 +1,65 @@
+// Command nadino-bench regenerates the paper's evaluation artifacts: every
+// table and figure in §4 (and appendix A), printed as text tables with the
+// same rows/series the paper reports.
+//
+// Usage:
+//
+//	nadino-bench                 # run everything at full fidelity
+//	nadino-bench -run fig12      # one experiment
+//	nadino-bench -run fig13,fig14 -quick
+//	nadino-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nadino/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiment IDs, 'all' (paper artifacts), or 'everything' (incl. ablations)")
+	quick := flag.Bool("quick", false, "shrink measurement windows and sweeps")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.AllWithAblations() {
+			fmt.Printf("  %-15s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	switch *run {
+	case "all":
+		selected = experiments.All()
+	case "everything":
+		selected = experiments.AllWithAblations()
+	case "ablations":
+		selected = experiments.Ablations()
+	default:
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := experiments.Lookup(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "nadino-bench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	opts := experiments.Opts{Quick: *quick, Seed: *seed}
+	for _, e := range selected {
+		fmt.Printf("\n######## %s ########\n", e.Title)
+		start := time.Now()
+		for _, tb := range e.Run(opts) {
+			tb.Print(os.Stdout)
+		}
+		fmt.Printf("  [%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,161 @@
+// Command nadino-sim runs an arbitrary cluster topology described by a JSON
+// config file (see configs/) on any of the supported data planes, drives a
+// chain with closed-loop clients, and reports throughput, latency and
+// data-plane CPU/DPU usage.
+//
+// Usage:
+//
+//	nadino-sim -config configs/sample-cluster.json -chain main -clients 40
+//	nadino-sim -template        # print a starter config
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nadino/internal/core"
+	"nadino/internal/ingress"
+	"nadino/internal/sim"
+	"nadino/internal/workload"
+)
+
+const template = `{
+  "system": "nadino-dne",
+  "tenant": "demo",
+  "nodes": ["node1", "node2"],
+  "functions": [
+    {"name": "front", "node": "node1", "service": "25us", "workers": 16},
+    {"name": "back", "node": "node2", "service": "100us", "workers": 4,
+     "max_scale": 3, "target_concurrency": 4}
+  ],
+  "chains": [
+    {"name": "main", "entry": "front", "req_bytes": 512, "resp_bytes": 2048,
+     "calls": [
+       {"callee": "back", "req_bytes": 1024, "resp_bytes": 1024, "async": true},
+       {"callee": "back", "req_bytes": 1024, "resp_bytes": 1024, "async": true}
+     ]}
+  ],
+  "ingress_workers": 2,
+  "seed": 1
+}
+`
+
+func main() {
+	cfgPath := flag.String("config", "", "cluster config file (JSON)")
+	chain := flag.String("chain", "", "chain to drive (default: the config's first)")
+	clients := flag.Int("clients", 20, "closed-loop clients")
+	dur := flag.Duration("dur", 300*time.Millisecond, "measurement window (simulated)")
+	traceRPS := flag.Float64("trace-rps", 0, "drive ALL chains open-loop at this aggregate rate instead of closed-loop clients")
+	zipf := flag.Float64("zipf", 1.0, "trace mode: chain popularity skew")
+	diurnal := flag.Float64("diurnal", 0.5, "trace mode: diurnal amplitude [0,1)")
+	period := flag.Duration("period", 200*time.Millisecond, "trace mode: diurnal period")
+	printTemplate := flag.Bool("template", false, "print a starter config and exit")
+	flag.Parse()
+
+	if *printTemplate {
+		fmt.Print(template)
+		return
+	}
+	if *cfgPath == "" {
+		fmt.Fprintln(os.Stderr, "nadino-sim: -config is required (try -template)")
+		os.Exit(2)
+	}
+	f, err := os.Open(*cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nadino-sim:", err)
+		os.Exit(1)
+	}
+	cfg, err := core.LoadConfig(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nadino-sim:", err)
+		os.Exit(1)
+	}
+	if *chain == "" {
+		if len(cfg.Chains) == 0 {
+			fmt.Fprintln(os.Stderr, "nadino-sim: config has no chains")
+			os.Exit(1)
+		}
+		*chain = cfg.Chains[0].Name
+	}
+
+	c := core.NewCluster(cfg)
+	defer c.Eng.Stop()
+	hist, ok := c.ChainLatency[*chain]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "nadino-sim: unknown chain %q\n", *chain)
+		os.Exit(2)
+	}
+	if *traceRPS > 0 {
+		// Trace mode: Poisson arrivals with diurnal modulation, spread
+		// over every chain by Zipf popularity.
+		var names []string
+		for _, ch := range cfg.Chains {
+			names = append(names, ch.Name)
+		}
+		gen := &workload.TraceGen{
+			Chains:           names,
+			ZipfS:            *zipf,
+			BaseRPS:          *traceRPS,
+			DiurnalAmplitude: *diurnal,
+			Period:           *period,
+		}
+		_, hook := gen.Start(c.Eng)
+		n := 0
+		hook(func(ch string) {
+			n++
+			c.SubmitChain(ch, n, nil)
+		})
+		fmt.Printf("workload  : %v\n", gen)
+	} else {
+		for i := 0; i < *clients; i++ {
+			id := i
+			c.Eng.Spawn("client", func(pr *sim.Proc) {
+				c.WaitReady(pr)
+				respQ := sim.NewQueue[ingress.Response](c.Eng, 0)
+				for {
+					c.SubmitChain(*chain, id, func(r ingress.Response) { respQ.TryPut(r) })
+					respQ.Get(pr)
+				}
+			})
+		}
+	}
+	warm := c.P.QPSetupTime + 10*time.Millisecond
+	c.Eng.RunUntil(warm)
+	c.Completed.MarkWindow(c.Eng.Now())
+	hist.Reset()
+	c.Eng.RunUntil(warm + *dur)
+	elapsed := c.Eng.Now() - c.P.QPSetupTime
+
+	net := c.NetCPUStats(elapsed)
+	kind := "CPU"
+	if net.OnDPU {
+		kind = "DPU"
+	}
+	fmt.Printf("system    : %v\n", cfg.System)
+	if *traceRPS > 0 {
+		fmt.Printf("chain     : %s (measured; all chains driven), %v window\n", *chain, *dur)
+	} else {
+		fmt.Printf("chain     : %s, %d clients, %v window\n", *chain, *clients, *dur)
+	}
+	fmt.Printf("throughput: %.0f RPS\n", c.Completed.WindowRate(c.Eng.Now()))
+	fmt.Printf("latency   : mean %v  p50 %v  p99 %v\n", hist.Mean(), hist.P50(), hist.P99())
+	fmt.Printf("dataplane : %.0f pinned %s cores (%.2f useful) + %.2f host-core share\n",
+		net.PinnedCores, kind, net.PinnedUseful, net.FnCores)
+	for _, fs := range cfg.Functions {
+		if fs.MaxScale > 1 {
+			g := c.Group(fs.Name)
+			ups, downs := g.ScaleEvents()
+			fmt.Printf("autoscale : %s at %d instance(s) (%d up / %d down events)\n",
+				fs.Name, g.Instances(), ups, downs)
+		}
+	}
+	if n := c.ColdStarts(); n > 0 {
+		fmt.Printf("coldstarts: %d\n", n)
+	}
+	if n := c.CrossTenantCopies(); n > 0 {
+		fmt.Printf("x-tenant  : %d sidecar copies\n", n)
+	}
+}

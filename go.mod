@@ -1,0 +1,3 @@
+module nadino
+
+go 1.22

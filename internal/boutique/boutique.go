@@ -1,0 +1,124 @@
+// Package boutique models the Online Boutique microservices application
+// used in the paper's end-to-end evaluation (§4.3): ten functions and the
+// three measured chains (Home Query, View Cart, Product Query), each with
+// more than 11 data exchanges, plus the Place Order chain for the examples.
+//
+// Placement follows the paper: the hotspot functions (Frontend, Checkout,
+// Recommendation) go on one worker node, the rest on the second.
+package boutique
+
+import (
+	"time"
+
+	"nadino/internal/core"
+)
+
+// Node names used by the standard deployment.
+const (
+	Node1 = "node1"
+	Node2 = "node2"
+)
+
+// Chain names.
+const (
+	HomeQuery    = "home-query"
+	ViewCart     = "view-cart"
+	ProductQuery = "product-query"
+	PlaceOrder   = "place-order"
+)
+
+// MeasuredChains are the chains reported in Fig. 16 and Table 2.
+func MeasuredChains() []string {
+	return []string{HomeQuery, ViewCart, ProductQuery}
+}
+
+// Functions returns the ten boutique functions with the paper's placement.
+// Service times approximate lightweight microservice handlers; the chain
+// dynamics (who saturates first, where queueing builds) come from the
+// simulation, not from these constants.
+func Functions() []core.FunctionSpec {
+	return []core.FunctionSpec{
+		{Name: "frontend", Node: Node1, Service: 25 * time.Microsecond, Workers: 16},
+		{Name: "checkout", Node: Node1, Service: 35 * time.Microsecond, Workers: 16},
+		{Name: "recommendation", Node: Node1, Service: 20 * time.Microsecond, Workers: 16},
+		{Name: "productcatalog", Node: Node2, Service: 15 * time.Microsecond, Workers: 16},
+		{Name: "cart", Node: Node2, Service: 15 * time.Microsecond, Workers: 16},
+		{Name: "currency", Node: Node2, Service: 8 * time.Microsecond, Workers: 16},
+		{Name: "shipping", Node: Node2, Service: 10 * time.Microsecond, Workers: 16},
+		{Name: "payment", Node: Node2, Service: 12 * time.Microsecond, Workers: 16},
+		{Name: "email", Node: Node2, Service: 10 * time.Microsecond, Workers: 16},
+		{Name: "ad", Node: Node2, Service: 8 * time.Microsecond, Workers: 16},
+	}
+}
+
+// recommend is the Recommendation fan-out (it consults the catalog).
+func recommend() core.Call {
+	return core.Call{
+		Callee: "recommendation", ReqBytes: 512, RespBytes: 1024,
+		Calls: []core.Call{{Callee: "productcatalog", ReqBytes: 256, RespBytes: 2048}},
+	}
+}
+
+// Chains returns the boutique chains. Every measured chain induces 12 data
+// exchanges ("more than 11", §4.3).
+func Chains() []core.ChainSpec {
+	return []core.ChainSpec{
+		{
+			Name: HomeQuery, Entry: "frontend", ReqBytes: 512, RespBytes: 4096,
+			Calls: []core.Call{
+				{Callee: "currency", ReqBytes: 128, RespBytes: 256},
+				{Callee: "productcatalog", ReqBytes: 256, RespBytes: 4096},
+				{Callee: "cart", ReqBytes: 256, RespBytes: 512},
+				recommend(),
+				{Callee: "ad", ReqBytes: 128, RespBytes: 512},
+			},
+		},
+		{
+			Name: ViewCart, Entry: "frontend", ReqBytes: 512, RespBytes: 4096,
+			Calls: []core.Call{
+				{Callee: "cart", ReqBytes: 256, RespBytes: 2048},
+				recommend(),
+				{Callee: "currency", ReqBytes: 128, RespBytes: 256},
+				{Callee: "shipping", ReqBytes: 512, RespBytes: 512},
+				{Callee: "productcatalog", ReqBytes: 256, RespBytes: 2048},
+			},
+		},
+		{
+			Name: ProductQuery, Entry: "frontend", ReqBytes: 512, RespBytes: 4096,
+			Calls: []core.Call{
+				{Callee: "productcatalog", ReqBytes: 256, RespBytes: 2048},
+				{Callee: "currency", ReqBytes: 128, RespBytes: 256},
+				{Callee: "cart", ReqBytes: 256, RespBytes: 512},
+				recommend(),
+				{Callee: "ad", ReqBytes: 128, RespBytes: 512},
+			},
+		},
+		{
+			Name: PlaceOrder, Entry: "frontend", ReqBytes: 1024, RespBytes: 2048,
+			Calls: []core.Call{
+				{Callee: "checkout", ReqBytes: 1024, RespBytes: 1024, Calls: []core.Call{
+					{Callee: "cart", ReqBytes: 256, RespBytes: 2048},
+					{Callee: "productcatalog", ReqBytes: 256, RespBytes: 2048},
+					{Callee: "currency", ReqBytes: 128, RespBytes: 256},
+					{Callee: "shipping", ReqBytes: 512, RespBytes: 512},
+					{Callee: "payment", ReqBytes: 512, RespBytes: 256},
+					{Callee: "email", ReqBytes: 1024, RespBytes: 128},
+				}},
+			},
+		},
+	}
+}
+
+// ClusterConfig assembles the standard two-worker-node boutique deployment
+// for a data-plane system.
+func ClusterConfig(sys core.System, seed int64) core.Config {
+	return core.Config{
+		System:         sys,
+		Nodes:          []string{Node1, Node2},
+		Functions:      Functions(),
+		Chains:         Chains(),
+		IngressWorkers: 2,
+		IngressMax:     2,
+		Seed:           seed,
+	}
+}

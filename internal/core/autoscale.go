@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// FnGroup is a logical function and its replica set. With MaxScale 1 (the
+// default) a group is a single instance and none of this machinery runs;
+// with MaxScale > 1 the cluster autoscaler adds and retires instances by
+// observed concurrency, the way a serverless platform's autoscaler (Fig. 1)
+// drives function density.
+type FnGroup struct {
+	name      string
+	spec      FunctionSpec
+	instances []*Function
+	// enabled[i] gates routing to instance i (disabled = draining).
+	enabled []bool
+
+	scaleUps, scaleDowns uint64
+}
+
+// Instances reports the group's current routable instance count.
+func (g *FnGroup) Instances() int {
+	n := 0
+	for _, en := range g.enabled {
+		if en {
+			n++
+		}
+	}
+	return n
+}
+
+// ScaleEvents reports lifetime scale-up and scale-down transitions.
+func (g *FnGroup) ScaleEvents() (ups, downs uint64) { return g.scaleUps, g.scaleDowns }
+
+// inflight sums outstanding requests across routable instances.
+func (g *FnGroup) inflight() int {
+	n := 0
+	for i, f := range g.instances {
+		if g.enabled[i] {
+			n += f.inflight
+		}
+	}
+	return n
+}
+
+// pick returns the least-loaded routable instance.
+func (g *FnGroup) pick() *Function {
+	var best *Function
+	for i, f := range g.instances {
+		if !g.enabled[i] {
+			continue
+		}
+		if best == nil || f.inflight < best.inflight {
+			best = f
+		}
+	}
+	if best == nil {
+		// All draining (shouldn't happen: scale-down keeps one enabled);
+		// fall back to the first instance.
+		return g.instances[0]
+	}
+	return best
+}
+
+// Group returns the replica set for a logical function name.
+func (c *Cluster) Group(name string) *FnGroup { return c.groups[name] }
+
+// resolveInstance maps a destination to a concrete instance: logical names
+// go through the group's load balancer, instance names (fn@N) and
+// unscaled functions pass through directly.
+func (c *Cluster) resolveInstance(dst string) *Function {
+	if g, ok := c.groups[dst]; ok {
+		return g.pick()
+	}
+	if f, ok := c.fns[dst]; ok {
+		return f
+	}
+	return nil
+}
+
+// targetConcurrency is the per-instance concurrency the autoscaler aims at.
+func (g *FnGroup) targetConcurrency() int {
+	if g.spec.TargetConcurrency > 0 {
+		return g.spec.TargetConcurrency
+	}
+	if g.spec.Workers > 0 {
+		return g.spec.Workers
+	}
+	return 8
+}
+
+// startAutoscaler runs the per-group scaling loop.
+func (c *Cluster) startAutoscaler(g *FnGroup) {
+	interval := c.cfg.AutoscaleEvery
+	if interval == 0 {
+		interval = 5 * time.Millisecond
+	}
+	c.Eng.Ticker(interval, func(now time.Duration) {
+		target := g.targetConcurrency()
+		routable := g.Instances()
+		load := g.inflight()
+		switch {
+		case load > target*routable && len(g.instances) >= routable:
+			c.scaleUp(g)
+		case routable > 1 && load < target*(routable-1)/2:
+			c.scaleDown(g)
+		}
+	})
+}
+
+// scaleUp re-enables a drained instance or boots a new one (up to
+// MaxScale), placing it round-robin across the worker nodes.
+func (c *Cluster) scaleUp(g *FnGroup) {
+	for i := range g.instances {
+		if !g.enabled[i] {
+			g.enabled[i] = true
+			g.scaleUps++
+			return
+		}
+	}
+	if len(g.instances) >= g.spec.MaxScale {
+		return
+	}
+	spec := g.spec
+	spec.Name = fmt.Sprintf("%s@%d", g.name, len(g.instances)+1)
+	nodes := c.cfg.Nodes
+	if c.cfg.System.SingleNode() {
+		nodes = nodes[:1]
+	}
+	spec.Node = nodes[len(g.instances)%len(nodes)]
+	inst := c.addFunction(spec)
+	inst.group = g
+	// New containers boot cold: force the first request on every worker
+	// to pay the cold start (zero KeepWarm history).
+	c.installRoutes(inst)
+	c.startFunction(inst)
+	g.instances = append(g.instances, inst)
+	g.enabled = append(g.enabled, true)
+	g.scaleUps++
+}
+
+// scaleDown drains the most recently added routable instance (never the
+// first): it stops receiving new requests and finishes what it holds.
+func (c *Cluster) scaleDown(g *FnGroup) {
+	for i := len(g.instances) - 1; i >= 1; i-- {
+		if g.enabled[i] {
+			g.enabled[i] = false
+			g.scaleDowns++
+			return
+		}
+	}
+}
+
+// installRoutes registers a (new) instance with every network engine.
+func (c *Cluster) installRoutes(f *Function) {
+	for _, n := range c.nodeSeq {
+		if n.engine != nil {
+			n.engine.SetRoute(f.name, f.node.name)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"nadino/internal/ingress"
+	"nadino/internal/mempool"
+	"nadino/internal/rdma"
+	"nadino/internal/sim"
+)
+
+// ingressResponse builds a gateway response.
+func ingressResponse(bytes int, stamp time.Duration) ingress.Response {
+	return ingress.Response{Bytes: bytes, Stamp: stamp}
+}
+
+// rqOwner is the owner tag for buffers posted to the ingress backend's SRQ.
+const rqOwner mempool.Owner = "igw-rq"
+
+// beTenant is the ingress backend's per-tenant slice: its own pool on the
+// ingress node, a shared receive queue, and RC pools toward each worker.
+type beTenant struct {
+	name  string
+	pool  *mempool.Pool
+	srq   *rdma.SRQ
+	conns map[string]*rdma.ConnPool
+}
+
+// rdmaBackend is NADINO's cluster side of the ingress gateway: the ingress
+// node's RNIC posts two-sided sends straight into worker DNEs (the payload
+// enters the tenant pool on the worker — zero copy from there on), and
+// worker responses land in the ingress node's per-tenant SRQs.
+type rdmaBackend struct {
+	c       *Cluster
+	rnic    *rdma.RNIC
+	cq      *rdma.CQ
+	tenants map[string]*beTenant
+
+	drops      uint64
+	sendErrors uint64
+}
+
+func newRDMABackend(c *Cluster) *rdmaBackend {
+	return &rdmaBackend{
+		c:       c,
+		rnic:    rdma.NewRNIC(c.Eng, c.P, ingressNodeName, c.net),
+		cq:      rdma.NewCQ(c.Eng),
+		tenants: make(map[string]*beTenant),
+	}
+}
+
+// tenant returns (creating on first use) the backend slice for a tenant.
+func (b *rdmaBackend) tenant(name string) *beTenant {
+	t, ok := b.tenants[name]
+	if !ok {
+		t = &beTenant{
+			name:  name,
+			pool:  mempool.NewPool(name, b.c.cfg.BufSize, b.c.cfg.PoolBuffers, b.c.P.HugepageSize),
+			srq:   rdma.NewSRQ(name),
+			conns: make(map[string]*rdma.ConnPool),
+		}
+		b.tenants[name] = t
+	}
+	return t
+}
+
+// start posts the initial receive rings and spawns the completion poller.
+func (b *rdmaBackend) start() {
+	for _, t := range b.tenants {
+		b.post(t, 1024)
+	}
+	b.c.Eng.Spawn("ingress-rdma-poller", b.pollLoop)
+}
+
+// post posts n receive buffers to a tenant's ingress SRQ.
+func (b *rdmaBackend) post(t *beTenant, n int) {
+	for i := 0; i < n; i++ {
+		buf, err := t.pool.Get(rqOwner)
+		if err != nil {
+			return
+		}
+		t.srq.PostRecv(mempool.Descriptor{Tenant: t.name, Buf: buf})
+	}
+}
+
+// Forward implements ingress.Backend: inject the request at the chain's
+// entry function over two-sided RDMA. The gateway worker already paid the
+// conversion costs; this is the wire side. Requests arriving while the
+// cluster is still establishing its RC pools wait at the ingress.
+func (b *rdmaBackend) Forward(req ingress.Request, done func(ingress.Response)) {
+	if !b.c.isReady {
+		b.c.Eng.After(time.Millisecond, func() { b.Forward(req, done) })
+		return
+	}
+	spec, ok := b.c.chains[req.Chain]
+	if !ok {
+		panic(fmt.Sprintf("core: ingress request for unknown chain %q", req.Chain))
+	}
+	entry := b.c.resolveInstance(spec.Entry)
+	t := b.tenant(b.c.chainTenant(spec))
+	buf, err := t.pool.Get(ingressOwner)
+	if err != nil {
+		b.drops++
+		return
+	}
+	d := mempool.Descriptor{
+		Tenant: t.name, Buf: buf, Len: req.Bytes,
+		Src: "ingress", Dst: entry.name,
+		Ctx: &msgCtx{Kind: kindRequest, Req: &reqCtx{
+			Chain: req.Chain, Calls: spec.Calls, RespBytes: spec.RespBytes,
+			IngressDone: done, Stamp: req.Stamp,
+		}},
+	}
+	entry.noteInflight()
+	cp := t.conns[string(entry.node.name)]
+	qp := cp.Pick()
+	qp.PostSend(d)
+}
+
+// pollLoop drains the ingress CQ: send completions recycle source buffers;
+// receive completions are worker responses heading to clients. It also
+// replenishes the SRQ to match consumption.
+func (b *rdmaBackend) pollLoop(pr *sim.Proc) {
+	for {
+		b.cq.Wait(pr)
+		for _, cqe := range b.cq.Poll(0) {
+			t := b.tenant(cqe.Desc.Tenant)
+			switch cqe.Op {
+			case rdma.OpSend:
+				if cqe.Status != rdma.StatusOK {
+					b.sendErrors++
+				}
+				if cqe.Desc.Tenant != "" {
+					if err := t.pool.Put(cqe.Desc.Buf, ingressOwner); err != nil {
+						panic(fmt.Sprintf("core: ingress send recycle: %v", err))
+					}
+				}
+			case rdma.OpRecv:
+				d := cqe.Desc
+				mc, ok := d.Ctx.(*msgCtx)
+				if !ok || mc.IngressDone == nil {
+					panic("core: ingress received response without done callback")
+				}
+				if err := t.pool.Transfer(d.Buf, rqOwner, ingressOwner); err != nil {
+					panic(fmt.Sprintf("core: ingress recv ownership: %v", err))
+				}
+				if err := t.pool.Put(d.Buf, ingressOwner); err != nil {
+					panic(fmt.Sprintf("core: ingress recv recycle: %v", err))
+				}
+				mc.IngressDone(ingressResponse(cqe.Bytes, mc.Stamp))
+			}
+		}
+		for _, t := range b.tenants {
+			if n := int(t.srq.ConsumedReset()); n > 0 {
+				b.post(t, n)
+			}
+		}
+	}
+}
+
+// tcpBackend is the cluster side for deferred-conversion systems: the HTTP
+// request is proxied over TCP to the entry function's node, which must
+// terminate it there (the worker-side costs are charged by the entry
+// function's socket receiver).
+type tcpBackend struct {
+	c *Cluster
+}
+
+func newTCPBackend(c *Cluster) *tcpBackend { return &tcpBackend{c: c} }
+
+func (b *tcpBackend) start() {}
+
+// Forward implements ingress.Backend. Requests arriving during cluster
+// bring-up wait at the ingress.
+func (b *tcpBackend) Forward(req ingress.Request, done func(ingress.Response)) {
+	if !b.c.isReady {
+		b.c.Eng.After(time.Millisecond, func() { b.Forward(req, done) })
+		return
+	}
+	spec, ok := b.c.chains[req.Chain]
+	if !ok {
+		panic(fmt.Sprintf("core: ingress request for unknown chain %q", req.Chain))
+	}
+	entry := b.c.resolveInstance(spec.Entry)
+	mc := &msgCtx{Kind: kindRequest, Req: &reqCtx{
+		Chain: req.Chain, Calls: spec.Calls, RespBytes: spec.RespBytes,
+		IngressDone: done, Stamp: req.Stamp,
+	}}
+	entry.noteInflight()
+	b.c.Eng.After(b.c.tcpTransit(b.c.workerStack()), func() {
+		entry.tcpIn.TryPut(tcpMsg{Bytes: req.Bytes, Src: "ingress", Ctx: mc})
+	})
+}

@@ -1,0 +1,554 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"nadino/internal/dne"
+	"nadino/internal/dpu"
+	"nadino/internal/fabric"
+	"nadino/internal/ingress"
+	"nadino/internal/ipc"
+	"nadino/internal/mempool"
+	"nadino/internal/metrics"
+	"nadino/internal/params"
+	"nadino/internal/rdma"
+	"nadino/internal/sim"
+	"nadino/internal/transport"
+)
+
+// TenantSpec declares a tenant (in NADINO, a function chain and its
+// functions form one tenant, §3.1) and its DWRR weight.
+type TenantSpec struct {
+	Name   string
+	Weight int
+}
+
+// Config assembles a cluster for one data-plane system.
+type Config struct {
+	System System
+	// Tenant names the default tenant; functions and chains that leave
+	// their Tenant field empty belong to it.
+	Tenant string
+	// Tenants optionally declares additional tenants with weights. The
+	// default tenant is always present.
+	Tenants []TenantSpec
+	// Nodes lists worker node names; single-node systems use the first.
+	Nodes     []string
+	Functions []FunctionSpec
+	Chains    []ChainSpec
+
+	// PoolBuffers and BufSize dimension each node's unified memory pool.
+	PoolBuffers int
+	BufSize     int
+
+	// Ingress settings.
+	IngressWorkers   int
+	IngressAutoScale bool
+	IngressMax       int
+
+	// AutoscaleEvery is the function autoscaler's evaluation period
+	// (default 5ms of simulated time).
+	AutoscaleEvery time.Duration
+
+	Seed int64
+}
+
+// ingressNodeName is the fabric name of the dedicated ingress node.
+const ingressNodeName = "ingress"
+
+// ingressOwner is the mempool owner used by the ingress RDMA backend.
+const ingressOwner mempool.Owner = "ingress-gw"
+
+// Node is one worker node.
+type Node struct {
+	name fabric.NodeID
+	// reg is the node's DPDK-style file-prefix namespace; pools holds one
+	// unified memory pool per tenant (§3.4.1).
+	reg   *mempool.Registry
+	pools map[string]*mempool.Pool
+	dpu   *dpu.DPU
+
+	engine *dne.Engine  // NADINO systems
+	fuyao  *fuyaoEngine // FUYAO systems
+
+	// schedCore is Junction's dedicated per-node scheduler core (always
+	// busy-polling, contributes no packet work).
+	schedCore *sim.Processor
+
+	fns []*Function
+}
+
+// Function is one deployed function instance with a dedicated core.
+type Function struct {
+	spec   FunctionSpec
+	name   string
+	tenant string
+	owner  mempool.Owner
+	node   *Node
+	core   *sim.Processor
+	group  *FnGroup
+	// inflight counts requests accepted but not yet responded to — the
+	// autoscaler's concurrency signal.
+	inflight int
+
+	inbox   *sim.Queue[mempool.Descriptor]
+	localIn *ipc.SKMsg         // shared-memory systems: local descriptor inbox
+	tcpIn   *sim.Queue[tcpMsg] // TCP systems: socket inbox
+	port    *dne.FnPort        // NADINO systems
+}
+
+// tcpMsg is a message crossing a modeled TCP socket (payload copied, so no
+// pool buffer travels with it).
+type tcpMsg struct {
+	Bytes int
+	Src   string
+	Ctx   *msgCtx
+}
+
+// Cluster is the assembled system under test.
+type Cluster struct {
+	Eng *sim.Engine
+	P   *params.Params
+	cfg Config
+
+	net     *fabric.Network
+	nodes   map[string]*Node
+	nodeSeq []*Node
+	fns     map[string]*Function
+	groups  map[string]*FnGroup
+	chains  map[string]*ChainSpec
+	tenants []TenantSpec
+	// crossTenantCopies counts sidecar-enforced copies between tenants.
+	crossTenantCopies uint64
+	// coldStarts counts container boots paid by idle handlers.
+	coldStarts uint64
+
+	gw      *ingress.Gateway
+	rdmaBE  *rdmaBackend
+	tcpBE   *tcpBackend
+	ready   *sim.Queue[struct{}]
+	isReady bool
+
+	// appBusy accumulates pure application compute charged to function
+	// cores; (total fn core busy - appBusy) is data-plane CPU (§4.3.1).
+	appBusy time.Duration
+
+	// Latency and completion accounting per chain.
+	ChainLatency map[string]*metrics.Hist
+	Completed    *metrics.Meter
+}
+
+// NewCluster builds and wires the whole system; the returned cluster's
+// engine still needs Run. Call WaitReady from a process (or just start
+// clients — requests queue behind connection setup).
+func NewCluster(cfg Config) *Cluster {
+	if cfg.Tenant == "" {
+		cfg.Tenant = "tenant_1"
+	}
+	tenants := []TenantSpec{{Name: cfg.Tenant, Weight: 1}}
+	for _, ts := range cfg.Tenants {
+		if ts.Name == cfg.Tenant {
+			tenants[0].Weight = ts.Weight
+			continue
+		}
+		if ts.Weight <= 0 {
+			ts.Weight = 1
+		}
+		tenants = append(tenants, ts)
+	}
+	if cfg.PoolBuffers == 0 {
+		cfg.PoolBuffers = 16384
+	}
+	if cfg.BufSize == 0 {
+		cfg.BufSize = 8192
+	}
+	if cfg.IngressWorkers == 0 {
+		cfg.IngressWorkers = 1
+	}
+	if cfg.IngressMax == 0 {
+		cfg.IngressMax = cfg.IngressWorkers
+	}
+	if len(cfg.Nodes) == 0 {
+		panic("core: cluster needs at least one node")
+	}
+	p := params.Default()
+	eng := sim.NewEngine(cfg.Seed)
+	c := &Cluster{
+		Eng:          eng,
+		P:            p,
+		cfg:          cfg,
+		net:          fabric.New(eng, p),
+		nodes:        make(map[string]*Node),
+		fns:          make(map[string]*Function),
+		groups:       make(map[string]*FnGroup),
+		chains:       make(map[string]*ChainSpec),
+		ready:        sim.NewQueue[struct{}](eng, 0),
+		ChainLatency: make(map[string]*metrics.Hist),
+		Completed:    metrics.NewMeter(),
+	}
+	c.tenants = tenants
+	for i := range cfg.Chains {
+		ch := cfg.Chains[i]
+		c.chains[ch.Name] = &ch
+		c.ChainLatency[ch.Name] = metrics.NewHist()
+	}
+
+	nodeNames := cfg.Nodes
+	if cfg.System.SingleNode() {
+		nodeNames = cfg.Nodes[:1]
+	}
+	for _, name := range nodeNames {
+		c.addNode(name)
+	}
+	for _, fs := range cfg.Functions {
+		logical := fs.Name
+		if fs.MaxScale > 1 {
+			// Scalable functions get instance-suffixed names so the
+			// logical name unambiguously addresses the load balancer.
+			fs.Name = logical + "@1"
+		}
+		f := c.addFunction(fs)
+		spec := fs
+		spec.Name = logical
+		g := &FnGroup{name: logical, spec: spec, instances: []*Function{f}, enabled: []bool{true}}
+		f.group = g
+		c.groups[logical] = g
+		if fs.MaxScale > 1 {
+			c.startAutoscaler(g)
+		}
+	}
+	c.buildIngress()
+	eng.Spawn("cluster-setup", c.setup)
+	return c
+}
+
+func (c *Cluster) addNode(name string) {
+	n := &Node{
+		name:  fabric.NodeID(name),
+		reg:   mempool.NewRegistry(name),
+		pools: make(map[string]*mempool.Pool),
+		dpu:   dpu.New(c.Eng, c.P, fabric.NodeID(name), c.net, 2),
+	}
+	// Each tenant's shared-memory agent creates its pool under its own
+	// file-prefix (§3.4.1).
+	for _, ts := range c.tenants {
+		pool, err := n.reg.CreatePool(ts.Name, c.cfg.BufSize, c.cfg.PoolBuffers, c.P.HugepageSize)
+		if err != nil {
+			panic(err)
+		}
+		n.pools[ts.Name] = pool
+	}
+	switch c.cfg.System {
+	case NadinoDNE:
+		n.engine = dne.New(c.Eng, c.P, dne.Config{
+			Node: n.name, Mode: dne.OffPath, Loc: dne.OnDPU,
+			Sched: dne.SchedDWRR, Channel: dpu.ComchE,
+		}, n.dpu, nil, nil)
+	case NadinoCNE:
+		worker := sim.NewProcessor(c.Eng, name+"/cne", c.P.HostCoreSpeed)
+		keeper := sim.NewProcessor(c.Eng, name+"/cne-k", c.P.HostCoreSpeed)
+		n.engine = dne.New(c.Eng, c.P, dne.Config{
+			Node: n.name, Mode: dne.OffPath, Loc: dne.OnCPU,
+			Sched: dne.SchedDWRR,
+		}, n.dpu, worker, keeper)
+	case FuyaoF, FuyaoK:
+		n.fuyao = newFuyaoEngine(c, n)
+	case Junction:
+		n.schedCore = sim.NewProcessor(c.Eng, name+"/junction-sched", c.P.HostCoreSpeed)
+	}
+	if n.engine != nil {
+		for _, ts := range c.tenants {
+			n.engine.AddTenant(ts.Name, n.pools[ts.Name], ts.Weight)
+		}
+	}
+	c.nodes[name] = n
+	c.nodeSeq = append(c.nodeSeq, n)
+}
+
+// pool returns node n's unified memory pool for tenant.
+func (n *Node) pool(tenant string) *mempool.Pool { return n.pools[tenant] }
+
+// noteInflight counts an ingress-originated request against the instance.
+func (f *Function) noteInflight() { f.inflight++ }
+
+func (c *Cluster) addFunction(fs FunctionSpec) *Function {
+	if fs.Workers == 0 {
+		fs.Workers = 8
+	}
+	nodeName := fs.Node
+	if c.cfg.System.SingleNode() {
+		nodeName = c.cfg.Nodes[0]
+	}
+	n, ok := c.nodes[nodeName]
+	if !ok {
+		panic(fmt.Sprintf("core: function %q placed on unknown node %q", fs.Name, fs.Node))
+	}
+	tenant := fs.Tenant
+	if tenant == "" {
+		tenant = c.cfg.Tenant
+	}
+	f := &Function{
+		spec:   fs,
+		name:   fs.Name,
+		tenant: tenant,
+		owner:  mempool.Owner(fs.Name),
+		node:   n,
+		core:   sim.NewProcessor(c.Eng, nodeName+"/"+fs.Name, c.P.HostCoreSpeed),
+		inbox:  sim.NewQueue[mempool.Descriptor](c.Eng, 0),
+	}
+	// The function maps its tenant's pool as a DPDK secondary process; the
+	// registry rejects cross-tenant attachment (§3.4.1).
+	if _, err := n.reg.Attach(tenant, tenant); err != nil {
+		panic(err)
+	}
+	switch c.cfg.System {
+	case NadinoDNE, NadinoCNE:
+		f.localIn = ipc.NewSKMsg(c.Eng, c.P, nil)
+		f.port = n.engine.AttachFunction(f.name, tenant)
+	case FuyaoF, FuyaoK, Spright, NightCore:
+		f.localIn = ipc.NewSKMsg(c.Eng, c.P, nil)
+		if c.cfg.System == Spright {
+			f.tcpIn = sim.NewQueue[tcpMsg](c.Eng, 0)
+		}
+	case Junction:
+		f.tcpIn = sim.NewQueue[tcpMsg](c.Eng, 0)
+	}
+	// Deferred-conversion systems terminate ingress TCP on the worker:
+	// give every potential entry function a socket inbox.
+	if c.cfg.System != NadinoDNE && c.cfg.System != NadinoCNE && f.tcpIn == nil {
+		f.tcpIn = sim.NewQueue[tcpMsg](c.Eng, 0)
+	}
+	n.fns = append(n.fns, f)
+	c.fns[f.name] = f
+	return f
+}
+
+// workerStack is the TCP stack terminating at worker nodes for
+// deferred-conversion systems.
+func (c *Cluster) workerStack() transport.Stack {
+	switch c.cfg.System {
+	case FuyaoK, NightCore:
+		return transport.Kernel
+	case Junction:
+		return transport.Junction
+	default:
+		return transport.FStack
+	}
+}
+
+func (c *Cluster) buildIngress() {
+	kind := c.cfg.System.IngressKind()
+	var backend ingress.Backend
+	if kind == ingress.Nadino {
+		c.rdmaBE = newRDMABackend(c)
+		backend = c.rdmaBE
+	} else {
+		c.tcpBE = newTCPBackend(c)
+		backend = c.tcpBE
+	}
+	icfg := ingress.Config{
+		Kind:           kind,
+		InitialWorkers: c.cfg.IngressWorkers,
+		MaxWorkers:     c.cfg.IngressMax,
+		AutoScale:      c.cfg.IngressAutoScale,
+	}
+	if c.cfg.System == NightCore {
+		// NightCore's built-in kernel gateway is a single-threaded HTTP
+		// dispatcher inside its engine, substantially heavier than tuned
+		// NGINX; calibrated against Table 2.
+		icfg.ExtraPerRequest = 140 * time.Microsecond
+		icfg.InitialWorkers, icfg.MaxWorkers = 1, 1
+	}
+	if c.cfg.System == FuyaoK {
+		// The kernel NGINX ingress runs pinned to one core, as in the
+		// §4.1.3 setup.
+		icfg.InitialWorkers, icfg.MaxWorkers = 1, 1
+	}
+	c.gw = ingress.New(c.Eng, c.P, icfg, backend)
+}
+
+// chainTenant resolves a chain's owning tenant.
+func (c *Cluster) chainTenant(spec *ChainSpec) string {
+	if spec.Tenant != "" {
+		return spec.Tenant
+	}
+	return c.cfg.Tenant
+}
+
+// CrossTenantCopies reports sidecar-enforced copies between tenants.
+func (c *Cluster) CrossTenantCopies() uint64 { return c.crossTenantCopies }
+
+// ColdStarts reports container boots paid by idle handlers.
+func (c *Cluster) ColdStarts() uint64 { return c.coldStarts }
+
+// Gateway returns the cluster ingress.
+func (c *Cluster) Gateway() *ingress.Gateway { return c.gw }
+
+// Engine returns node's network engine (NADINO systems).
+func (c *Cluster) Engine(node string) *dne.Engine { return c.nodes[node].engine }
+
+// setup establishes RC connections, starts engines, backends and function
+// runtimes, then signals readiness.
+func (c *Cluster) setup(pr *sim.Proc) {
+	switch c.cfg.System {
+	case NadinoDNE, NadinoCNE:
+		c.setupNadino(pr)
+	case FuyaoF, FuyaoK:
+		c.setupFuyao(pr)
+	}
+	if c.tcpBE != nil {
+		c.tcpBE.start()
+	}
+	for _, f := range c.fns {
+		c.startFunction(f)
+	}
+	c.isReady = true
+	c.ready.TryPut(struct{}{})
+}
+
+func (c *Cluster) setupNadino(pr *sim.Proc) {
+	// Routes: every engine knows where every function lives, plus the
+	// ingress pseudo-destination.
+	for _, n := range c.nodeSeq {
+		for _, f := range c.fns {
+			n.engine.SetRoute(f.name, f.node.name)
+		}
+		n.engine.SetRoute("ingress", ingressNodeName)
+	}
+	// Establish all RC pools concurrently: the DNEs bring connections up
+	// in parallel at deployment, so setup costs one handshake, not one per
+	// node pair or tenant.
+	done := sim.NewQueue[struct{}](c.Eng, 0)
+	jobs := 0
+	for _, ts := range c.tenants {
+		tenant := ts.Name
+		for i := 0; i < len(c.nodeSeq); i++ {
+			for j := i + 1; j < len(c.nodeSeq); j++ {
+				a, b := c.nodeSeq[i], c.nodeSeq[j]
+				jobs++
+				c.Eng.Spawn("setup-pair", func(spr *sim.Proc) {
+					cpA, cpB := rdma.EstablishPair(spr, c.P, tenant,
+						a.dpu.RNIC(), b.dpu.RNIC(), 8,
+						a.engine.SRQ(tenant), b.engine.SRQ(tenant),
+						a.engine.CQ(), b.engine.CQ())
+					a.engine.AddConnPool(b.name, tenant, cpA)
+					b.engine.AddConnPool(a.name, tenant, cpB)
+					done.TryPut(struct{}{})
+				})
+			}
+		}
+		for _, n := range c.nodeSeq {
+			n := n
+			jobs++
+			c.Eng.Spawn("setup-ingress", func(spr *sim.Proc) {
+				be := c.rdmaBE.tenant(tenant)
+				cpW, cpI := rdma.EstablishPair(spr, c.P, tenant,
+					n.dpu.RNIC(), c.rdmaBE.rnic, 8,
+					n.engine.SRQ(tenant), be.srq,
+					n.engine.CQ(), c.rdmaBE.cq)
+				n.engine.AddConnPool(ingressNodeName, tenant, cpW)
+				be.conns[string(n.name)] = cpI
+				done.TryPut(struct{}{})
+			})
+		}
+	}
+	for i := 0; i < jobs; i++ {
+		done.Get(pr)
+	}
+	for _, n := range c.nodeSeq {
+		n.engine.Start()
+	}
+	c.rdmaBE.start()
+}
+
+// startFunction spawns the function's receiver procs and workers.
+func (c *Cluster) startFunction(f *Function) {
+	if f.port != nil {
+		c.Eng.Spawn(f.name+"/port-rx", func(pr *sim.Proc) {
+			for {
+				d := f.port.Recv(pr, f.core)
+				c.deliver(pr, f, d)
+			}
+		})
+	}
+	if f.localIn != nil {
+		c.Eng.Spawn(f.name+"/shm-rx", func(pr *sim.Proc) {
+			for {
+				d := f.localIn.Recv(pr)
+				f.core.Exec(pr, f.localIn.WakeupCost()+c.P.SemTokenCost)
+				c.deliver(pr, f, d)
+			}
+		})
+	}
+	if f.tcpIn != nil {
+		st := c.workerStack()
+		c.Eng.Spawn(f.name+"/tcp-rx", func(pr *sim.Proc) {
+			for {
+				m := f.tcpIn.Get(pr)
+				f.core.Exec(pr, transport.RecvCost(c.P, st, m.Bytes))
+				// The payload is copied out of the socket into a fresh
+				// local buffer.
+				buf, err := c.getBufferRetry(pr, f.node.pool(f.tenant), f.owner)
+				if err != nil {
+					continue
+				}
+				d := mempool.Descriptor{
+					Tenant: f.tenant, Buf: buf, Len: m.Bytes,
+					Src: m.Src, Dst: f.name, Ctx: m.Ctx,
+				}
+				c.deliver(pr, f, d)
+			}
+		})
+	}
+	for i := 0; i < f.spec.Workers; i++ {
+		c.Eng.Spawn(fmt.Sprintf("%s/worker-%d", f.name, i), func(pr *sim.Proc) {
+			c.functionWorker(pr, f)
+		})
+	}
+}
+
+// WaitReady blocks pr until cluster setup (QP establishment) finished.
+func (c *Cluster) WaitReady(pr *sim.Proc) {
+	if c.isReady {
+		return
+	}
+	c.ready.Get(pr)
+	c.ready.TryPut(struct{}{}) // let other waiters through
+}
+
+// getBufferRetry allocates with bounded backoff under pool pressure.
+func (c *Cluster) getBufferRetry(pr *sim.Proc, pool *mempool.Pool, owner mempool.Owner) (mempool.Buffer, error) {
+	for attempt := 0; ; attempt++ {
+		b, err := pool.Get(owner)
+		if err == nil {
+			return b, nil
+		}
+		if attempt > 1000 {
+			return mempool.Buffer{}, err
+		}
+		pr.Sleep(10 * time.Microsecond)
+	}
+}
+
+// SubmitChain issues one external request for chain through the ingress.
+// reply is invoked (engine context) when the response reaches the client.
+func (c *Cluster) SubmitChain(chain string, client int, reply func(ingress.Response)) {
+	spec, ok := c.chains[chain]
+	if !ok {
+		panic(fmt.Sprintf("core: unknown chain %q", chain))
+	}
+	now := c.Eng.Now()
+	c.gw.Submit(ingress.Request{
+		Client: client, Chain: chain,
+		Bytes: spec.ReqBytes, RespBytes: spec.RespBytes,
+		Stamp: now,
+		Reply: func(r ingress.Response) {
+			c.Completed.Inc(1)
+			c.ChainLatency[chain].Observe(c.Eng.Now() - r.Stamp)
+			if reply != nil {
+				reply(r)
+			}
+		},
+	})
+}

@@ -1,0 +1,78 @@
+package core
+
+import "time"
+
+// NetCPU summarizes data-plane processor usage for the §4.3.1 efficiency
+// comparison (Fig. 16 (4)-(6)).
+type NetCPU struct {
+	// PinnedCores is how many dedicated cores busy-poll for the data plane
+	// (network engines, FUYAO pollers, Junction schedulers). Busy-polling
+	// pins its core regardless of load, so these count fully.
+	PinnedCores float64
+	// PinnedUseful is the useful-work fraction actually consumed on those
+	// pinned cores (cores' worth).
+	PinnedUseful float64
+	// FnCores is the cores' worth of data-plane work measured on function
+	// cores (stack traversals, IPC, copies) — total busy minus pure
+	// application compute.
+	FnCores float64
+	// OnDPU reports whether the pinned cores are DPU cores (NADINO DNE) —
+	// the paper plots those as DPU rather than CPU utilization.
+	OnDPU bool
+}
+
+// Total is the headline cores-in-use figure (pinned + function-core share).
+func (n NetCPU) Total() float64 { return n.PinnedCores + n.FnCores }
+
+// NetCPUStats measures data-plane processor usage over the elapsed window.
+// Call it at the end of a measurement period that started at cluster time
+// ~0 (busy counters are cumulative).
+func (c *Cluster) NetCPUStats(elapsed time.Duration) NetCPU {
+	var s NetCPU
+	if elapsed <= 0 {
+		return s
+	}
+	for _, n := range c.nodeSeq {
+		switch {
+		case n.engine != nil:
+			s.PinnedCores++
+			s.PinnedUseful += float64(n.engine.WorkerCore().BusyTime()) / float64(elapsed)
+			if c.cfg.System == NadinoDNE {
+				s.OnDPU = true
+			}
+		case n.fuyao != nil:
+			s.PinnedCores += 2 // engine + receiver poller
+			s.PinnedUseful += float64(n.fuyao.core.BusyTime()+n.fuyao.pollCore.BusyTime()) / float64(elapsed)
+		case n.schedCore != nil:
+			s.PinnedCores++ // Junction's dedicated scheduler core
+			s.PinnedUseful++
+		}
+	}
+	var fnBusy time.Duration
+	for _, f := range c.fns {
+		fnBusy += f.core.BusyTime()
+	}
+	net := fnBusy - c.appBusy
+	if net < 0 {
+		net = 0
+	}
+	s.FnCores = float64(net) / float64(elapsed)
+	return s
+}
+
+// AppCPUCores reports pure application compute in cores over the window.
+func (c *Cluster) AppCPUCores(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.appBusy) / float64(elapsed)
+}
+
+// FnUtilization reports per-function core utilization over the window.
+func (c *Cluster) FnUtilization(elapsed time.Duration) map[string]float64 {
+	out := make(map[string]float64, len(c.fns))
+	for name, f := range c.fns {
+		out[name] = float64(f.core.BusyTime()) / float64(elapsed)
+	}
+	return out
+}

@@ -1,0 +1,619 @@
+package dne
+
+import (
+	"fmt"
+	"time"
+
+	"nadino/internal/dpu"
+	"nadino/internal/fabric"
+	"nadino/internal/ipc"
+	"nadino/internal/mempool"
+	"nadino/internal/metrics"
+	"nadino/internal/params"
+	"nadino/internal/rdma"
+	"nadino/internal/sim"
+)
+
+// Mode selects on-path vs off-path DPU offloading (§2.1, Fig. 2).
+type Mode int
+
+// Offloading modes.
+const (
+	// OffPath: cross-processor shared memory lets the RNIC DMA directly
+	// into host pools; the engine only touches descriptors. NADINO's mode.
+	OffPath Mode = iota
+	// OnPath: data is staged in DPU SoC memory and moved across the PCIe
+	// boundary by the slow SoC DMA engine on both TX and RX.
+	OnPath
+)
+
+// Location selects where the engine runs (§4.3's DNE vs CNE comparison).
+type Location int
+
+// Engine placements.
+const (
+	// OnDPU pins the engine to a wimpy DPU ARM core; host functions reach
+	// it over DOCA Comch.
+	OnDPU Location = iota
+	// OnCPU pins the engine to a host core (the CNE); functions reach it
+	// over SK_MSG, whose interrupt-driven input throttles it at high
+	// concurrency.
+	OnCPU
+)
+
+// ownerRQ is the mempool owner string for buffers posted to a tenant SRQ.
+func ownerRQ(node fabric.NodeID) mempool.Owner {
+	return mempool.Owner("dne-rq@" + string(node))
+}
+
+// OwnerEngine is the mempool owner the engine uses while it holds buffers
+// in flight.
+func OwnerEngine(node fabric.NodeID) mempool.Owner {
+	return mempool.Owner("dne@" + string(node))
+}
+
+// Config assembles an engine.
+type Config struct {
+	Node    fabric.NodeID
+	Mode    Mode
+	Loc     Location
+	Sched   SchedulerKind
+	Channel dpu.ChannelMode
+	// QuantumUnit is the DWRR byte quantum per unit weight (default 2KB).
+	QuantumUnit int
+	// ReplenishEvery is the core thread's RQ replenish period.
+	ReplenishEvery time.Duration
+	// InitialRQ is how many receive buffers to pre-post per tenant.
+	InitialRQ int
+}
+
+// tenantState is per-tenant engine state.
+type tenantState struct {
+	name   string
+	weight int
+	pool   *mempool.Pool
+	mr     *rdma.MR
+	srq    *rdma.SRQ
+	// meters drive the Fig. 15 per-tenant bandwidth plots.
+	TxMeter *metrics.Meter
+	RxMeter *metrics.Meter
+}
+
+// Engine is the DPU network engine (or its CPU-hosted twin).
+type Engine struct {
+	eng *sim.Engine
+	p   *params.Params
+	cfg Config
+
+	// worker is the pinned core running the run-to-completion loop;
+	// keeper is the core-thread core (mmap registration, RQ replenish).
+	worker *sim.Processor
+	keeper *sim.Processor
+	socDMA *dpu.DMAEngine
+	rnic   *rdma.RNIC
+	cq     *rdma.CQ
+	work   *sim.Signal
+
+	tenants map[string]*tenantState
+	routes  map[string]fabric.NodeID
+	ports   map[string]*FnPort
+	pools   map[fabric.NodeID]map[string]*rdma.ConnPool
+
+	sched     Scheduler
+	dwrrSched *DWRR
+	prioSched *Priority
+
+	// limits holds optional per-tenant token-bucket rate limits enforced
+	// in the TX stage (the kind of workload-specific policy §4.2 says
+	// operators can drop into the DNE).
+	limits map[string]*tokenBucket
+
+	txCount, rxCount uint64
+	dropNoRoute      uint64
+	dropNoPort       uint64
+	sendErrors       uint64
+	retriedSends     uint64
+	dropRetryBudget  uint64
+	rateDeferred     uint64
+
+	// LoopIters and LoopWaits count worker-loop iterations and idle waits
+	// (diagnostics).
+	LoopIters, LoopWaits uint64
+	// Stage wall-time accounting (diagnostics).
+	IngestWall, TxWall, RxWall time.Duration
+
+	started bool
+}
+
+// New assembles an engine. For OnDPU, d supplies the cores, SoC DMA and
+// integrated RNIC; for OnCPU, d still supplies the node's RNIC (the DPU
+// stays in NIC mode) while the loop runs on hostCore.
+func New(eng *sim.Engine, p *params.Params, cfg Config, d *dpu.DPU, hostCore, hostKeeper *sim.Processor) *Engine {
+	if cfg.QuantumUnit == 0 {
+		cfg.QuantumUnit = 2048
+	}
+	if cfg.ReplenishEvery == 0 {
+		cfg.ReplenishEvery = 50 * time.Microsecond
+	}
+	if cfg.InitialRQ == 0 {
+		cfg.InitialRQ = 256
+	}
+	e := &Engine{
+		eng:     eng,
+		p:       p,
+		cfg:     cfg,
+		socDMA:  d.SoCDMA(),
+		rnic:    d.RNIC(),
+		cq:      rdma.NewCQ(eng),
+		work:    sim.NewSignal(eng),
+		tenants: make(map[string]*tenantState),
+		limits:  make(map[string]*tokenBucket),
+		routes:  make(map[string]fabric.NodeID),
+		ports:   make(map[string]*FnPort),
+		pools:   make(map[fabric.NodeID]map[string]*rdma.ConnPool),
+	}
+	if cfg.Loc == OnDPU {
+		// The DNE loop does verbs/descriptor work, where the ARM cores are
+		// nearly on par with x86 (Fig. 6); dedicated cores with the
+		// net-work speed factor model that.
+		e.worker = sim.NewProcessor(eng, string(cfg.Node)+"/dne-worker", p.DPUNetSpeed)
+		e.keeper = sim.NewProcessor(eng, string(cfg.Node)+"/dne-keeper", p.DPUNetSpeed)
+	} else {
+		if hostCore == nil || hostKeeper == nil {
+			panic("dne: CPU-hosted engine needs host cores")
+		}
+		e.worker = hostCore
+		e.keeper = hostKeeper
+	}
+	switch cfg.Sched {
+	case SchedDWRR:
+		e.dwrrSched = NewDWRR(cfg.QuantumUnit)
+		e.sched = e.dwrrSched
+	case SchedPriority:
+		e.prioSched = NewPriority()
+		e.sched = e.prioSched
+	default:
+		e.sched = NewFCFS()
+	}
+	e.cq.SetNotify(func() { e.work.Pulse() })
+	return e
+}
+
+// Node reports the engine's node.
+func (e *Engine) Node() fabric.NodeID { return e.cfg.Node }
+
+// RNIC returns the RNIC the engine proxies.
+func (e *Engine) RNIC() *rdma.RNIC { return e.rnic }
+
+// CQ returns the engine's completion queue (shared across all RC QPs on
+// this node, §3.3).
+func (e *Engine) CQ() *rdma.CQ { return e.cq }
+
+// WorkerCore returns the pinned loop core (for utilization reporting).
+func (e *Engine) WorkerCore() *sim.Processor { return e.worker }
+
+// KeeperCore returns the core-thread core.
+func (e *Engine) KeeperCore() *sim.Processor { return e.keeper }
+
+// AddTenant maps a tenant's host pool into the engine: the cross-processor
+// mmap (§3.4.2) plus SRQ creation. weight feeds the DWRR scheduler.
+func (e *Engine) AddTenant(tenant string, pool *mempool.Pool, weight int) *rdma.SRQ {
+	if _, ok := e.tenants[tenant]; ok {
+		panic(fmt.Sprintf("dne: tenant %q already added", tenant))
+	}
+	ts := &tenantState{
+		name:    tenant,
+		weight:  weight,
+		pool:    pool,
+		mr:      e.rnic.RegisterMR(pool), // doca_mmap_create_from_export
+		srq:     rdma.NewSRQ(tenant),
+		TxMeter: metrics.NewMeter(),
+		RxMeter: metrics.NewMeter(),
+	}
+	e.tenants[tenant] = ts
+	if e.dwrrSched != nil {
+		e.dwrrSched.SetWeight(tenant, weight)
+	}
+	if e.prioSched != nil {
+		e.prioSched.SetWeight(tenant, weight)
+	}
+	return ts.srq
+}
+
+// Tenant returns a tenant's meters for experiment plumbing.
+func (e *Engine) Tenant(tenant string) (tx, rx *metrics.Meter) {
+	ts := e.tenants[tenant]
+	if ts == nil {
+		return nil, nil
+	}
+	return ts.TxMeter, ts.RxMeter
+}
+
+// SRQ returns a tenant's shared receive queue.
+func (e *Engine) SRQ(tenant string) *rdma.SRQ { return e.tenants[tenant].srq }
+
+// SetRoute declares that function fn runs on node (the inter-node routing
+// table of §3.2).
+func (e *Engine) SetRoute(fn string, node fabric.NodeID) { e.routes[fn] = node }
+
+// AddConnPool installs an established RC connection pool toward remote for
+// tenant.
+func (e *Engine) AddConnPool(remote fabric.NodeID, tenant string, cp *rdma.ConnPool) {
+	m, ok := e.pools[remote]
+	if !ok {
+		m = make(map[string]*rdma.ConnPool)
+		e.pools[remote] = m
+	}
+	m[tenant] = cp
+}
+
+// AttachFunction creates the descriptor channel between a host function and
+// the engine: a Comch endpoint for the DPU-hosted engine, an SK_MSG socket
+// pair for the CPU-hosted CNE.
+func (e *Engine) AttachFunction(fn, tenant string) *FnPort {
+	if _, ok := e.ports[fn]; ok {
+		panic(fmt.Sprintf("dne: function %q already attached", fn))
+	}
+	fp := &FnPort{fn: fn, tenant: tenant, engine: e}
+	if e.cfg.Loc == OnDPU {
+		fp.comch = dpu.NewEndpoint(e.eng, e.p, e.cfg.Channel, len(e.ports), fn, tenant, e.work)
+	} else {
+		fp.toEngine = ipc.NewSKMsg(e.eng, e.p, e.work)
+		fp.toFn = ipc.NewSKMsg(e.eng, e.p, nil)
+	}
+	e.ports[fn] = fp
+	return fp
+}
+
+// Stats reports engine counters.
+func (e *Engine) Stats() (tx, rx, dropNoRoute, dropNoPort, sendErrors uint64) {
+	return e.txCount, e.rxCount, e.dropNoRoute, e.dropNoPort, e.sendErrors
+}
+
+// RetryStats reports transport-error recovery counters: descriptors
+// re-queued after send failures, and those dropped after exhausting the
+// retry budget.
+func (e *Engine) RetryStats() (retried, dropped uint64) {
+	return e.retriedSends, e.dropRetryBudget
+}
+
+// Start launches the worker loop and the core thread. Call once, before
+// Engine.Run on the simulation.
+func (e *Engine) Start() {
+	if e.started {
+		panic("dne: Start called twice")
+	}
+	e.started = true
+	e.eng.Spawn(fmt.Sprintf("dne-worker@%s", e.cfg.Node), e.workerLoop)
+	e.eng.Spawn(fmt.Sprintf("dne-keeper@%s", e.cfg.Node), e.keeperLoop)
+}
+
+// perMsgExtra is the artificial per-message load experiments use to cap the
+// engine's throughput (Fig. 15's ~110K RPS configuration). It is charged in
+// the TX stage only, behind the tenant scheduler, so the capped capacity is
+// the resource DWRR arbitrates.
+func (e *Engine) perMsgExtra() time.Duration { return e.p.DNEExtraPerMsg }
+
+// workerLoop is the non-blocking run-to-completion event loop (§3.2): it
+// ingests descriptors from function channels, runs the TX stage through the
+// tenant scheduler, and drains the CQ for the RX stage. When there is no
+// work it parks on the work signal (the pinned core still reports as
+// busy-polling; BusyTime tracks the *useful* fraction, which is what the
+// paper's refined CPU accounting measures).
+func (e *Engine) workerLoop(pr *sim.Proc) {
+	const batch = 16
+	for {
+		e.LoopIters++
+		did := false
+
+		t0 := e.eng.Now()
+		// RX stage first: drain all completions so received descriptors
+		// reach their functions (and, via their replies, the scheduler)
+		// promptly. Completions are mandatory work; leaving them queued
+		// would turn the FIFO CQ into the standing buffer and bypass the
+		// tenant scheduler.
+		for {
+			cqes := e.cq.Poll(batch)
+			if len(cqes) == 0 {
+				break
+			}
+			for _, cqe := range cqes {
+				e.handleCQE(pr, cqe)
+			}
+			did = true
+		}
+
+		t1 := e.eng.Now()
+		e.RxWall += t1 - t0
+		// Ingest host -> engine descriptors into the tenant scheduler.
+		for _, fp := range e.ports {
+			for {
+				d, cost, ok := fp.engineSidePull()
+				if !ok {
+					break
+				}
+				if cost > 0 {
+					e.worker.Exec(pr, cost)
+				}
+				e.sched.Enqueue(d.Tenant, d)
+				did = true
+			}
+		}
+
+		t2 := e.eng.Now()
+		e.IngestWall += t2 - t1
+		// TX stage: the tenant scheduler (DWRR/FCFS) arbitrates the
+		// engine's transmit capacity — this is where backlog stands under
+		// overload, so per-tenant weights govern it (§3.3).
+		for i := 0; i < batch; i++ {
+			d, ok := e.sched.Next()
+			if !ok {
+				break
+			}
+			e.txOne(pr, d)
+			did = true
+		}
+		e.TxWall += e.eng.Now() - t2
+
+		if !did {
+			e.LoopWaits++
+			e.work.Wait(pr)
+		}
+	}
+}
+
+// txOne runs one descriptor through the TX stage.
+func (e *Engine) txOne(pr *sim.Proc, d mempool.Descriptor) {
+	if b := e.limits[d.Tenant]; b != nil && !b.take(e.eng.Now()) {
+		// Over the tenant's rate limit: hold the descriptor until the
+		// bucket refills, then feed it back through the scheduler.
+		e.rateDeferred++
+		wait := b.eta(e.eng.Now())
+		e.eng.After(wait, func() {
+			e.sched.Enqueue(d.Tenant, d)
+			e.work.Pulse()
+		})
+		return
+	}
+	e.worker.Exec(pr, e.p.DNETxCost+e.perMsgExtra())
+	node, ok := e.routes[d.Dst]
+	if !ok {
+		e.dropNoRoute++
+		e.releaseBuffer(d)
+		return
+	}
+	byTenant, ok := e.pools[node]
+	if !ok {
+		e.dropNoRoute++
+		e.releaseBuffer(d)
+		return
+	}
+	cp, ok := byTenant[d.Tenant]
+	if !ok {
+		e.dropNoRoute++
+		e.releaseBuffer(d)
+		return
+	}
+	if e.cfg.Mode == OnPath {
+		// Stage payload into SoC memory through the slow DMA engine; the
+		// run-to-completion loop waits for it (§4.1.1).
+		e.socDMA.TransferBlocking(pr, d.Len)
+	}
+	e.worker.Exec(pr, e.p.VerbsPostCost)
+	qp := cp.Pick()
+	qp.PostSend(d)
+	e.txCount++
+	if ts := e.tenants[d.Tenant]; ts != nil {
+		ts.TxMeter.Inc(1)
+	}
+}
+
+// handleCQE runs the RX stage for one completion.
+func (e *Engine) handleCQE(pr *sim.Proc, cqe rdma.CQE) {
+	switch cqe.Op {
+	case rdma.OpSend:
+		// Sender-side completion: recycle the source buffer.
+		e.worker.Exec(pr, e.p.VerbsPostCost/2)
+		if cqe.Status != rdma.StatusOK {
+			e.sendErrors++
+			// Transport-level failure (link loss, errored QP): retry the
+			// descriptor through the scheduler for at-least-once delivery,
+			// up to a bounded budget.
+			d := cqe.Desc
+			if d.Tenant != "" && d.Retries < 5 {
+				d.Retries++
+				e.retriedSends++
+				e.sched.Enqueue(d.Tenant, d)
+				return
+			}
+			e.dropRetryBudget++
+		}
+		e.releaseBuffer(cqe.Desc)
+	case rdma.OpRecv:
+		e.worker.Exec(pr, e.p.DNERxCost)
+		if e.cfg.Mode == OnPath {
+			// Data was staged in SoC memory; push it to the host pool.
+			e.socDMA.TransferBlocking(pr, cqe.Bytes)
+		}
+		d := cqe.Desc
+		fp, ok := e.ports[d.Dst]
+		if !ok {
+			e.dropNoPort++
+			e.releaseRQBuffer(d)
+			return
+		}
+		ts := e.tenants[d.Tenant]
+		if ts != nil {
+			// Hand the landed buffer from the RQ owner to the function.
+			if err := ts.pool.Transfer(d.Buf, ownerRQ(e.cfg.Node), mempool.Owner(d.Dst)); err != nil {
+				panic(fmt.Sprintf("dne: RX ownership handoff failed: %v", err))
+			}
+			ts.RxMeter.Inc(1)
+		}
+		e.rxCount++
+		cost := fp.engineSidePushCost()
+		if cost > 0 {
+			e.worker.Exec(pr, cost)
+		}
+		fp.engineSidePush(d)
+	}
+}
+
+// releaseBuffer recycles a buffer the engine owns after a send completes or
+// a drop occurs. Send CQEs carry no descriptor in this model, so TX-side
+// recycling happens here at post time bookkeeping: the engine owns the
+// buffer from ingest until the send completes; we recycle on the send CQE
+// via pendingTx tracking below.
+func (e *Engine) releaseBuffer(d mempool.Descriptor) {
+	if d.Tenant == "" {
+		return
+	}
+	ts := e.tenants[d.Tenant]
+	if ts == nil {
+		return
+	}
+	owner := OwnerEngine(e.cfg.Node)
+	if cur, err := ts.pool.OwnerOf(d.Buf); err == nil && cur == owner {
+		if err := ts.pool.Put(d.Buf, owner); err != nil {
+			panic(fmt.Sprintf("dne: buffer recycle failed: %v", err))
+		}
+	}
+}
+
+// releaseRQBuffer recycles an RQ-owned landed buffer on drops.
+func (e *Engine) releaseRQBuffer(d mempool.Descriptor) {
+	ts := e.tenants[d.Tenant]
+	if ts == nil {
+		return
+	}
+	if err := ts.pool.Put(d.Buf, ownerRQ(e.cfg.Node)); err != nil {
+		panic(fmt.Sprintf("dne: RQ buffer recycle failed: %v", err))
+	}
+}
+
+// keeperLoop is the DNE core thread (§3.2): it pre-posts receive buffers
+// and then replenishes each tenant's SRQ to match consumed CQEs (§3.5.2),
+// and periodically shrinks idle connection pools (§3.3).
+func (e *Engine) keeperLoop(pr *sim.Proc) {
+	// Initial posting.
+	for _, ts := range e.tenants {
+		e.replenish(pr, ts, e.cfg.InitialRQ)
+	}
+	shrinkEvery := 100 // replenish rounds between pool shrinks
+	round := 0
+	for {
+		pr.Sleep(e.cfg.ReplenishEvery)
+		for _, ts := range e.tenants {
+			n := int(ts.srq.ConsumedReset())
+			if n > 0 {
+				e.replenish(pr, ts, n)
+			}
+		}
+		round++
+		if round%shrinkEvery == 0 {
+			for _, byTenant := range e.pools {
+				for _, cp := range byTenant {
+					cp.Shrink()
+				}
+			}
+		}
+		// Re-handshake any connections that errored out (link failures).
+		for _, byTenant := range e.pools {
+			for _, cp := range byTenant {
+				cp.Repair()
+			}
+		}
+	}
+}
+
+// replenish posts n receive buffers from the tenant pool to its SRQ.
+func (e *Engine) replenish(pr *sim.Proc, ts *tenantState, n int) {
+	owner := ownerRQ(e.cfg.Node)
+	posted := 0
+	for posted < n {
+		b, err := ts.pool.Get(owner)
+		if err != nil {
+			break // pool pressure: retry next round
+		}
+		ts.srq.PostRecv(mempool.Descriptor{Tenant: ts.name, Buf: b})
+		posted++
+	}
+	if posted > 0 {
+		// Batched posting cost on the core thread.
+		e.keeper.Exec(pr, time.Duration(posted)*e.p.VerbsPostCost/4)
+	}
+}
+
+// SchedPending reports descriptors queued in the tenant scheduler (TX
+// backlog) — diagnostic for fairness experiments.
+func (e *Engine) SchedPending() int { return e.sched.Pending() }
+
+// PortBacklog reports descriptors delivered to a function's channel but not
+// yet ingested by the engine loop.
+func (e *Engine) PortBacklog(fn string) int {
+	fp := e.ports[fn]
+	if fp == nil {
+		return 0
+	}
+	if fp.comch != nil {
+		return fp.comch.PendingFromHost()
+	}
+	return fp.toEngine.Pending()
+}
+
+// tokenBucket is a standard rate limiter: rate tokens/second, capped burst.
+type tokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Duration
+}
+
+func (b *tokenBucket) refill(now time.Duration) {
+	if now > b.last {
+		b.tokens += b.rate * (now - b.last).Seconds()
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+}
+
+// take consumes one token if available (with an epsilon so floating-point
+// refill rounding cannot wedge the bucket just below a whole token).
+func (b *tokenBucket) take(now time.Duration) bool {
+	b.refill(now)
+	if b.tokens >= 1-1e-9 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// eta reports how long until one token accrues, floored at 1us so deferred
+// descriptors always make wall-clock progress.
+func (b *tokenBucket) eta(now time.Duration) time.Duration {
+	b.refill(now)
+	if b.tokens >= 1-1e-9 {
+		return 0
+	}
+	d := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	if d < time.Microsecond {
+		d = time.Microsecond
+	}
+	return d
+}
+
+// SetRateLimit caps a tenant's transmit rate at rps (0 removes the cap).
+// Enforcement happens in the TX stage, after scheduling — a per-tenant
+// policy plugged into the engine, as §4.2 envisions.
+func (e *Engine) SetRateLimit(tenant string, rps float64) {
+	if rps <= 0 {
+		delete(e.limits, tenant)
+		return
+	}
+	e.limits[tenant] = &tokenBucket{rate: rps, burst: rps / 100 * 2, tokens: rps / 100, last: e.eng.Now()}
+}
+
+// RateDeferred reports descriptors delayed by rate limits.
+func (e *Engine) RateDeferred() uint64 { return e.rateDeferred }

@@ -1,0 +1,244 @@
+// Package dne implements NADINO's DPU Network Engine (§3.2-§3.3): a
+// run-to-completion reverse proxy that owns the node's RDMA resources on
+// behalf of untrusted tenant functions, schedules inter-node transfers
+// across tenants (Deficit Weighted Round Robin), keeps receive queues
+// replenished per tenant, and bridges descriptors between host functions
+// and the RNIC over DOCA Comch. The same engine can be hosted on a CPU core
+// (the paper's CNE apples-to-apples baseline) where it ingests descriptors
+// over SK_MSG and pays interrupt costs instead.
+package dne
+
+import (
+	"nadino/internal/mempool"
+)
+
+// SchedulerKind selects the tenant scheduling policy.
+type SchedulerKind int
+
+// Scheduling policies compared in Fig. 15.
+const (
+	// SchedDWRR is NADINO's Deficit Weighted Round Robin scheduler:
+	// backlogged tenants share RNIC bandwidth in proportion to weights.
+	SchedDWRR SchedulerKind = iota
+	// SchedFCFS is the baseline without multi-tenancy handling: one FIFO,
+	// first-come-first-served, bursty tenants starve steady ones.
+	SchedFCFS
+)
+
+// Scheduler orders tenant traffic for the TX stage.
+type Scheduler interface {
+	// Enqueue adds a descriptor to its tenant's queue.
+	Enqueue(tenant string, d mempool.Descriptor)
+	// Next removes the next descriptor to transmit.
+	Next() (mempool.Descriptor, bool)
+	// Pending reports queued descriptors across tenants.
+	Pending() int
+}
+
+// fcfs is a single FIFO across all tenants.
+type fcfs struct {
+	q []mempool.Descriptor
+}
+
+// NewFCFS returns the no-isolation baseline scheduler.
+func NewFCFS() Scheduler { return &fcfs{} }
+
+func (s *fcfs) Enqueue(_ string, d mempool.Descriptor) { s.q = append(s.q, d) }
+
+func (s *fcfs) Next() (mempool.Descriptor, bool) {
+	if len(s.q) == 0 {
+		return mempool.Descriptor{}, false
+	}
+	d := s.q[0]
+	s.q = s.q[1:]
+	return d, true
+}
+
+func (s *fcfs) Pending() int { return len(s.q) }
+
+// dwrrQueue is one tenant's state in the DWRR scheduler.
+type dwrrQueue struct {
+	tenant  string
+	weight  int
+	deficit int
+	granted bool // quantum granted for the current turn
+	q       []mempool.Descriptor
+}
+
+// dwrr implements Shreedhar-Varghese deficit weighted round robin over
+// tenant queues, with byte-based quanta so large payloads don't let a
+// tenant exceed its share.
+type dwrr struct {
+	quantumUnit int // bytes of quantum per unit weight per round
+	queues      map[string]*dwrrQueue
+	active      []*dwrrQueue // round-robin ring of backlogged tenants
+	pending     int
+}
+
+// NewDWRR returns NADINO's weighted fair scheduler. quantumUnit is the
+// byte quantum granted per unit of weight per round; it should be at least
+// the largest message size divided by the smallest weight to keep per-round
+// progress positive.
+func NewDWRR(quantumUnit int) *DWRR {
+	return &DWRR{dwrr{quantumUnit: quantumUnit, queues: make(map[string]*dwrrQueue)}}
+}
+
+// DWRR is the exported handle for the weighted scheduler (so callers can
+// set weights).
+type DWRR struct {
+	dwrr
+}
+
+// SetWeight registers or updates a tenant's weight (default 1).
+func (s *DWRR) SetWeight(tenant string, weight int) {
+	if weight <= 0 {
+		panic("dne: non-positive DWRR weight")
+	}
+	q := s.queue(tenant)
+	q.weight = weight
+}
+
+func (s *dwrr) queue(tenant string) *dwrrQueue {
+	q, ok := s.queues[tenant]
+	if !ok {
+		q = &dwrrQueue{tenant: tenant, weight: 1}
+		s.queues[tenant] = q
+	}
+	return q
+}
+
+// Enqueue implements Scheduler.
+func (s *dwrr) Enqueue(tenant string, d mempool.Descriptor) {
+	q := s.queue(tenant)
+	if len(q.q) == 0 {
+		q.deficit = 0
+		s.active = append(s.active, q)
+	}
+	q.q = append(q.q, d)
+	s.pending++
+}
+
+// msgBytes is the scheduling cost of a descriptor: its payload plus header
+// overhead, floored so zero-length control messages still consume quantum.
+func msgBytes(d mempool.Descriptor) int {
+	n := d.Len + 64
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// Next implements Scheduler: serve the head of the active ring. Each
+// backlogged tenant's turn grants one quantum; when the deficit can't cover
+// the head-of-line message the turn ends and the tenant rotates to the back
+// keeping its deficit (Shreedhar-Varghese).
+func (s *dwrr) Next() (mempool.Descriptor, bool) {
+	for len(s.active) > 0 {
+		q := s.active[0]
+		if len(q.q) == 0 {
+			// Exhausted queue leaves the ring and forfeits its deficit.
+			s.active = s.active[1:]
+			q.deficit = 0
+			q.granted = false
+			continue
+		}
+		if !q.granted {
+			q.deficit += q.weight * s.quantumUnit
+			q.granted = true
+		}
+		need := msgBytes(q.q[0])
+		if q.deficit < need {
+			// Turn over: rotate, keep the deficit for the next round.
+			q.granted = false
+			s.active = append(s.active[1:], q)
+			continue
+		}
+		d := q.q[0]
+		q.q = q.q[1:]
+		q.deficit -= need
+		s.pending--
+		if len(q.q) == 0 {
+			s.active = s.active[1:]
+			q.deficit = 0
+			q.granted = false
+		}
+		return d, true
+	}
+	return mempool.Descriptor{}, false
+}
+
+// Pending implements Scheduler.
+func (s *dwrr) Pending() int { return s.pending }
+
+// SchedPriority is a strict-priority scheduler: the backlogged tenant with
+// the highest weight always transmits first (starvation by design — the
+// paper notes DNE policies are user-customizable, §4.2; this is the
+// latency-tier policy a platform might pair with DWRR).
+const SchedPriority SchedulerKind = 2
+
+// priority implements strict-priority scheduling across tenant queues.
+type priority struct {
+	weights map[string]int
+	queues  map[string][]mempool.Descriptor
+	order   []string // tenants sorted by descending weight, stable
+	pending int
+}
+
+// NewPriority returns a strict-priority scheduler.
+func NewPriority() *Priority {
+	return &Priority{priority{
+		weights: make(map[string]int),
+		queues:  make(map[string][]mempool.Descriptor),
+	}}
+}
+
+// Priority is the exported handle for the strict-priority scheduler.
+type Priority struct {
+	priority
+}
+
+// SetWeight registers a tenant's priority (higher serves first).
+func (s *Priority) SetWeight(tenant string, weight int) {
+	if _, ok := s.weights[tenant]; !ok {
+		// Insert keeping descending weight order; FIFO among equals.
+		idx := len(s.order)
+		for i, name := range s.order {
+			if s.weights[name] < weight {
+				idx = i
+				break
+			}
+		}
+		s.order = append(s.order, "")
+		copy(s.order[idx+1:], s.order[idx:])
+		s.order[idx] = tenant
+	}
+	s.weights[tenant] = weight
+}
+
+// Enqueue implements Scheduler.
+func (s *priority) Enqueue(tenant string, d mempool.Descriptor) {
+	if _, ok := s.weights[tenant]; !ok {
+		s.weights[tenant] = 0
+		s.order = append(s.order, tenant)
+	}
+	s.queues[tenant] = append(s.queues[tenant], d)
+	s.pending++
+}
+
+// Next implements Scheduler: drain the highest-priority backlog first.
+func (s *priority) Next() (mempool.Descriptor, bool) {
+	for _, tenant := range s.order {
+		q := s.queues[tenant]
+		if len(q) == 0 {
+			continue
+		}
+		d := q[0]
+		s.queues[tenant] = q[1:]
+		s.pending--
+		return d, true
+	}
+	return mempool.Descriptor{}, false
+}
+
+// Pending implements Scheduler.
+func (s *priority) Pending() int { return s.pending }

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAblConnPool(t *testing.T) {
+	res := AblConnPool(quick)
+	if res.PooledLat <= 0 || res.PerReqLat <= 0 {
+		t.Fatal("missing measurements")
+	}
+	// The RC handshake is tens of milliseconds; pooled echoes are tens of
+	// microseconds — pooling must win by orders of magnitude.
+	if res.SpeedupLat < 100 {
+		t.Fatalf("pooling speedup = %.0fx, want >> 100x", res.SpeedupLat)
+	}
+	if res.PerReqLat < 20*time.Millisecond {
+		t.Fatalf("per-request latency %v below one QP handshake", res.PerReqLat)
+	}
+}
+
+func TestAblIsolation(t *testing.T) {
+	res := AblIsolation(quick)
+	if res.BaselineLat <= 0 || res.ManagedLat <= 0 || res.RogueLat <= 0 {
+		t.Fatal("missing measurements")
+	}
+	// Direct (VF-style) rogue access thrashes the QP cache and hurts the
+	// victim; the DNE's active-QP cap keeps the victim near baseline.
+	if res.RogueLat <= res.ManagedLat {
+		t.Fatalf("uncapped rogue (%v) not worse than managed rogue (%v)", res.RogueLat, res.ManagedLat)
+	}
+	managedOverhead := float64(res.ManagedLat) / float64(res.BaselineLat)
+	rogueOverhead := float64(res.RogueLat) / float64(res.BaselineLat)
+	if managedOverhead > 1.5 {
+		t.Errorf("managed rogue inflates victim RTT %.2fx, want near baseline", managedOverhead)
+	}
+	if rogueOverhead < 1.2 {
+		t.Errorf("uncapped rogue inflates victim RTT only %.2fx, want visible damage", rogueOverhead)
+	}
+}
+
+func TestAblReplenish(t *testing.T) {
+	rows := AblReplenish(quick)
+	if len(rows) < 3 {
+		t.Fatal("missing rows")
+	}
+	fast := rows[0]
+	slow := rows[len(rows)-1]
+	if slow.RNR <= fast.RNR {
+		t.Fatalf("lazy replenishment (%v: %d RNR) not worse than eager (%v: %d RNR)",
+			slow.Period, slow.RNR, fast.Period, fast.RNR)
+	}
+	if slow.RPS >= fast.RPS {
+		t.Fatalf("lazy replenishment RPS %.0f not below eager %.0f", slow.RPS, fast.RPS)
+	}
+}
+
+func TestAblQuantum(t *testing.T) {
+	rows := AblQuantum(quick)
+	if len(rows) < 3 {
+		t.Fatal("missing rows")
+	}
+	// Moderate quanta hold fairness tightly.
+	for _, row := range rows {
+		if row.Quantum <= 16384 && row.MaxShareErr > 0.25 {
+			t.Errorf("quantum %dB share error %.1f%%, want tight fairness",
+				row.Quantum, 100*row.MaxShareErr)
+		}
+		if row.Aggregate <= 0 {
+			t.Errorf("quantum %dB produced no throughput", row.Quantum)
+		}
+	}
+}
+
+func TestAblHugepage(t *testing.T) {
+	res := AblHugepage(quick)
+	if res.SmallPages <= res.HugePages {
+		t.Fatal("4K pages should pin far more MTT entries")
+	}
+	if res.SmallRPS >= res.HugeRPS {
+		t.Fatalf("4K-page RPS %.0f not below hugepage RPS %.0f", res.SmallRPS, res.HugeRPS)
+	}
+	if res.SmallLat <= res.HugeLat {
+		t.Fatalf("4K-page latency %v not above hugepage latency %v", res.SmallLat, res.HugeLat)
+	}
+}
+
+func TestAblKeepWarm(t *testing.T) {
+	rows := AblKeepWarm(quick)
+	if len(rows) != 3 {
+		t.Fatal("missing rows")
+	}
+	always, generous := rows[0], rows[2]
+	if always.ColdStarts <= generous.ColdStarts {
+		t.Fatalf("always-cold (%d) not above generous keep-warm (%d)",
+			always.ColdStarts, generous.ColdStarts)
+	}
+	if always.MeanLat <= generous.MeanLat*2 {
+		t.Fatalf("cold-start latency %v not well above warm latency %v",
+			always.MeanLat, generous.MeanLat)
+	}
+}
+
+func TestAblFanout(t *testing.T) {
+	res := AblFanout(quick)
+	if res.Speedup < 2.0 || res.Speedup > 3.5 {
+		t.Fatalf("fan-out speedup = %.2fx, want ~3x", res.Speedup)
+	}
+}
+
+func TestAblCrossTenant(t *testing.T) {
+	res := AblCrossTenant(quick)
+	if res.Copies == 0 {
+		t.Fatal("cross-tenant chain paid no copies")
+	}
+	if res.CrossLat <= res.SameLat {
+		t.Fatalf("cross-tenant latency %v not above same-tenant %v", res.CrossLat, res.SameLat)
+	}
+}
+
+func TestAblationRegistry(t *testing.T) {
+	if len(Ablations()) < 8 {
+		t.Fatalf("only %d ablations registered", len(Ablations()))
+	}
+	if _, ok := Lookup("abl-hugepage"); !ok {
+		t.Fatal("ablation lookup failed")
+	}
+}

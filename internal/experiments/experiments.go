@@ -1,0 +1,143 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§4): each experiment builds the relevant slice of the system,
+// drives the paper's workload, and returns structured rows that
+// cmd/nadino-bench prints in the same shape the paper reports.
+//
+// Absolute numbers depend on the calibrated cost model (internal/params);
+// the experiments' accompanying tests assert the paper's *shapes*:
+// orderings, ratios, crossovers and fairness properties.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+	"unicode/utf8"
+)
+
+// Opts scales experiment effort. Quick mode shrinks measurement windows and
+// sweeps so the full suite runs in seconds (used by tests); full mode is
+// what cmd/nadino-bench runs by default.
+type Opts struct {
+	Quick bool
+	Seed  int64
+}
+
+// scale returns quick or full depending on the mode.
+func (o Opts) scale(quick, full time.Duration) time.Duration {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+func (o Opts) pick(quick, full []int) []int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// Table is a printable result grid.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Note    string
+}
+
+// Print renders the table. Column widths are measured in runes so unicode
+// sparklines align with plain cells.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	width := utf8.RuneCountInString
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = width(c)
+	}
+	for _, r := range t.Rows {
+		for i, cell := range r {
+			if i < len(widths) && width(cell) > widths[i] {
+				widths[i] = width(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = cell + strings.Repeat(" ", widths[i]-width(cell))
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(w, "  note: %s\n", t.Note)
+	}
+}
+
+// cell formatting helpers.
+func fRPS(v float64) string {
+	if v >= 1000 {
+		return fmt.Sprintf("%.1fK", v/1000)
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+func fLat(d time.Duration) string {
+	switch {
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/1e6)
+	default:
+		return fmt.Sprintf("%.1fus", float64(d)/1e3)
+	}
+}
+
+func fRatio(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// Experiment is a runnable evaluation artifact.
+type Experiment struct {
+	ID    string // e.g. "fig12"
+	Title string
+	Run   func(o Opts) []*Table
+}
+
+// All returns the full experiment registry in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "fig06", Title: "Fig. 6 — Isolation cost of NADINO's DNE", Run: RunFig06},
+		{ID: "fig09", Title: "Fig. 9 — DPU<->host communication channels", Run: RunFig09},
+		{ID: "fig11", Title: "Fig. 11 — Off-path vs on-path DNE", Run: RunFig11},
+		{ID: "fig12", Title: "Fig. 12 — Selection of RDMA primitives", Run: RunFig12},
+		{ID: "fig13", Title: "Fig. 13 — Cluster ingress designs", Run: RunFig13},
+		{ID: "fig14", Title: "Fig. 14 — Ingress horizontal scaling", Run: RunFig14},
+		{ID: "fig15", Title: "Fig. 15 — Multi-tenancy: FCFS vs DWRR", Run: RunFig15},
+		{ID: "fig16", Title: "Fig. 16 — Online Boutique end-to-end", Run: RunFig16},
+		{ID: "table2", Title: "Table 2 — Boutique chain latency", Run: RunTable2},
+		{ID: "fig17", Title: "Fig. 17 — Multi-tenancy scalability (6 tenants)", Run: RunFig17},
+	}
+}
+
+// AllWithAblations returns the paper experiments followed by the design
+// ablations.
+func AllWithAblations() []Experiment {
+	return append(All(), Ablations()...)
+}
+
+// Lookup finds an experiment by ID (paper artifacts and ablations).
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range AllWithAblations() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

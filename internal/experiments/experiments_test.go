@@ -1,0 +1,379 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"nadino/internal/core"
+)
+
+var quick = Opts{Quick: true, Seed: 1}
+
+func TestFig06Shapes(t *testing.T) {
+	res := Fig06(quick)
+	for _, pl := range []int{64, 4096} {
+		dneRow, ok1 := res.Get("NADINO DNE", pl)
+		cpuRow, ok2 := res.Get("native RDMA (CPU)", pl)
+		dpuRow, ok3 := res.Get("native RDMA (DPU)", pl)
+		if !ok1 || !ok2 || !ok3 {
+			t.Fatalf("missing rows at %dB", pl)
+		}
+		// "The performance overhead incurred by executing RDMA primitives
+		// directly on the wimpy DPU cores is minimal."
+		if r := float64(dpuRow.MeanLat) / float64(cpuRow.MeanLat); r > 1.35 {
+			t.Errorf("%dB: native DPU/CPU latency ratio %.2f, want minimal (<1.35)", pl, r)
+		}
+		// "the cost introduced by DNE as an additional isolation layer is
+		// limited": bounded latency overhead, native no worse than DNE.
+		if dneRow.MeanLat < cpuRow.MeanLat {
+			t.Errorf("%dB: DNE latency %v below native %v — isolation cannot be free", pl, dneRow.MeanLat, cpuRow.MeanLat)
+		}
+		if r := float64(dneRow.MeanLat) / float64(cpuRow.MeanLat); r > 4.0 {
+			t.Errorf("%dB: DNE/native latency ratio %.2f, want bounded (<4)", pl, r)
+		}
+		if dneRow.RPS <= 0 || cpuRow.RPS <= 0 || dpuRow.RPS <= 0 {
+			t.Fatalf("%dB: zero RPS row", pl)
+		}
+	}
+}
+
+func TestFig09Shapes(t *testing.T) {
+	res := Fig09(quick)
+	// At one function: Comch-P < Comch-E < TCP latency; Comch-E beats TCP
+	// by ~2.7-3.8x.
+	tcp1, _ := res.Get("TCP", 1)
+	e1, _ := res.Get("Comch-E", 1)
+	p1, _ := res.Get("Comch-P", 1)
+	if !(p1.RTT < e1.RTT && e1.RTT < tcp1.RTT) {
+		t.Fatalf("RTT ordering violated: P=%v E=%v TCP=%v", p1.RTT, e1.RTT, tcp1.RTT)
+	}
+	if r := float64(tcp1.RTT) / float64(e1.RTT); r < 2.0 || r > 5.0 {
+		t.Errorf("TCP/Comch-E RTT ratio %.1f, want ~2.7-3.8", r)
+	}
+	// Comch-P "overloads beyond 6 functions": its rate degrades from 6 to
+	// 8 functions while Comch-E keeps scaling or holds.
+	p6, _ := res.Get("Comch-P", 6)
+	p8, _ := res.Get("Comch-P", 8)
+	if p8.Rate >= p6.Rate {
+		t.Errorf("Comch-P rate did not degrade past 6 functions: %0.f -> %0.f", p6.Rate, p8.Rate)
+	}
+	e6, _ := res.Get("Comch-E", 6)
+	e8, _ := res.Get("Comch-E", 8)
+	if e8.Rate < e6.Rate*0.9 {
+		t.Errorf("Comch-E rate collapsed past 6 functions: %0.f -> %0.f", e6.Rate, e8.Rate)
+	}
+}
+
+func TestFig11Shapes(t *testing.T) {
+	res := Fig11(quick)
+	// Under concurrency the on-path SoC DMA queues: off-path wins by
+	// ~20-30% (paper: "up to 30% RPS improvement").
+	off8, ok1 := res.GetConcurrency("off-path", 8)
+	on8, ok2 := res.GetConcurrency("on-path", 8)
+	if !ok1 || !ok2 {
+		t.Fatal("missing concurrency rows")
+	}
+	if on8.RPS >= off8.RPS {
+		t.Fatalf("on-path RPS %.0f not below off-path %.0f at concurrency 8", on8.RPS, off8.RPS)
+	}
+	if r := off8.RPS / on8.RPS; r > 3.0 {
+		t.Errorf("off/on ratio %.2f implausibly large", r)
+	}
+	// At one connection the gap is small (the DMA engine is not loaded).
+	off1, _ := res.GetConcurrency("off-path", 1)
+	on1, _ := res.GetConcurrency("on-path", 1)
+	gapLoaded := off8.RPS / on8.RPS
+	gapIdle := off1.RPS / on1.RPS
+	if gapIdle > gapLoaded {
+		t.Errorf("gap at idle (%.2f) exceeds gap under load (%.2f) — concurrency should widen it", gapIdle, gapLoaded)
+	}
+	// Latency: on-path pays the SoC DMA on every transfer.
+	if on1.MeanLat <= off1.MeanLat {
+		t.Errorf("on-path latency %v not above off-path %v", on1.MeanLat, off1.MeanLat)
+	}
+}
+
+func TestFig12Shapes(t *testing.T) {
+	res := Fig12(quick)
+	get := func(v Fig12Variant, pl int) Fig12Row {
+		r, ok := res.Get(v, pl)
+		if !ok {
+			t.Fatalf("missing row %v %dB", v, pl)
+		}
+		return r
+	}
+	for _, pl := range []int{64, 4096} {
+		ts := get(TwoSided, pl)
+		best := get(OWRCBest, pl)
+		worst := get(OWRCWorst, pl)
+		owdl := get(OWDL, pl)
+		// Latency ordering: two-sided < OWRC-Best <= OWRC-Worst < OWDL.
+		// At 64B the cached-vs-cold copy difference is tens of ns, so the
+		// Best/Worst comparison gets a small tolerance there.
+		worstFloor := best.MeanLat
+		if pl < 1024 {
+			worstFloor = best.MeanLat * 95 / 100
+		}
+		if !(ts.MeanLat < best.MeanLat && worst.MeanLat >= worstFloor && worst.MeanLat < owdl.MeanLat && ts.MeanLat < worst.MeanLat) {
+			t.Fatalf("%dB latency ordering violated: ts=%v best=%v worst=%v owdl=%v",
+				pl, ts.MeanLat, best.MeanLat, worst.MeanLat, owdl.MeanLat)
+		}
+		// "two-sided RDMA is 2x-2.8x faster than one-sided write using
+		// distributed locks" — allow 1.7-3.5.
+		if r := float64(owdl.MeanLat) / float64(ts.MeanLat); r < 1.7 || r > 3.5 {
+			t.Errorf("%dB OWDL/two-sided latency ratio %.2f, want ~2-2.8", pl, r)
+		}
+		// "up to 1.6x faster than one-sided write with receiver-side copy".
+		if r := float64(worst.MeanLat) / float64(ts.MeanLat); r < 1.1 || r > 2.0 {
+			t.Errorf("%dB OWRC-Worst/two-sided latency ratio %.2f, want ~1.3-1.6", pl, r)
+		}
+		// Throughput mirrors it: two-sided highest, OWDL lowest.
+		if !(ts.RPS > best.RPS && best.RPS >= worst.RPS*95/100 && worst.RPS > owdl.RPS) {
+			t.Errorf("%dB RPS ordering violated: ts=%.0f best=%.0f worst=%.0f owdl=%.0f",
+				pl, ts.RPS, best.RPS, worst.RPS, owdl.RPS)
+		}
+	}
+	// The copy penalty grows with payload: at 4KB the Best/Worst spread
+	// must be visible.
+	b64 := get(OWRCBest, 64)
+	w64 := get(OWRCWorst, 64)
+	b4k := get(OWRCBest, 4096)
+	w4k := get(OWRCWorst, 4096)
+	spread64 := float64(w64.MeanLat) / float64(b64.MeanLat)
+	spread4k := float64(w4k.MeanLat) / float64(b4k.MeanLat)
+	if spread4k <= spread64 {
+		t.Errorf("cache-vs-memory copy spread should grow with payload: 64B %.3f vs 4KB %.3f", spread64, spread4k)
+	}
+}
+
+func TestFig13Shapes(t *testing.T) {
+	res := Fig13(quick)
+	nad, _ := res.Get("NADINO-Ingress", 32)
+	fi, _ := res.Get("F-Ingress", 32)
+	ki, _ := res.Get("K-Ingress", 32)
+	if !(nad.RPS > fi.RPS && fi.RPS > ki.RPS) {
+		t.Fatalf("RPS ordering violated: N=%.0f F=%.0f K=%.0f", nad.RPS, fi.RPS, ki.RPS)
+	}
+	if r := nad.RPS / ki.RPS; r < 5 || r > 20 {
+		t.Errorf("NADINO/K ratio %.1f, want ~11.4", r)
+	}
+	if r := nad.RPS / fi.RPS; r < 1.8 || r > 6 {
+		t.Errorf("NADINO/F ratio %.1f, want ~3.2", r)
+	}
+	if !(nad.MeanLat < fi.MeanLat && fi.MeanLat < ki.MeanLat) {
+		t.Fatalf("latency ordering violated: N=%v F=%v K=%v", nad.MeanLat, fi.MeanLat, ki.MeanLat)
+	}
+}
+
+func TestFig14Shapes(t *testing.T) {
+	res := Fig14(quick)
+	nad, ok := res.Get("NADINO-Ingress")
+	if !ok {
+		t.Fatal("missing NADINO series")
+	}
+	ki, _ := res.Get("K-Ingress")
+	// NADINO scales workers up under the ramp.
+	if nad.Workers.Max() < 2 {
+		t.Fatalf("NADINO never scaled beyond %v workers", nad.Workers.Max())
+	}
+	// NADINO serves more than K-Ingress while using less CPU at the end.
+	if nad.Served <= ki.Served {
+		t.Fatalf("NADINO served %d, K-Ingress %d", nad.Served, ki.Served)
+	}
+	endCPUNad := nad.CPU.At(res.Total)
+	endCPUK := ki.CPU.At(res.Total)
+	if endCPUNad >= endCPUK {
+		t.Errorf("NADINO end CPU %.1f cores not below K-Ingress %.1f", endCPUNad, endCPUK)
+	}
+	// K-Ingress overloads: connections time out and disconnect.
+	if ki.Disconnected == 0 && ki.Dropped == 0 {
+		t.Error("K-Ingress neither disconnected nor dropped under the ramp")
+	}
+	if nad.Disconnected >= ki.Disconnected && ki.Disconnected > 0 {
+		t.Errorf("NADINO disconnected as much (%d) as K-Ingress (%d)", nad.Disconnected, ki.Disconnected)
+	}
+}
+
+func TestFig15Shapes(t *testing.T) {
+	res := Fig15(quick)
+	lo, hi := res.AllActiveLo, res.AllActiveHi
+	dwrr := res.DWRR.SharesBetween(lo, hi)
+	total := dwrr["tenant1"] + dwrr["tenant2"] + dwrr["tenant3"]
+	if total <= 0 {
+		t.Fatal("DWRR produced no throughput in the contention window")
+	}
+	// Weighted shares 6:1:2 within tolerance.
+	want := map[string]float64{"tenant1": 6.0 / 9, "tenant2": 1.0 / 9, "tenant3": 2.0 / 9}
+	for name, w := range want {
+		got := dwrr[name] / total
+		if got < w*0.75 || got > w*1.25 {
+			t.Errorf("DWRR share %s = %.3f, want ~%.3f (rates=%v)", name, got, w, dwrr)
+		}
+	}
+	// FCFS starves the steady tenant relative to its entitled share.
+	fcfs := res.FCFS.SharesBetween(lo, hi)
+	ftotal := fcfs["tenant1"] + fcfs["tenant2"] + fcfs["tenant3"]
+	if ftotal <= 0 {
+		t.Fatal("FCFS produced no throughput")
+	}
+	fShare1 := fcfs["tenant1"] / ftotal
+	dShare1 := dwrr["tenant1"] / total
+	if fShare1 >= dShare1 {
+		t.Errorf("FCFS tenant1 share %.3f not below DWRR %.3f — no starvation effect", fShare1, dShare1)
+	}
+	// Tenant1 alone at the start gets (roughly) the whole capped engine.
+	solo := res.DWRR.SharesBetween(0, res.DWRR.Total/20)
+	mid := res.DWRR.AggregateBetween(lo, hi)
+	if solo["tenant1"] < mid*0.7 {
+		t.Errorf("tenant1 solo rate %.0f well below contended aggregate %.0f", solo["tenant1"], mid)
+	}
+}
+
+func TestFig17Shapes(t *testing.T) {
+	res := Fig17(quick)
+	run := res.Run
+	step := res.Step
+	// All-active window: [5*step, 6*step] — six tenants compete equally.
+	shares := run.SharesBetween(5*step+step/4, 6*step-step/4)
+	var total float64
+	for _, v := range shares {
+		total += v
+	}
+	if total <= 0 {
+		t.Fatal("no throughput in the all-active window")
+	}
+	for name, v := range shares {
+		got := v / total
+		if got < 0.10 || got > 0.24 {
+			t.Errorf("share %s = %.3f, want ~1/6", name, got)
+		}
+	}
+	// Aggregate stays near capacity as tenants come and go: compare the
+	// all-active window to a two-tenant window.
+	early := run.AggregateBetween(step+step/4, 2*step-step/4)
+	busy := run.AggregateBetween(5*step+step/4, 6*step-step/4)
+	if early < busy*0.7 {
+		t.Errorf("aggregate sagged when fewer tenants active: early %.0f vs busy %.0f", early, busy)
+	}
+}
+
+func TestFig16AndTable2Shapes(t *testing.T) {
+	res := Fig16(quick)
+	chain := "home-query"
+	hi := res.MaxClients()
+	get := func(sys core.System) Fig16Row {
+		r, ok := res.Get(sys, chain, hi)
+		if !ok {
+			t.Fatalf("missing row %v", sys)
+		}
+		return r
+	}
+	dne := get(core.NadinoDNE)
+	cne := get(core.NadinoCNE)
+	fuyaoF := get(core.FuyaoF)
+	fuyaoK := get(core.FuyaoK)
+	spright := get(core.Spright)
+	nightcore := get(core.NightCore)
+	junction := get(core.Junction)
+
+	// NADINO (DNE) wins RPS overall; NightCore trails by 5-21x.
+	for _, other := range []Fig16Row{cne, fuyaoF, fuyaoK, spright, nightcore, junction} {
+		if dne.RPS <= other.RPS {
+			t.Errorf("NADINO DNE RPS %.0f not above %v %.0f", dne.RPS, other.System, other.RPS)
+		}
+	}
+	if r := dne.RPS / nightcore.RPS; r < 4 || r > 30 {
+		t.Errorf("DNE/NightCore RPS ratio %.1f, want ~5-21x", r)
+	}
+	// DNE beats CNE by 1.3-1.8x at high concurrency.
+	if r := dne.RPS / cne.RPS; r < 1.1 || r > 2.5 {
+		t.Errorf("DNE/CNE RPS ratio %.1f, want ~1.3-1.8", r)
+	}
+	// F-stack ingress beats kernel ingress for FUYAO.
+	if fuyaoF.RPS <= fuyaoK.RPS {
+		t.Errorf("FUYAO-F RPS %.0f not above FUYAO-K %.0f", fuyaoF.RPS, fuyaoK.RPS)
+	}
+	// Junction sits below both NADINO variants (software TCP per hop,
+	// duplicated for inter-function communication) but above FUYAO-F.
+	if junction.RPS >= dne.RPS {
+		t.Errorf("Junction %.0f not below NADINO DNE %.0f", junction.RPS, dne.RPS)
+	}
+	if junction.RPS >= cne.RPS {
+		t.Errorf("Junction %.0f not below NADINO CNE %.0f", junction.RPS, cne.RPS)
+	}
+	if junction.RPS <= fuyaoF.RPS {
+		t.Errorf("Junction %.0f not above FUYAO-F %.0f", junction.RPS, fuyaoF.RPS)
+	}
+	// FUYAO's one-sided design trails NADINO substantially (paper:
+	// 2.1-4.1x); allow >= 1.5x here.
+	if r := dne.RPS / fuyaoF.RPS; r < 1.5 {
+		t.Errorf("DNE/FUYAO-F RPS ratio %.2f, want >= 1.5", r)
+	}
+	// Latency: NightCore is the clear worst; NADINO DNE the best at load.
+	for _, other := range []Fig16Row{cne, fuyaoF, fuyaoK, spright, junction} {
+		if nightcore.MeanLat <= other.MeanLat {
+			t.Errorf("NightCore latency %v not above %v (%v)", nightcore.MeanLat, other.MeanLat, other.System)
+		}
+		if dne.MeanLat > other.MeanLat {
+			t.Errorf("NADINO DNE latency %v above %v (%v) at high load", dne.MeanLat, other.MeanLat, other.System)
+		}
+	}
+	// Latency grows with client count for every system (Table 2 shape).
+	lo := 0
+	for _, row := range res.Rows {
+		if row.Clients != hi && row.Clients > lo {
+			lo = row.Clients
+		}
+	}
+	for _, sys := range core.Systems() {
+		a, ok1 := res.Get(sys, chain, lo)
+		b, ok2 := res.Get(sys, chain, hi)
+		if !ok1 || !ok2 {
+			continue
+		}
+		if b.MeanLat < a.MeanLat {
+			t.Errorf("%v latency fell with load: %v@%d -> %v@%d", sys, a.MeanLat, lo, b.MeanLat, hi)
+		}
+	}
+	// Efficiency: DNE pins DPU cores; FUYAO burns more CPU than NADINO.
+	if !dne.Net.OnDPU {
+		t.Error("NADINO DNE should report DPU cores")
+	}
+	if cne.Net.OnDPU || fuyaoF.Net.OnDPU {
+		t.Error("CPU-hosted engines misreported as DPU")
+	}
+	if fuyaoF.Net.PinnedCores <= cne.Net.PinnedCores {
+		t.Errorf("FUYAO pinned cores %.0f not above CNE %.0f (engine + poller per node)",
+			fuyaoF.Net.PinnedCores, cne.Net.PinnedCores)
+	}
+	if fuyaoK.Net.Total() <= dne.Net.FnCores {
+		t.Errorf("FUYAO-K total CPU %.2f should exceed NADINO's host-side share %.2f",
+			fuyaoK.Net.Total(), dne.Net.FnCores)
+	}
+}
+
+func TestRegistryRunsEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry pass is exercised by the individual tests")
+	}
+	for _, e := range All() {
+		tables := e.Run(quick)
+		if len(tables) == 0 {
+			t.Errorf("%s returned no tables", e.ID)
+		}
+		for _, tb := range tables {
+			if len(tb.Rows) == 0 {
+				t.Errorf("%s produced an empty table %q", e.ID, tb.Title)
+			}
+			tb.Print(io.Discard)
+		}
+	}
+	if _, ok := Lookup("fig12"); !ok {
+		t.Error("Lookup failed for fig12")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup found a ghost")
+	}
+	_ = time.Now
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"nadino/internal/dne"
+	"nadino/internal/fabric"
+	"nadino/internal/mempool"
+	"nadino/internal/params"
+	"nadino/internal/rdma"
+	"nadino/internal/sim"
+)
+
+// Fig06Row is one (setup, payload) measurement.
+type Fig06Row struct {
+	Setup   string
+	Payload int
+	RPS     float64
+	MeanLat time.Duration
+}
+
+// Fig06Result holds the isolation-cost comparison (§3.2.1).
+type Fig06Result struct {
+	Rows []Fig06Row
+}
+
+// runNativeEcho measures an echo pair that uses two-sided verbs directly
+// over a single RC QP — the paper's "native RDMA" baselines, with the
+// functions' cores running at coreSpeed (host vs wimpy DPU).
+func runNativeEcho(p *params.Params, seed int64, coreSpeed float64, payload, clients int, dur time.Duration) (float64, time.Duration) {
+	eng := sim.NewEngine(seed)
+	defer eng.Stop()
+	net := fabric.New(eng, p)
+	ra := rdma.NewRNIC(eng, p, "nodeA", net)
+	rb := rdma.NewRNIC(eng, p, "nodeB", net)
+	poolA := mempool.NewPool("t", 16384, 4096, p.HugepageSize)
+	poolB := mempool.NewPool("t", 16384, 4096, p.HugepageSize)
+	srqA, srqB := rdma.NewSRQ("t"), rdma.NewSRQ("t")
+	cqA, cqB := rdma.NewCQ(eng), rdma.NewCQ(eng)
+	qa, qb := rdma.Connect(ra, rb, "t", srqA, srqB, cqA, cqB)
+	coreA := sim.NewProcessor(eng, "cliCore", coreSpeed)
+	coreB := sim.NewProcessor(eng, "srvCore", coreSpeed)
+
+	post := func(pool *mempool.Pool, srq *rdma.SRQ, n int) {
+		for i := 0; i < n; i++ {
+			b, err := pool.Get("rq")
+			if err != nil {
+				panic(err)
+			}
+			srq.PostRecv(mempool.Descriptor{Tenant: "t", Buf: b})
+		}
+	}
+	post(poolA, srqA, 256)
+	post(poolB, srqB, 256)
+
+	// Server: echo every receive, recycling and reposting buffers.
+	eng.Spawn("server", func(pr *sim.Proc) {
+		for {
+			cqB.Wait(pr)
+			for _, e := range cqB.Poll(0) {
+				coreB.Exec(pr, p.VerbsPostCost/2)
+				switch e.Op {
+				case rdma.OpRecv:
+					if err := poolB.Transfer(e.Desc.Buf, "rq", "srv"); err != nil {
+						panic(err)
+					}
+					coreB.Exec(pr, p.VerbsPostCost)
+					qb.PostSend(mempool.Descriptor{Tenant: "t", Buf: e.Desc.Buf, Len: e.Bytes, Seq: e.Desc.Seq})
+				case rdma.OpSend:
+					if err := poolB.Put(e.Desc.Buf, "srv"); err != nil {
+						panic(err)
+					}
+					post(poolB, srqB, 1)
+				}
+			}
+		}
+	})
+
+	var count uint64
+	var rttSum time.Duration
+	waiters := make(map[uint64]*sim.Queue[struct{}])
+	// Client-side completion demux.
+	eng.Spawn("cli-demux", func(pr *sim.Proc) {
+		for {
+			cqA.Wait(pr)
+			for _, e := range cqA.Poll(0) {
+				coreA.Exec(pr, p.VerbsPostCost/2)
+				switch e.Op {
+				case rdma.OpRecv:
+					if w, ok := waiters[e.Desc.Seq]; ok {
+						delete(waiters, e.Desc.Seq)
+						w.TryPut(struct{}{})
+					}
+					if err := poolA.Transfer(e.Desc.Buf, "rq", "cli"); err != nil {
+						panic(err)
+					}
+					if err := poolA.Put(e.Desc.Buf, "cli"); err != nil {
+						panic(err)
+					}
+					post(poolA, srqA, 1)
+				case rdma.OpSend:
+					if err := poolA.Put(e.Desc.Buf, "cli"); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}
+	})
+	var seq uint64
+	for i := 0; i < clients; i++ {
+		eng.Spawn(fmt.Sprintf("cli-%d", i), func(pr *sim.Proc) {
+			for {
+				buf, err := poolA.Get("cli")
+				if err != nil {
+					pr.Sleep(20 * time.Microsecond)
+					continue
+				}
+				seq++
+				id := seq
+				w := sim.NewQueue[struct{}](eng, 1)
+				waiters[id] = w
+				start := pr.Now()
+				coreA.Exec(pr, p.VerbsPostCost)
+				qa.PostSend(mempool.Descriptor{Tenant: "t", Buf: buf, Len: payload, Seq: id})
+				w.Get(pr)
+				count++
+				rttSum += pr.Now() - start
+			}
+		})
+	}
+	// Warmup, then measure.
+	eng.RunUntil(2 * time.Millisecond)
+	base, baseRTT := count, rttSum
+	start := eng.Now()
+	eng.RunUntil(start + dur)
+	n := count - base
+	if n == 0 {
+		return 0, 0
+	}
+	return float64(n) / (eng.Now() - start).Seconds(), (rttSum - baseRTT) / time.Duration(n)
+}
+
+// runDNEEcho measures the echo pair behind the full DNE isolation layer.
+func runDNEEcho(p *params.Params, seed int64, mode dne.Mode, payload, clients int, dur time.Duration) (float64, time.Duration) {
+	r := newDNERig(p, seed, mode, dne.SchedDWRR, []tenantSpec{{name: "t", weight: 1}})
+	defer r.eng.Stop()
+	cliPort := r.ea.AttachFunction("cli-t", "t")
+	srvPort := r.eb.AttachFunction("srv-t", "t")
+	r.spawnEchoServer("t", srvPort)
+	stats := r.spawnEchoClients("t", cliPort, clients, payload, nil)
+	rps, lat := measureEcho(r, stats, dur)
+	return rps, lat
+}
+
+// Fig06Setups lists the compared configurations.
+var Fig06Setups = []string{"NADINO DNE", "native RDMA (CPU)", "native RDMA (DPU)"}
+
+// Fig06 runs the §3.2.1 isolation-cost microbenchmark.
+func Fig06(o Opts) *Fig06Result {
+	p := params.Default()
+	payloads := o.pick([]int{64, 4096}, []int{64, 512, 1024, 4096})
+	dur := o.scale(20*time.Millisecond, 200*time.Millisecond)
+	const clients = 4
+	res := &Fig06Result{}
+	for _, pl := range payloads {
+		rps, lat := runDNEEcho(p, o.Seed, dne.OffPath, pl, clients, dur)
+		res.Rows = append(res.Rows, Fig06Row{Setup: "NADINO DNE", Payload: pl, RPS: rps, MeanLat: lat})
+		rps, lat = runNativeEcho(p, o.Seed, p.HostCoreSpeed, pl, clients, dur)
+		res.Rows = append(res.Rows, Fig06Row{Setup: "native RDMA (CPU)", Payload: pl, RPS: rps, MeanLat: lat})
+		rps, lat = runNativeEcho(p, o.Seed, p.DPUNetSpeed, pl, clients, dur)
+		res.Rows = append(res.Rows, Fig06Row{Setup: "native RDMA (DPU)", Payload: pl, RPS: rps, MeanLat: lat})
+	}
+	return res
+}
+
+// Get returns the row for (setup, payload).
+func (r *Fig06Result) Get(setup string, payload int) (Fig06Row, bool) {
+	for _, row := range r.Rows {
+		if row.Setup == setup && row.Payload == payload {
+			return row, true
+		}
+	}
+	return Fig06Row{}, false
+}
+
+// RunFig06 adapts Fig06 to the experiment registry.
+func RunFig06(o Opts) []*Table {
+	res := Fig06(o)
+	t := &Table{
+		Title:   "Fig. 6 — isolation cost of DNE (two-sided RDMA echo)",
+		Columns: []string{"setup", "payload", "RPS", "mean latency"},
+		Note:    "DNE adds a bounded isolation cost over native RDMA; wimpy-core penalty on verbs is minimal",
+	}
+	for _, row := range res.Rows {
+		t.Rows = append(t.Rows, []string{row.Setup, fmt.Sprintf("%dB", row.Payload), fRPS(row.RPS), fLat(row.MeanLat)})
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"nadino/internal/dne"
+	"nadino/internal/params"
+)
+
+// Fig11Row is one (mode, payload-or-concurrency) measurement.
+type Fig11Row struct {
+	Mode        string
+	Payload     int
+	Concurrency int
+	RPS         float64
+	MeanLat     time.Duration
+}
+
+// Fig11Result compares off-path (cross-processor shared memory) vs on-path
+// (SoC DMA staging) DPU offloading (§4.1.1).
+type Fig11Result struct {
+	PayloadSweep     []Fig11Row // single connection, varying payload
+	ConcurrencySweep []Fig11Row // 1KB payload, varying concurrency
+}
+
+func fig11Mode(m dne.Mode) string {
+	if m == dne.OffPath {
+		return "off-path"
+	}
+	return "on-path"
+}
+
+// Fig11 runs both sweeps.
+func Fig11(o Opts) *Fig11Result {
+	p := params.Default()
+	dur := o.scale(20*time.Millisecond, 150*time.Millisecond)
+	payloads := o.pick([]int{64, 4096}, []int{64, 512, 1024, 4096, 16384})
+	concs := o.pick([]int{1, 8}, []int{1, 2, 4, 8, 16, 32})
+	res := &Fig11Result{}
+	for _, mode := range []dne.Mode{dne.OffPath, dne.OnPath} {
+		for _, pl := range payloads {
+			rps, lat := runDNEEcho(p, o.Seed, mode, pl, 1, dur)
+			res.PayloadSweep = append(res.PayloadSweep, Fig11Row{
+				Mode: fig11Mode(mode), Payload: pl, Concurrency: 1, RPS: rps, MeanLat: lat,
+			})
+		}
+		for _, cc := range concs {
+			rps, lat := runDNEEcho(p, o.Seed, mode, 1024, cc, dur)
+			res.ConcurrencySweep = append(res.ConcurrencySweep, Fig11Row{
+				Mode: fig11Mode(mode), Payload: 1024, Concurrency: cc, RPS: rps, MeanLat: lat,
+			})
+		}
+	}
+	return res
+}
+
+// GetConcurrency returns the concurrency-sweep row for (mode, conc).
+func (r *Fig11Result) GetConcurrency(mode string, conc int) (Fig11Row, bool) {
+	for _, row := range r.ConcurrencySweep {
+		if row.Mode == mode && row.Concurrency == conc {
+			return row, true
+		}
+	}
+	return Fig11Row{}, false
+}
+
+// GetPayload returns the payload-sweep row for (mode, payload).
+func (r *Fig11Result) GetPayload(mode string, payload int) (Fig11Row, bool) {
+	for _, row := range r.PayloadSweep {
+		if row.Mode == mode && row.Payload == payload {
+			return row, true
+		}
+	}
+	return Fig11Row{}, false
+}
+
+// RunFig11 adapts Fig11 to the registry.
+func RunFig11(o Opts) []*Table {
+	res := Fig11(o)
+	t1 := &Table{
+		Title:   "Fig. 11 (1) — off-path vs on-path: payload sweep (single connection)",
+		Columns: []string{"mode", "payload", "RPS", "mean latency"},
+	}
+	for _, row := range res.PayloadSweep {
+		t1.Rows = append(t1.Rows, []string{row.Mode, fmt.Sprintf("%dB", row.Payload), fRPS(row.RPS), fLat(row.MeanLat)})
+	}
+	t2 := &Table{
+		Title:   "Fig. 11 (2) — off-path vs on-path: concurrency sweep (1KB payload)",
+		Columns: []string{"mode", "connections", "RPS", "mean latency"},
+		Note:    "the on-path SoC DMA engine queues under concurrency; off-path avoids it entirely",
+	}
+	for _, row := range res.ConcurrencySweep {
+		t2.Rows = append(t2.Rows, []string{row.Mode, fmt.Sprintf("%d", row.Concurrency), fRPS(row.RPS), fLat(row.MeanLat)})
+	}
+	return []*Table{t1, t2}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"nadino/internal/dne"
+	"nadino/internal/params"
+)
+
+func TestEngineWithPrioritySchedulerFavorsGold(t *testing.T) {
+	// Two tenants saturate a capped engine: under strict priority the
+	// high-weight tenant takes (nearly) everything — the user-customized
+	// DNE policy §4.2 alludes to.
+	p := params.Default()
+	p.DNEExtraPerMsg = 4600 * time.Nanosecond
+	r := newDNERig(p, 11, dne.OffPath, dne.SchedPriority,
+		[]tenantSpec{{"gold", 10}, {"bronze", 1}})
+	defer r.eng.Stop()
+	stats := map[string]*echoClientStats{}
+	for _, ts := range []string{"gold", "bronze"} {
+		cliPort := r.ea.AttachFunction("cli-"+ts, ts)
+		srvPort := r.eb.AttachFunction("srv-"+ts, ts)
+		r.spawnEchoServer(ts, srvPort)
+		stats[ts] = r.spawnEchoClients(ts, cliPort, 24, 1024, nil)
+	}
+	r.eng.RunUntil(r.p.QPSetupTime + 60*time.Millisecond)
+	gold, bronze := stats["gold"].count, stats["bronze"].count
+	if gold < bronze*4 {
+		t.Fatalf("strict priority did not favor gold: gold=%d bronze=%d", gold, bronze)
+	}
+}
+
+func TestTokenBucketRateLimit(t *testing.T) {
+	p := params.Default()
+	r := newDNERig(p, 12, dne.OffPath, dne.SchedDWRR, []tenantSpec{{"limited", 1}})
+	defer r.eng.Stop()
+	r.ea.SetRateLimit("limited", 10000) // 10K RPS cap
+	cliPort := r.ea.AttachFunction("cli-limited", "limited")
+	srvPort := r.eb.AttachFunction("srv-limited", "limited")
+	r.spawnEchoServer("limited", srvPort)
+	stats := r.spawnEchoClients("limited", cliPort, 16, 1024, nil)
+	r.eng.RunUntil(r.p.QPSetupTime + 100*time.Millisecond)
+	rate := float64(stats.count) / 0.1
+	if rate > 12500 {
+		t.Fatalf("rate limit leaked: %.0f RPS against a 10K cap", rate)
+	}
+	if rate < 7000 {
+		t.Fatalf("rate limit over-throttled: %.0f RPS against a 10K cap", rate)
+	}
+	if r.ea.RateDeferred() == 0 {
+		t.Fatal("no descriptors were rate-deferred")
+	}
+	// Removing the cap restores full throughput.
+	r.ea.SetRateLimit("limited", 0)
+	base := stats.count
+	start := r.eng.Now()
+	r.eng.RunUntil(start + 50*time.Millisecond)
+	uncapped := float64(stats.count-base) / (r.eng.Now() - start).Seconds()
+	if uncapped < 20000 {
+		t.Fatalf("uncapped rate only %.0f RPS", uncapped)
+	}
+}

@@ -1,0 +1,109 @@
+// Package fabric models the cluster's switched RDMA network: 200 Gbps links
+// into a single switch, FIFO serialization on each egress link, and fixed
+// propagation delay. The external Ethernet segment between clients and the
+// ingress node is modeled separately (see internal/ingress).
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"nadino/internal/params"
+	"nadino/internal/sim"
+)
+
+// NodeID names a server node on the fabric.
+type NodeID string
+
+// Link is one node's egress port: a FIFO serialization resource.
+type Link struct {
+	bandwidth float64 // bytes per second
+	busyUntil time.Duration
+	bytes     uint64
+	msgs      uint64
+}
+
+// Network is the switch connecting all nodes.
+type Network struct {
+	eng   *sim.Engine
+	p     *params.Params
+	links map[NodeID]*Link
+	down  map[NodeID]bool
+	drops uint64
+}
+
+// New returns an empty network.
+func New(eng *sim.Engine, p *params.Params) *Network {
+	return &Network{eng: eng, p: p, links: make(map[NodeID]*Link), down: make(map[NodeID]bool)}
+}
+
+// SetDown marks a node's link up or down. Packets to or from a down node
+// are silently dropped — the transport above must detect and retransmit.
+func (n *Network) SetDown(id NodeID, down bool) { n.down[id] = down }
+
+// Down reports whether a node's link is down.
+func (n *Network) Down(id NodeID) bool { return n.down[id] }
+
+// Drops reports packets lost to down links.
+func (n *Network) Drops() uint64 { return n.drops }
+
+// AddNode attaches a node to the switch.
+func (n *Network) AddNode(id NodeID) {
+	if _, ok := n.links[id]; ok {
+		panic(fmt.Sprintf("fabric: node %q already attached", id))
+	}
+	n.links[id] = &Link{bandwidth: n.p.FabricBandwidth}
+}
+
+// Has reports whether id is attached.
+func (n *Network) Has(id NodeID) bool {
+	_, ok := n.links[id]
+	return ok
+}
+
+// Send serializes bytes on from's egress link and schedules deliver on the
+// receiving side after serialization + propagation. It returns the delivery
+// time. Send is called from engine context (event callbacks).
+func (n *Network) Send(from, to NodeID, bytes int, deliver func()) time.Duration {
+	lnk, ok := n.links[from]
+	if !ok {
+		panic(fmt.Sprintf("fabric: unknown sender %q", from))
+	}
+	if _, ok := n.links[to]; !ok {
+		panic(fmt.Sprintf("fabric: unknown receiver %q", to))
+	}
+	now := n.eng.Now()
+	start := now
+	if lnk.busyUntil > start {
+		start = lnk.busyUntil
+	}
+	ser := time.Duration(float64(bytes) / lnk.bandwidth * float64(time.Second))
+	lnk.busyUntil = start + ser
+	lnk.bytes += uint64(bytes)
+	lnk.msgs++
+	at := lnk.busyUntil + n.p.FabricPropagation
+	if n.down[from] || n.down[to] {
+		// Lost on the wire; the sender's transport must recover. The
+		// egress serialization is still consumed (the NIC did transmit).
+		n.drops++
+		return at
+	}
+	n.eng.At(at, func() {
+		// Receive-side check: the link may have gone down in flight.
+		if n.down[to] {
+			n.drops++
+			return
+		}
+		deliver()
+	})
+	return at
+}
+
+// LinkStats reports bytes and messages sent from id.
+func (n *Network) LinkStats(id NodeID) (bytes, msgs uint64) {
+	lnk, ok := n.links[id]
+	if !ok {
+		return 0, 0
+	}
+	return lnk.bytes, lnk.msgs
+}

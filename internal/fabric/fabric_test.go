@@ -1,0 +1,134 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"nadino/internal/params"
+	"nadino/internal/sim"
+)
+
+func TestDeliveryTiming(t *testing.T) {
+	eng := sim.NewEngine(1)
+	defer eng.Stop()
+	p := params.Default()
+	p.FabricBandwidth = 1e9 // 1 GB/s for round numbers
+	p.FabricPropagation = time.Microsecond
+	n := New(eng, p)
+	n.AddNode("a")
+	n.AddNode("b")
+	var delivered time.Duration
+	n.Send("a", "b", 1000, func() { delivered = eng.Now() })
+	eng.Run()
+	want := time.Microsecond + time.Microsecond // 1us serialization + 1us prop
+	if delivered != want {
+		t.Fatalf("delivered at %v, want %v", delivered, want)
+	}
+}
+
+func TestFIFOSerialization(t *testing.T) {
+	eng := sim.NewEngine(1)
+	defer eng.Stop()
+	p := params.Default()
+	p.FabricBandwidth = 1e9
+	p.FabricPropagation = 0
+	n := New(eng, p)
+	n.AddNode("a")
+	n.AddNode("b")
+	var times []time.Duration
+	for i := 0; i < 3; i++ {
+		n.Send("a", "b", 1000, func() { times = append(times, eng.Now()) })
+	}
+	eng.Run()
+	// Back-to-back 1us frames serialize: 1us, 2us, 3us.
+	for i, ts := range times {
+		want := time.Duration(i+1) * time.Microsecond
+		if ts != want {
+			t.Fatalf("delivery %d at %v, want %v", i, ts, want)
+		}
+	}
+	bytes, msgs := n.LinkStats("a")
+	if bytes != 3000 || msgs != 3 {
+		t.Fatalf("stats = %d bytes, %d msgs", bytes, msgs)
+	}
+}
+
+func TestIndependentLinks(t *testing.T) {
+	eng := sim.NewEngine(1)
+	defer eng.Stop()
+	p := params.Default()
+	p.FabricBandwidth = 1e9
+	p.FabricPropagation = 0
+	n := New(eng, p)
+	n.AddNode("a")
+	n.AddNode("b")
+	n.AddNode("c")
+	var ta, tb time.Duration
+	n.Send("a", "c", 1000, func() { ta = eng.Now() })
+	n.Send("b", "c", 1000, func() { tb = eng.Now() })
+	eng.Run()
+	// Different egress links do not serialize against each other.
+	if ta != time.Microsecond || tb != time.Microsecond {
+		t.Fatalf("ta=%v tb=%v, want both 1us", ta, tb)
+	}
+}
+
+func TestUnknownNodePanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	defer eng.Stop()
+	n := New(eng, params.Default())
+	n.AddNode("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send to unknown node did not panic")
+		}
+	}()
+	n.Send("a", "ghost", 10, func() {})
+}
+
+func TestLinkDownDropsPackets(t *testing.T) {
+	eng := sim.NewEngine(1)
+	defer eng.Stop()
+	p := params.Default()
+	p.FabricPropagation = time.Microsecond
+	n := New(eng, p)
+	n.AddNode("a")
+	n.AddNode("b")
+	if !n.Has("a") || n.Has("ghost") {
+		t.Fatal("Has misreports attachment")
+	}
+	delivered := 0
+	// Down at send time: dropped immediately.
+	n.SetDown("b", true)
+	if !n.Down("b") {
+		t.Fatal("Down not reported")
+	}
+	n.Send("a", "b", 100, func() { delivered++ })
+	// Goes down mid-flight: dropped at arrival.
+	n.SetDown("b", false)
+	n.Send("a", "b", 100, func() { delivered++ })
+	n.SetDown("b", true)
+	eng.Run()
+	if delivered != 0 {
+		t.Fatalf("delivered %d packets through a down link", delivered)
+	}
+	if n.Drops() != 2 {
+		t.Fatalf("drops = %d, want 2", n.Drops())
+	}
+	// Back up: traffic flows again.
+	n.SetDown("b", false)
+	n.Send("a", "b", 100, func() { delivered++ })
+	eng.Run()
+	if delivered != 1 {
+		t.Fatalf("recovered link delivered %d", delivered)
+	}
+}
+
+func TestLinkStatsUnknownNode(t *testing.T) {
+	eng := sim.NewEngine(1)
+	defer eng.Stop()
+	n := New(eng, params.Default())
+	if b, m := n.LinkStats("ghost"); b != 0 || m != 0 {
+		t.Fatal("unknown node stats not zero")
+	}
+}

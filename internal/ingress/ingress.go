@@ -1,0 +1,366 @@
+// Package ingress implements NADINO's cluster-wide ingress gateway (§3.6)
+// and the two NGINX-based baselines of §4.1.3: the gateway terminates
+// external HTTP/TCP connections and either converts payloads to RDMA at the
+// cluster edge (NADINO) or proxies HTTP over TCP to the worker node, which
+// must terminate TCP again ("deferred" conversion, Fig. 4).
+//
+// The gateway follows the paper's master-worker model: run-to-completion
+// worker processes pinned to cores, RSS distribution of client connections,
+// and a hysteresis autoscaler driven by refined (useful-work) CPU
+// accounting.
+package ingress
+
+import (
+	"fmt"
+	"time"
+
+	"nadino/internal/metrics"
+	"nadino/internal/params"
+	"nadino/internal/sim"
+	"nadino/internal/transport"
+)
+
+// Kind selects an ingress design.
+type Kind int
+
+// Ingress designs compared in Fig. 13/14.
+const (
+	// Nadino terminates client TCP with F-stack and converts to RDMA at
+	// the edge — no TCP/IP processing inside the cluster.
+	Nadino Kind = iota
+	// FIngress is NGINX-on-F-stack proxying HTTP/TCP to the worker node.
+	FIngress
+	// KIngress is NGINX on the interrupt-driven kernel stack.
+	KIngress
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Nadino:
+		return "NADINO-Ingress"
+	case FIngress:
+		return "F-Ingress"
+	case KIngress:
+		return "K-Ingress"
+	}
+	return "?"
+}
+
+// clientStack is the TCP stack the gateway uses toward external clients.
+func (k Kind) clientStack() transport.Stack {
+	if k == KIngress {
+		return transport.Kernel
+	}
+	return transport.FStack
+}
+
+// Request is one external client HTTP request.
+type Request struct {
+	ID        uint64
+	Client    int
+	Chain     string // application chain to invoke (end-to-end experiments)
+	Bytes     int
+	RespBytes int
+	Stamp     time.Duration
+	// Reply delivers the response to the client (engine context), already
+	// delayed by the external network.
+	Reply func(Response)
+}
+
+// Response is the gateway's answer to a Request.
+type Response struct {
+	ID    uint64
+	Bytes int
+	Stamp time.Duration // original request stamp, for latency accounting
+}
+
+// Backend is whatever serves requests behind the gateway — the full
+// simulated cluster in the end-to-end experiments, or an echo worker node
+// in the microbenchmarks. done is invoked in engine context when the
+// response arrives back at the ingress node.
+type Backend interface {
+	Forward(req Request, done func(Response))
+}
+
+// Config assembles a gateway.
+type Config struct {
+	Kind           Kind
+	InitialWorkers int
+	MaxWorkers     int
+	AutoScale      bool
+	// QueueCap bounds each worker's event queue; arrivals beyond it are
+	// dropped (the overloaded K-Ingress disconnects clients, Fig. 14).
+	QueueCap int
+	// ExtraPerRequest is an additional per-request processing cost, used
+	// to model heavier gateways (NightCore's built-in kernel gateway).
+	ExtraPerRequest time.Duration
+}
+
+// workerEvent flows through a worker's run-to-completion loop.
+type workerEvent struct {
+	isResp bool
+	req    Request
+	resp   Response
+	// reply is the client callback carried through the response path.
+	reply func(Response)
+}
+
+// worker is one gateway worker process pinned to a core.
+type worker struct {
+	id     int
+	core   *sim.Processor
+	q      []workerEvent
+	wake   *sim.Signal
+	active bool
+	util   metrics.UtilSampler
+}
+
+// Gateway is the cluster-wide ingress.
+type Gateway struct {
+	eng     *sim.Engine
+	p       *params.Params
+	cfg     Config
+	backend Backend
+
+	workers []*worker
+	nActive int
+
+	pausedUntil time.Duration
+
+	served  *metrics.Meter
+	dropped uint64
+	nextID  uint64
+
+	// Series populated when StartRecorder is called.
+	RPSSeries     *metrics.Series
+	CPUSeries     *metrics.Series // cores' worth of CPU in use
+	WorkersSeries *metrics.Series
+	scaleEvents   int
+}
+
+// New assembles a gateway in front of backend.
+func New(eng *sim.Engine, p *params.Params, cfg Config, backend Backend) *Gateway {
+	if cfg.InitialWorkers <= 0 {
+		cfg.InitialWorkers = 1
+	}
+	if cfg.MaxWorkers <= 0 {
+		cfg.MaxWorkers = p.IngressMaxWorkers
+	}
+	g := &Gateway{
+		eng:           eng,
+		p:             p,
+		cfg:           cfg,
+		backend:       backend,
+		served:        metrics.NewMeter(),
+		RPSSeries:     metrics.NewSeries("rps"),
+		CPUSeries:     metrics.NewSeries("cpu"),
+		WorkersSeries: metrics.NewSeries("workers"),
+	}
+	for i := 0; i < cfg.InitialWorkers; i++ {
+		g.addWorker()
+	}
+	if cfg.AutoScale {
+		eng.Spawn("ingress-master", g.masterLoop)
+	}
+	return g
+}
+
+// Served reports total responses delivered.
+func (g *Gateway) Served() uint64 { return g.served.Total() }
+
+// Dropped reports requests discarded due to overload.
+func (g *Gateway) Dropped() uint64 { return g.dropped }
+
+// Meter exposes the response meter for windowed RPS measurements.
+func (g *Gateway) Meter() *metrics.Meter { return g.served }
+
+// ActiveWorkers reports the current worker count.
+func (g *Gateway) ActiveWorkers() int { return g.nActive }
+
+// ScaleEvents reports how many scale-up/-down transitions happened.
+func (g *Gateway) ScaleEvents() int { return g.scaleEvents }
+
+// addWorker spawns a new worker process on a fresh core.
+func (g *Gateway) addWorker() {
+	w := &worker{
+		id:     len(g.workers),
+		core:   sim.NewProcessor(g.eng, fmt.Sprintf("ingress-w%d", len(g.workers)), g.p.HostCoreSpeed),
+		wake:   sim.NewSignal(g.eng),
+		active: true,
+	}
+	g.workers = append(g.workers, w)
+	g.nActive++
+	g.eng.Spawn(fmt.Sprintf("ingress-worker-%d", w.id), func(pr *sim.Proc) { g.workerLoop(pr, w) })
+}
+
+// Submit delivers a client request to the gateway after the external
+// network latency, steering it to a worker via RSS. Engine context.
+func (g *Gateway) Submit(req Request) {
+	g.nextID++
+	req.ID = g.nextID
+	g.eng.After(g.p.ExtNetOneWay+transport.TransitLatency(g.p, g.cfg.Kind.clientStack()), func() {
+		w := g.pick(req.Client)
+		if g.cfg.Kind == KIngress {
+			// Interrupt-driven input: the IRQ/softirq cost is paid on
+			// arrival even if the request is later dropped — the receive
+			// livelock ingredient.
+			w.core.Charge(g.p.KernelTCPPerMsg / 4)
+		}
+		if g.cfg.QueueCap > 0 && len(w.q) >= g.cfg.QueueCap {
+			g.dropped++
+			return
+		}
+		w.q = append(w.q, workerEvent{req: req})
+		w.wake.Pulse()
+	})
+}
+
+// pick implements RSS: hash client connection onto active workers.
+func (g *Gateway) pick(client int) *worker {
+	idx := client % g.nActive
+	n := 0
+	for _, w := range g.workers {
+		if !w.active {
+			continue
+		}
+		if n == idx {
+			return w
+		}
+		n++
+	}
+	return g.workers[0]
+}
+
+// workerLoop is the run-to-completion event loop of one worker process.
+func (g *Gateway) workerLoop(pr *sim.Proc, w *worker) {
+	p := g.p
+	kind := g.cfg.Kind
+	cs := kind.clientStack()
+	// Deferred-conversion designs proxy upstream over TCP: F-Ingress keeps
+	// F-stack upstream connections, K-Ingress kernel ones.
+	us := transport.FStack
+	if kind == KIngress {
+		us = transport.Kernel
+	}
+	for w.active {
+		if len(w.q) == 0 {
+			w.wake.Wait(pr)
+			continue
+		}
+		if g.pausedUntil > pr.Now() {
+			// Worker restart window during horizontal scaling (§3.6).
+			pr.Sleep(g.pausedUntil - pr.Now())
+		}
+		ev := w.q[0]
+		w.q = w.q[1:]
+		if !ev.isResp {
+			req := ev.req
+			// Client-side TCP receive + HTTP processing.
+			w.core.Exec(pr, transport.RecvCost(p, cs, req.Bytes)+transport.HTTPCost(p)+g.cfg.ExtraPerRequest)
+			if kind == Nadino {
+				// Early transport conversion: copy the payload into an
+				// RDMA-registered buffer and post a two-sided send.
+				w.core.Exec(pr, p.MemcpyBase+params.Bytes(p.MemcpyPerByteCached, req.Bytes)+p.VerbsPostCost)
+			} else {
+				// Proxy the HTTP request upstream over TCP, paying half
+				// the upstream connection-management overhead here.
+				w.core.Exec(pr, transport.SendCost(p, us, req.Bytes)+p.ProxyUpstreamOverhead/2)
+			}
+			g.backend.Forward(req, func(resp Response) {
+				w2 := w
+				if !w2.active {
+					w2 = g.pick(req.Client)
+				}
+				w2.q = append(w2.q, workerEvent{isResp: true, resp: resp, reply: req.Reply})
+				w2.wake.Pulse()
+			})
+			continue
+		}
+		resp := ev.resp
+		if kind == Nadino {
+			// Poll the RDMA completion and copy the payload back out into
+			// the TCP stream.
+			w.core.Exec(pr, p.VerbsPostCost/2+p.MemcpyBase+params.Bytes(p.MemcpyPerByteCached, resp.Bytes))
+		} else {
+			w.core.Exec(pr, transport.RecvCost(p, us, resp.Bytes)+p.ProxyUpstreamOverhead/2)
+		}
+		// HTTP response relay + client-side TCP send.
+		w.core.Exec(pr, transport.HTTPCost(p)/2+transport.SendCost(p, cs, resp.Bytes))
+		g.served.Inc(1)
+		if cb := ev.reply; cb != nil {
+			g.eng.After(g.p.ExtNetOneWay+transport.TransitLatency(p, cs), func() { cb(resp) })
+		}
+	}
+}
+
+// masterLoop is the autoscaler: hysteresis on average useful-work CPU
+// utilization across active workers (scale up at 60%, down at 30%), with a
+// brief service interruption on each scale event.
+func (g *Gateway) masterLoop(pr *sim.Proc) {
+	p := g.p
+	for {
+		pr.Sleep(p.IngressScaleCheckEvery)
+		var sum float64
+		for _, w := range g.workers {
+			if w.active {
+				sum += w.util.Sample(pr.Now(), w.core.BusyTime())
+			}
+		}
+		avg := sum / float64(g.nActive)
+		switch {
+		case avg >= p.IngressScaleUpUtil && g.nActive < g.cfg.MaxWorkers:
+			g.addWorker()
+			g.scaleEvents++
+			g.pausedUntil = pr.Now() + p.IngressRestartPause
+		case avg <= p.IngressScaleDownUtil && g.nActive > 1:
+			g.removeWorker()
+			g.scaleEvents++
+			g.pausedUntil = pr.Now() + p.IngressRestartPause
+		}
+	}
+}
+
+// removeWorker drains and retires the most recently added active worker.
+func (g *Gateway) removeWorker() {
+	for i := len(g.workers) - 1; i >= 0; i-- {
+		w := g.workers[i]
+		if !w.active {
+			continue
+		}
+		w.active = false
+		g.nActive--
+		w.wake.Pulse() // let its loop observe inactivity and exit
+		if len(w.q) > 0 && g.nActive > 0 {
+			dst := g.pick(0)
+			dst.q = append(dst.q, w.q...)
+			w.q = nil
+			dst.wake.Pulse()
+		}
+		return
+	}
+}
+
+// StartRecorder samples RPS, CPU-in-use and worker count every interval.
+func (g *Gateway) StartRecorder(interval time.Duration) {
+	g.served.MarkWindow(g.eng.Now())
+	g.eng.Ticker(interval, func(now time.Duration) {
+		g.RPSSeries.Add(now, g.served.WindowRate(now))
+		g.served.MarkWindow(now)
+		g.CPUSeries.Add(now, g.cpuInUse(now))
+		g.WorkersSeries.Add(now, float64(g.nActive))
+	})
+}
+
+// cpuInUse reports cores' worth of CPU consumed. Busy-polling designs
+// (NADINO, F-Ingress) occupy their pinned cores fully; the kernel design is
+// measured by actual busy time.
+func (g *Gateway) cpuInUse(now time.Duration) float64 {
+	if g.cfg.Kind != KIngress {
+		return float64(g.nActive)
+	}
+	var sum float64
+	for _, w := range g.workers {
+		sum += w.util.Sample(now, w.core.BusyTime())
+	}
+	return sum
+}

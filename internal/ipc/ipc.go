@@ -1,0 +1,101 @@
+// Package ipc models NADINO's intra-node communication primitives: eBPF
+// SK_MSG descriptor handoff between local sockets (§3.5.3) and the
+// semaphore-based token passing that transfers buffer ownership along a
+// function chain (§3.5.1).
+package ipc
+
+import (
+	"time"
+
+	"nadino/internal/mempool"
+	"nadino/internal/params"
+	"nadino/internal/sim"
+)
+
+// SKMsg is a unidirectional SK_MSG descriptor channel between two local
+// endpoints. Transmission bypasses the kernel protocol stack; the receiver
+// is woken through epoll (interrupt-driven), which is cheap per message but
+// becomes a storm when one consumer (a CPU-hosted network engine) fronts
+// many functions.
+type SKMsg struct {
+	eng *sim.Engine
+	p   *params.Params
+	q   *sim.Queue[mempool.Descriptor]
+	// work optionally wakes an event-loop consumer (the CNE).
+	work      *sim.Signal
+	delivered uint64
+}
+
+// NewSKMsg creates a channel; work may be nil.
+func NewSKMsg(eng *sim.Engine, p *params.Params, work *sim.Signal) *SKMsg {
+	return &SKMsg{eng: eng, p: p, q: sim.NewQueue[mempool.Descriptor](eng, 0), work: work}
+}
+
+// SendCost is the sender-side CPU cost per descriptor.
+func (c *SKMsg) SendCost() time.Duration { return c.p.SKMsgSendCost }
+
+// WakeupCost is the receiver-side epoll wakeup CPU cost per descriptor.
+func (c *SKMsg) WakeupCost() time.Duration { return c.p.SKMsgWakeup }
+
+// InterruptCost is the softirq cost a shared engine (CNE) pays to ingest
+// one descriptor given its current backlog: interrupt pressure makes each
+// message more expensive as the queue deepens, throttling the CNE at high
+// concurrency (§4.3). Hardware-polled engines (DNE) never pay this.
+func (c *SKMsg) InterruptCost(backlog int) time.Duration {
+	cost := c.p.SKMsgInterruptBase + time.Duration(backlog)*c.p.SKMsgInterruptSlope
+	if cost > c.p.SKMsgInterruptCap {
+		cost = c.p.SKMsgInterruptCap
+	}
+	return cost
+}
+
+// Send ships a descriptor; it arrives after the SK_MSG delivery latency.
+// The caller pays SendCost on its own core first. Engine/process context.
+func (c *SKMsg) Send(d mempool.Descriptor) {
+	c.eng.After(c.p.SKMsgDeliver, func() {
+		c.delivered++
+		c.q.TryPut(d)
+		if c.work != nil {
+			c.work.Pulse()
+		}
+	})
+}
+
+// Recv blocks until a descriptor arrives. The caller pays WakeupCost on its
+// own core afterwards.
+func (c *SKMsg) Recv(pr *sim.Proc) mempool.Descriptor { return c.q.Get(pr) }
+
+// TryRecv is the non-blocking receive used by event loops.
+func (c *SKMsg) TryRecv() (mempool.Descriptor, bool) { return c.q.TryGet() }
+
+// Pending reports queued descriptors (the CNE's interrupt backlog).
+func (c *SKMsg) Pending() int { return c.q.Len() }
+
+// Delivered reports lifetime deliveries.
+func (c *SKMsg) Delivered() uint64 { return c.delivered }
+
+// Token is the ownership-transfer semaphore between a producer and a
+// consumer in a chain (§3.5.1): the producer posts after handing the buffer
+// descriptor over; the consumer waits before touching the buffer. It
+// emulates a single-producer single-consumer ring: no locks, strict order.
+type Token struct {
+	p   *params.Params
+	sem *sim.Semaphore
+}
+
+// NewToken returns a token initialized to 0 (consumer blocked).
+func NewToken(eng *sim.Engine, p *params.Params) *Token {
+	return &Token{p: p, sem: sim.NewSemaphore(eng, 0)}
+}
+
+// Cost is the CPU cost of a post or wait operation.
+func (t *Token) Cost() time.Duration { return t.p.SemTokenCost }
+
+// Post hands ownership downstream (sem_post).
+func (t *Token) Post() { t.sem.Release(1) }
+
+// Wait blocks the consumer until ownership arrives (sem_wait).
+func (t *Token) Wait(pr *sim.Proc) { t.sem.Acquire(pr, 1) }
+
+// Pending reports posted-but-unconsumed tokens.
+func (t *Token) Pending() int { return t.sem.Available() }

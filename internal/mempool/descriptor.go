@@ -1,0 +1,25 @@
+package mempool
+
+import "time"
+
+// Descriptor is the 16-byte buffer descriptor exchanged over NADINO's data
+// plane (§3.5.4): intra-node via SK_MSG, host<->DPU via Comch, and embedded
+// in RDMA work requests for inter-node hops. Ownership of the descriptor is
+// ownership of the buffer it points to.
+//
+// The trailing fields (Stamp, Ctx) are simulation bookkeeping and do not
+// count toward the modeled 16 bytes.
+type Descriptor struct {
+	Tenant string // owning tenant / pool prefix
+	Buf    Buffer // pooled buffer handle
+	Len    int    // payload length in bytes
+	Src    string // producing function ID
+	Dst    string // destination function ID
+	Seq    uint64 // per-flow sequence number
+
+	Stamp time.Duration // creation time (latency accounting)
+	Ctx   any           // opaque request context carried end to end
+	// Retries counts data-plane retransmissions of this descriptor after
+	// transport errors (engine-level at-least-once recovery).
+	Retries uint8
+}

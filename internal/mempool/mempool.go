@@ -1,0 +1,187 @@
+// Package mempool models NADINO's unified shared-memory subsystem (§3.4):
+// per-tenant pools of fixed-size, hugepage-backed buffers with pool-based
+// allocation/recycling (the DPDK rte_mempool role) and exclusive-ownership
+// buffer lifecycle (§3.5.1).
+//
+// Ownership is enforced, not advisory: Get/Transfer/Put validate the caller
+// and return errors on violations, so the lock-free invariants the paper
+// relies on are machine-checked throughout the simulation.
+package mempool
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Owner identifies the holder of a buffer: a function, the DNE, the RNIC
+// (while a transfer is in flight), or an ingress worker.
+type Owner string
+
+// NoOwner marks a free buffer.
+const NoOwner Owner = ""
+
+// Buffer is a handle to one pooled buffer. The generation counter catches
+// use-after-free: a stale handle no longer matches the pool's record.
+type Buffer struct {
+	ID  int32
+	Gen uint32
+}
+
+// Common error conditions.
+var (
+	ErrExhausted    = errors.New("mempool: pool exhausted")
+	ErrNotOwner     = errors.New("mempool: caller does not own buffer")
+	ErrStaleBuffer  = errors.New("mempool: stale buffer handle (use after free)")
+	ErrBadBuffer    = errors.New("mempool: buffer handle out of range")
+	ErrWrongTenant  = errors.New("mempool: tenant mismatch")
+	ErrDoubleCreate = errors.New("mempool: pool already exists for prefix")
+	ErrNoPool       = errors.New("mempool: no pool for prefix")
+)
+
+// Pool is a fixed-size pool of equal-size buffers owned by one tenant.
+type Pool struct {
+	tenant   string
+	bufSize  int
+	n        int
+	pageSize int
+
+	free  []int32
+	owner []Owner
+	gen   []uint32
+
+	inUse int
+	peak  int
+	gets  uint64
+	puts  uint64
+}
+
+// NewPool creates a pool of n buffers of bufSize bytes for the tenant,
+// backed by hugepages of pageSize bytes.
+func NewPool(tenant string, bufSize, n, pageSize int) *Pool {
+	if bufSize <= 0 || n <= 0 || pageSize <= 0 {
+		panic("mempool: non-positive pool dimensions")
+	}
+	p := &Pool{
+		tenant:   tenant,
+		bufSize:  bufSize,
+		n:        n,
+		pageSize: pageSize,
+		free:     make([]int32, n),
+		owner:    make([]Owner, n),
+		gen:      make([]uint32, n),
+	}
+	for i := range p.free {
+		p.free[i] = int32(n - 1 - i) // pop from the end => ascending IDs first
+	}
+	return p
+}
+
+// Tenant returns the owning tenant (the DPDK file-prefix in the paper).
+func (p *Pool) Tenant() string { return p.tenant }
+
+// BufSize returns the per-buffer size in bytes.
+func (p *Pool) BufSize() int { return p.bufSize }
+
+// Size returns the number of buffers in the pool.
+func (p *Pool) Size() int { return p.n }
+
+// Hugepages reports how many hugepages back this pool — what the RNIC's
+// memory translation table must cache (§3.4: hugepages shrink the MTT).
+func (p *Pool) Hugepages() int {
+	total := p.bufSize * p.n
+	return (total + p.pageSize - 1) / p.pageSize
+}
+
+// Get allocates a free buffer to owner.
+func (p *Pool) Get(owner Owner) (Buffer, error) {
+	if owner == NoOwner {
+		return Buffer{}, fmt.Errorf("mempool: %w: empty owner", ErrNotOwner)
+	}
+	if len(p.free) == 0 {
+		return Buffer{}, ErrExhausted
+	}
+	id := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	p.owner[id] = owner
+	p.inUse++
+	p.gets++
+	if p.inUse > p.peak {
+		p.peak = p.inUse
+	}
+	return Buffer{ID: id, Gen: p.gen[id]}, nil
+}
+
+func (p *Pool) check(b Buffer) error {
+	if b.ID < 0 || int(b.ID) >= p.n {
+		return ErrBadBuffer
+	}
+	if p.gen[b.ID] != b.Gen {
+		return ErrStaleBuffer
+	}
+	return nil
+}
+
+// OwnerOf reports the current owner of b.
+func (p *Pool) OwnerOf(b Buffer) (Owner, error) {
+	if err := p.check(b); err != nil {
+		return NoOwner, err
+	}
+	return p.owner[b.ID], nil
+}
+
+// Transfer hands exclusive ownership of b from one owner to another — the
+// token-passing primitive of §3.5.1.
+func (p *Pool) Transfer(b Buffer, from, to Owner) error {
+	if err := p.check(b); err != nil {
+		return err
+	}
+	if p.owner[b.ID] != from {
+		return fmt.Errorf("%w: buffer %d owned by %q, not %q", ErrNotOwner, b.ID, p.owner[b.ID], from)
+	}
+	if to == NoOwner {
+		return fmt.Errorf("mempool: %w: transfer to empty owner", ErrNotOwner)
+	}
+	p.owner[b.ID] = to
+	return nil
+}
+
+// Put recycles b back to the free list. Only the current owner may release.
+func (p *Pool) Put(b Buffer, owner Owner) error {
+	if err := p.check(b); err != nil {
+		return err
+	}
+	if p.owner[b.ID] != owner {
+		return fmt.Errorf("%w: buffer %d owned by %q, not %q", ErrNotOwner, b.ID, p.owner[b.ID], owner)
+	}
+	p.owner[b.ID] = NoOwner
+	p.gen[b.ID]++
+	p.free = append(p.free, b.ID)
+	p.inUse--
+	p.puts++
+	return nil
+}
+
+// Access validates that owner may touch b (read or write). It models the
+// exclusive-ownership rule: "only the buffer owner can read, write, or
+// recycle the buffer" (§3.5.1).
+func (p *Pool) Access(b Buffer, owner Owner) error {
+	if err := p.check(b); err != nil {
+		return err
+	}
+	if p.owner[b.ID] != owner {
+		return fmt.Errorf("%w: access to buffer %d by %q, owner %q", ErrNotOwner, b.ID, owner, p.owner[b.ID])
+	}
+	return nil
+}
+
+// InUse reports currently allocated buffers.
+func (p *Pool) InUse() int { return p.inUse }
+
+// Peak reports the high-water mark of allocated buffers.
+func (p *Pool) Peak() int { return p.peak }
+
+// Free reports currently free buffers.
+func (p *Pool) Free() int { return len(p.free) }
+
+// Stats reports lifetime gets and puts.
+func (p *Pool) Stats() (gets, puts uint64) { return p.gets, p.puts }

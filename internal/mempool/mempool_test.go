@@ -1,0 +1,250 @@
+package mempool
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTestPool(t *testing.T) *Pool {
+	t.Helper()
+	return NewPool("tenant_1", 4096, 64, 2<<20)
+}
+
+func TestGetPutCycle(t *testing.T) {
+	p := newTestPool(t)
+	b, err := p.Get("fn:a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := p.OwnerOf(b); got != "fn:a" {
+		t.Fatalf("owner = %q", got)
+	}
+	if p.InUse() != 1 {
+		t.Fatalf("inUse = %d", p.InUse())
+	}
+	if err := p.Put(b, "fn:a"); err != nil {
+		t.Fatal(err)
+	}
+	if p.InUse() != 0 || p.Free() != 64 {
+		t.Fatalf("inUse=%d free=%d after put", p.InUse(), p.Free())
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	p := NewPool("t", 64, 2, 2<<20)
+	if _, err := p.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get("a"); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+}
+
+func TestTransferEnforcesOwnership(t *testing.T) {
+	p := newTestPool(t)
+	b, _ := p.Get("fn:a")
+	if err := p.Transfer(b, "fn:b", "fn:c"); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("transfer by non-owner: err = %v", err)
+	}
+	if err := p.Transfer(b, "fn:a", "fn:b"); err != nil {
+		t.Fatal(err)
+	}
+	// Old owner can no longer access, release or re-transfer.
+	if err := p.Access(b, "fn:a"); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("stale owner access: err = %v", err)
+	}
+	if err := p.Put(b, "fn:a"); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("stale owner put: err = %v", err)
+	}
+	if err := p.Put(b, "fn:b"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUseAfterFreeDetected(t *testing.T) {
+	p := newTestPool(t)
+	b, _ := p.Get("fn:a")
+	if err := p.Put(b, "fn:a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Access(b, "fn:a"); !errors.Is(err, ErrStaleBuffer) {
+		t.Fatalf("use after free: err = %v", err)
+	}
+	// Reallocation reuses the slot with a bumped generation; the old
+	// handle must stay dead even though the ID matches.
+	b2, _ := p.Get("fn:b")
+	for b2.ID != b.ID {
+		b2, _ = p.Get("fn:b")
+	}
+	if err := p.Access(b, "fn:a"); !errors.Is(err, ErrStaleBuffer) {
+		t.Fatalf("stale handle revived: err = %v", err)
+	}
+	if err := p.Access(b2, "fn:b"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadHandleRange(t *testing.T) {
+	p := newTestPool(t)
+	if _, err := p.OwnerOf(Buffer{ID: 1000}); !errors.Is(err, ErrBadBuffer) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := p.OwnerOf(Buffer{ID: -1}); !errors.Is(err, ErrBadBuffer) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHugepageAccounting(t *testing.T) {
+	p := NewPool("t", 4096, 1024, 2<<20) // 4 MB of buffers on 2 MB pages
+	if got := p.Hugepages(); got != 2 {
+		t.Fatalf("hugepages = %d, want 2", got)
+	}
+	p2 := NewPool("t", 4096, 1, 2<<20)
+	if got := p2.Hugepages(); got != 1 {
+		t.Fatalf("hugepages = %d, want 1", got)
+	}
+}
+
+func TestRegistryTenantIsolation(t *testing.T) {
+	r := NewRegistry("node1")
+	if _, err := r.CreatePool("tenant_1", 4096, 16, 2<<20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.CreatePool("tenant_1", 4096, 16, 2<<20); !errors.Is(err, ErrDoubleCreate) {
+		t.Fatalf("duplicate create: err = %v", err)
+	}
+	if _, err := r.Attach("tenant_1", "tenant_1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Attach("tenant_1", "tenant_2"); !errors.Is(err, ErrWrongTenant) {
+		t.Fatalf("cross-tenant attach: err = %v", err)
+	}
+	if _, err := r.Attach("nope", "tenant_1"); !errors.Is(err, ErrNoPool) {
+		t.Fatalf("missing pool: err = %v", err)
+	}
+}
+
+func TestRegistryPrefixesSorted(t *testing.T) {
+	r := NewRegistry("node1")
+	for _, pfx := range []string{"zeta", "alpha", "mid"} {
+		if _, err := r.CreatePool(pfx, 64, 4, 2<<20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := r.Prefixes()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("prefixes = %v", got)
+		}
+	}
+	if r.TotalHugepages() != 3 {
+		t.Fatalf("total hugepages = %d", r.TotalHugepages())
+	}
+}
+
+// Property: under random valid Get/Transfer/Put sequences the pool conserves
+// buffers (inUse + free == n), never double-allocates, and every live buffer
+// has exactly one owner.
+func TestOwnershipConservationProperty(t *testing.T) {
+	f := func(seed int64, opsRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := int(opsRaw%500) + 50
+		const n = 32
+		p := NewPool("t", 256, n, 2<<20)
+		owners := []Owner{"a", "b", "c", "dne"}
+		type live struct {
+			b Buffer
+			o Owner
+		}
+		var lives []live
+		for i := 0; i < ops; i++ {
+			switch rng.Intn(3) {
+			case 0: // get
+				o := owners[rng.Intn(len(owners))]
+				b, err := p.Get(o)
+				if err != nil {
+					if !errors.Is(err, ErrExhausted) || len(lives) != n {
+						return false
+					}
+					continue
+				}
+				lives = append(lives, live{b, o})
+			case 1: // transfer
+				if len(lives) == 0 {
+					continue
+				}
+				k := rng.Intn(len(lives))
+				to := owners[rng.Intn(len(owners))]
+				if err := p.Transfer(lives[k].b, lives[k].o, to); err != nil {
+					return false
+				}
+				lives[k].o = to
+			case 2: // put
+				if len(lives) == 0 {
+					continue
+				}
+				k := rng.Intn(len(lives))
+				if err := p.Put(lives[k].b, lives[k].o); err != nil {
+					return false
+				}
+				lives[k] = lives[len(lives)-1]
+				lives = lives[:len(lives)-1]
+			}
+			if p.InUse()+p.Free() != n || p.InUse() != len(lives) {
+				return false
+			}
+		}
+		// Every tracked live buffer must still report its tracked owner.
+		for _, l := range lives {
+			got, err := p.OwnerOf(l.b)
+			if err != nil || got != l.o {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: generation counters make any freed handle permanently invalid.
+func TestStaleHandleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewPool("t", 64, 8, 2<<20)
+		var freed []Buffer
+		for i := 0; i < 100; i++ {
+			b, err := p.Get("x")
+			if err != nil {
+				return false
+			}
+			if rng.Intn(2) == 0 {
+				if p.Put(b, "x") != nil {
+					return false
+				}
+				freed = append(freed, b)
+			} else {
+				if p.Transfer(b, "x", "y") != nil || p.Put(b, "y") != nil {
+					return false
+				}
+				freed = append(freed, b)
+			}
+		}
+		for _, b := range freed {
+			if err := p.Access(b, "x"); !errors.Is(err, ErrStaleBuffer) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

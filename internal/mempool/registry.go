@@ -1,0 +1,73 @@
+package mempool
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Registry models DPDK's file-prefix namespace on one node (§3.4.1): each
+// tenant's shared-memory agent creates a pool under its own prefix, and
+// functions attach as secondary processes. Attaching to another tenant's
+// prefix is rejected — that is the per-tenant memory isolation boundary.
+type Registry struct {
+	node  string
+	pools map[string]*Pool
+}
+
+// NewRegistry returns an empty per-node registry.
+func NewRegistry(node string) *Registry {
+	return &Registry{node: node, pools: make(map[string]*Pool)}
+}
+
+// Node returns the node this registry belongs to.
+func (r *Registry) Node() string { return r.node }
+
+// CreatePool is invoked by a tenant's shared-memory agent (the DPDK primary
+// process). The prefix doubles as the tenant identity.
+func (r *Registry) CreatePool(prefix string, bufSize, n, pageSize int) (*Pool, error) {
+	if _, ok := r.pools[prefix]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDoubleCreate, prefix)
+	}
+	p := NewPool(prefix, bufSize, n, pageSize)
+	r.pools[prefix] = p
+	return p, nil
+}
+
+// Attach maps a function (DPDK secondary process) into the pool under
+// prefix. The caller's tenant credential must match the pool's tenant.
+func (r *Registry) Attach(prefix, callerTenant string) (*Pool, error) {
+	p, ok := r.pools[prefix]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoPool, prefix)
+	}
+	if p.tenant != callerTenant {
+		return nil, fmt.Errorf("%w: %q cannot attach to pool %q", ErrWrongTenant, callerTenant, prefix)
+	}
+	return p, nil
+}
+
+// Pool returns the pool for prefix without a tenancy check — used by the
+// trusted DNE, which maps every tenant pool via DOCA mmap (§3.4.2).
+func (r *Registry) Pool(prefix string) (*Pool, bool) {
+	p, ok := r.pools[prefix]
+	return p, ok
+}
+
+// Prefixes lists registered pool prefixes in sorted order.
+func (r *Registry) Prefixes() []string {
+	out := make([]string, 0, len(r.pools))
+	for k := range r.pools {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalHugepages reports the hugepages backing all pools on the node.
+func (r *Registry) TotalHugepages() int {
+	total := 0
+	for _, p := range r.pools {
+		total += p.Hugepages()
+	}
+	return total
+}

@@ -1,0 +1,282 @@
+// Package metrics provides the measurement primitives used by the NADINO
+// simulation: latency histograms, rate meters, and time series. The
+// simulation is single-threaded (see internal/sim), so none of these types
+// need locking.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Hist is a latency histogram backed by log-spaced buckets from 100ns to
+// ~100s, accurate to ~2% per bucket — plenty for reproducing figure shapes.
+type Hist struct {
+	buckets []uint64
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+const (
+	histBase    = 100 * time.Nanosecond
+	histBuckets = 1024
+	// Growth factor per bucket chosen so histBuckets cover ~9 decades.
+	histGrowth = 1.0208
+)
+
+var histBounds = func() []time.Duration {
+	b := make([]time.Duration, histBuckets)
+	v := float64(histBase)
+	for i := range b {
+		b[i] = time.Duration(v)
+		v *= histGrowth
+	}
+	return b
+}()
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist {
+	return &Hist{buckets: make([]uint64, histBuckets), min: math.MaxInt64}
+}
+
+// Observe records one latency sample.
+func (h *Hist) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := sort.Search(histBuckets, func(i int) bool { return histBounds[i] >= d })
+	if i == histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i]++
+	h.count++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count reports the number of samples.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Mean reports the mean sample, or 0 with no samples.
+func (h *Hist) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min reports the smallest sample, or 0 with no samples.
+func (h *Hist) Min() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest sample.
+func (h *Hist) Max() time.Duration { return h.max }
+
+// Quantile reports the q-quantile (0 <= q <= 1) by bucket upper bound.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > target {
+			return histBounds[i]
+		}
+	}
+	return h.max
+}
+
+// P50, P95, P99 are convenience quantiles.
+func (h *Hist) P50() time.Duration { return h.Quantile(0.50) }
+func (h *Hist) P95() time.Duration { return h.Quantile(0.95) }
+func (h *Hist) P99() time.Duration { return h.Quantile(0.99) }
+
+// Reset discards all samples.
+func (h *Hist) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.count, h.sum, h.max = 0, 0, 0
+	h.min = math.MaxInt64
+}
+
+// String summarizes the distribution.
+func (h *Hist) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.count, h.Mean(), h.P50(), h.P99(), h.max)
+}
+
+// Meter counts events and converts them to rates over explicit windows.
+type Meter struct {
+	total     uint64
+	mark      uint64
+	markStart time.Duration
+}
+
+// NewMeter returns a zeroed meter.
+func NewMeter() *Meter { return &Meter{} }
+
+// Inc records n events.
+func (m *Meter) Inc(n uint64) { m.total += n }
+
+// Total reports the lifetime event count.
+func (m *Meter) Total() uint64 { return m.total }
+
+// MarkWindow starts a measurement window at virtual time now.
+func (m *Meter) MarkWindow(now time.Duration) {
+	m.mark = m.total
+	m.markStart = now
+}
+
+// WindowRate reports events/second since the last MarkWindow.
+func (m *Meter) WindowRate(now time.Duration) float64 {
+	dt := now - m.markStart
+	if dt <= 0 {
+		return 0
+	}
+	return float64(m.total-m.mark) / dt.Seconds()
+}
+
+// WindowCount reports events since the last MarkWindow.
+func (m *Meter) WindowCount() uint64 { return m.total - m.mark }
+
+// Point is one (time, value) sample.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// Series is an append-only time series.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Add appends a sample.
+func (s *Series) Add(t time.Duration, v float64) {
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Len reports the number of points.
+func (s *Series) Len() int { return len(s.Points) }
+
+// At returns the value of the sample nearest to (and not after) t, or 0.
+func (s *Series) At(t time.Duration) float64 {
+	var v float64
+	for _, p := range s.Points {
+		if p.T > t {
+			break
+		}
+		v = p.V
+	}
+	return v
+}
+
+// MeanBetween averages samples with lo <= T <= hi; 0 when none fall inside.
+func (s *Series) MeanBetween(lo, hi time.Duration) float64 {
+	var sum float64
+	var n int
+	for _, p := range s.Points {
+		if p.T >= lo && p.T <= hi {
+			sum += p.V
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Max reports the largest sample value, or 0 when empty.
+func (s *Series) Max() float64 {
+	var m float64
+	for _, p := range s.Points {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// UtilSampler converts cumulative busy-time readings into per-window
+// utilization samples (0..1 per core observed).
+type UtilSampler struct {
+	last     time.Duration
+	lastTime time.Duration
+}
+
+// Sample returns utilization over (lastTime, now] given the cumulative busy
+// time, then advances the window.
+func (u *UtilSampler) Sample(now, busy time.Duration) float64 {
+	dt := now - u.lastTime
+	db := busy - u.last
+	u.lastTime = now
+	u.last = busy
+	if dt <= 0 {
+		return 0
+	}
+	return float64(db) / float64(dt)
+}
+
+// sparkTicks are the eight block characters sparklines are drawn with.
+var sparkTicks = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders the series as a compact unicode strip chart with up to
+// width points (the series is downsampled by striding). Empty series render
+// as an empty string.
+func (s *Series) Sparkline(width int) string {
+	if len(s.Points) == 0 || width <= 0 {
+		return ""
+	}
+	stride := (len(s.Points) + width - 1) / width
+	var vals []float64
+	for i := 0; i < len(s.Points); i += stride {
+		// Average the bucket so bursts are not aliased away.
+		sum, n := 0.0, 0
+		for j := i; j < i+stride && j < len(s.Points); j++ {
+			sum += s.Points[j].V
+			n++
+		}
+		vals = append(vals, sum/float64(n))
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	out := make([]rune, len(vals))
+	for i, v := range vals {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkTicks)-1))
+		}
+		out[i] = sparkTicks[idx]
+	}
+	return string(out)
+}

@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistBasics(t *testing.T) {
+	h := NewHist()
+	if h.Mean() != 0 || h.Count() != 0 || h.P99() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Observe(10 * time.Microsecond)
+	h.Observe(20 * time.Microsecond)
+	h.Observe(30 * time.Microsecond)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 20*time.Microsecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != 10*time.Microsecond || h.Max() != 30*time.Microsecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistQuantileAccuracy(t *testing.T) {
+	h := NewHist()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{{0.5, 500 * time.Microsecond}, {0.95, 950 * time.Microsecond}, {0.99, 990 * time.Microsecond}} {
+		got := h.Quantile(tc.q)
+		ratio := float64(got) / float64(tc.want)
+		if ratio < 0.95 || ratio > 1.05 {
+			t.Errorf("q%.2f = %v, want ~%v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestHistReset(t *testing.T) {
+	h := NewHist()
+	h.Observe(time.Millisecond)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear histogram")
+	}
+}
+
+func TestHistNegativeClamped(t *testing.T) {
+	h := NewHist()
+	h.Observe(-time.Second)
+	if h.Min() != 0 {
+		t.Fatalf("negative observation not clamped: min=%v", h.Min())
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by [~min, max].
+func TestHistQuantileMonotoneProperty(t *testing.T) {
+	f := func(samples []uint32) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		h := NewHist()
+		for _, s := range samples {
+			h.Observe(time.Duration(s%10_000_000) * time.Nanosecond)
+		}
+		prev := time.Duration(0)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return float64(h.Quantile(1.0)) <= float64(h.Max())*1.03+float64(histBase)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeterWindows(t *testing.T) {
+	m := NewMeter()
+	m.Inc(100)
+	m.MarkWindow(10 * time.Second)
+	m.Inc(50)
+	rate := m.WindowRate(15 * time.Second)
+	if math.Abs(rate-10.0) > 1e-9 {
+		t.Fatalf("rate = %v, want 10", rate)
+	}
+	if m.WindowCount() != 50 {
+		t.Fatalf("window count = %d", m.WindowCount())
+	}
+	if m.Total() != 150 {
+		t.Fatalf("total = %d", m.Total())
+	}
+}
+
+func TestMeterZeroWindow(t *testing.T) {
+	m := NewMeter()
+	m.MarkWindow(time.Second)
+	if m.WindowRate(time.Second) != 0 {
+		t.Fatal("zero-length window should report 0 rate")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("rps")
+	s.Add(1*time.Second, 10)
+	s.Add(2*time.Second, 20)
+	s.Add(3*time.Second, 30)
+	if s.At(2500*time.Millisecond) != 20 {
+		t.Fatalf("At = %v", s.At(2500*time.Millisecond))
+	}
+	if s.At(500*time.Millisecond) != 0 {
+		t.Fatal("At before first point should be 0")
+	}
+	if got := s.MeanBetween(1*time.Second, 2*time.Second); got != 15 {
+		t.Fatalf("MeanBetween = %v", got)
+	}
+	if s.Max() != 30 {
+		t.Fatalf("Max = %v", s.Max())
+	}
+	if s.MeanBetween(10*time.Second, 20*time.Second) != 0 {
+		t.Fatal("empty range should be 0")
+	}
+}
+
+func TestUtilSampler(t *testing.T) {
+	var u UtilSampler
+	got := u.Sample(10*time.Second, 5*time.Second)
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("util = %v, want 0.5", got)
+	}
+	got = u.Sample(20*time.Second, 15*time.Second)
+	if math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("util = %v, want 1.0", got)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := NewSeries("x")
+	if s.Sparkline(10) != "" {
+		t.Fatal("empty series should render empty")
+	}
+	for i := 0; i < 40; i++ {
+		s.Add(time.Duration(i)*time.Second, float64(i))
+	}
+	sp := []rune(s.Sparkline(8))
+	if len(sp) != 8 {
+		t.Fatalf("sparkline width = %d, want 8", len(sp))
+	}
+	if sp[0] != '▁' || sp[len(sp)-1] != '█' {
+		t.Fatalf("monotone series should span the tick range: %q", string(sp))
+	}
+	// Flat series renders at the floor.
+	flat := NewSeries("flat")
+	for i := 0; i < 10; i++ {
+		flat.Add(time.Duration(i)*time.Second, 5)
+	}
+	for _, r := range flat.Sparkline(10) {
+		if r != '▁' {
+			t.Fatalf("flat series not at floor: %q", flat.Sparkline(10))
+		}
+	}
+}
+
+func TestHistStringAndP95(t *testing.T) {
+	h := NewHist()
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.P95() < 90*time.Microsecond || h.P95() > 100*time.Microsecond {
+		t.Fatalf("p95 = %v", h.P95())
+	}
+	s := h.String()
+	if len(s) == 0 || s[0] != 'n' {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,171 @@
+package rdma
+
+import (
+	"nadino/internal/params"
+	"nadino/internal/sim"
+)
+
+// ConnPool manages a node's established RC connections toward one peer node
+// for one tenant (§3.3): connections are set up once (amortizing the
+// tens-of-milliseconds QP handshake), kept in a pool, and categorized into
+// active and inactive ("shadow") QPs. Inactive QPs consume no RNIC cache;
+// the pool activates and deactivates them in proportion to load without any
+// cross-node state synchronization.
+type ConnPool struct {
+	eng    *sim.Engine
+	p      *params.Params
+	Tenant string
+
+	conns []*QP // local ends toward the peer
+
+	// minActive is the floor of active connections kept warm.
+	minActive int
+	// congestion is the per-QP outstanding depth beyond which the pool
+	// activates another shadow QP.
+	congestion int
+
+	activations   uint64
+	deactivations uint64
+	repairs       uint64
+}
+
+// EstablishPair creates n RC connections between RNICs a and b for tenant
+// and returns the two pools (a's view and b's view). The calling process
+// blocks for one pooled setup handshake (params.QPSetupTime) — connection
+// setup is pipelined across the batch, as a real DNE would do at startup.
+func EstablishPair(pr *sim.Proc, p *params.Params, tenant string, a, b *RNIC, n int,
+	srqA, srqB *SRQ, cqA, cqB *CQ) (*ConnPool, *ConnPool) {
+	if n <= 0 {
+		panic("rdma: connection pool must hold at least one QP")
+	}
+	pr.Sleep(p.QPSetupTime)
+	poolA := &ConnPool{eng: pr.Engine(), p: p, Tenant: tenant, minActive: 1, congestion: 8}
+	poolB := &ConnPool{eng: pr.Engine(), p: p, Tenant: tenant, minActive: 1, congestion: 8}
+	for i := 0; i < n; i++ {
+		qa, qb := Connect(a, b, tenant, srqA, srqB, cqA, cqB)
+		if i >= poolA.minActive {
+			qa.deactivate()
+		}
+		if i >= poolB.minActive {
+			qb.deactivate()
+		}
+		poolA.conns = append(poolA.conns, qa)
+		poolB.conns = append(poolB.conns, qb)
+	}
+	return poolA, poolB
+}
+
+// Pick returns the least-congested active connection, activating a shadow
+// QP in the background when every active connection is congested. Errored
+// QPs are skipped (Repair brings them back). It never blocks: the caller
+// transmits on the returned QP immediately.
+func (cp *ConnPool) Pick() *QP {
+	var best *QP
+	var idle *QP
+	for _, qp := range cp.conns {
+		if qp.errored {
+			continue
+		}
+		if qp.active {
+			if best == nil || qp.outstanding < best.outstanding {
+				best = qp
+			}
+		} else if idle == nil {
+			idle = qp
+		}
+	}
+	if best == nil {
+		if idle == nil {
+			// Every connection errored: hand back the first while Repair
+			// works; its posts will flush with errors and be retried.
+			return cp.conns[0]
+		}
+		// All shadows: activate the first synchronously (costs show up as
+		// QPActivateTime before it can carry traffic).
+		idle.active = true
+		cp.activations++
+		return idle
+	}
+	if best.outstanding >= cp.congestion && idle != nil {
+		cp.activate(idle)
+	}
+	return best
+}
+
+// activate brings a shadow QP back after the activation delay.
+func (cp *ConnPool) activate(qp *QP) {
+	cp.activations++
+	qp.active = true      // reserve so concurrent Picks don't double-activate
+	qp.outstanding += 1e6 // poisoned until ready
+	cp.eng.After(cp.p.QPActivateTime, func() {
+		qp.outstanding -= 1e6
+	})
+}
+
+// Shrink deactivates idle connections above the floor. The DNE core thread
+// calls this periodically; it is the "deactivates RC connections in
+// proportion to the load" half of §3.3.
+func (cp *ConnPool) Shrink() int {
+	active := 0
+	for _, qp := range cp.conns {
+		if qp.active {
+			active++
+		}
+	}
+	n := 0
+	for _, qp := range cp.conns {
+		if active-n <= cp.minActive {
+			break
+		}
+		if qp.active && qp.outstanding == 0 {
+			qp.deactivate()
+			cp.deactivations++
+			n++
+		}
+	}
+	return n
+}
+
+// Repair re-handshakes errored connections in the background: each costs
+// one QPSetupTime before rejoining the pool. Call it periodically (the DNE
+// core thread does). Returns how many repairs were started.
+func (cp *ConnPool) Repair() int {
+	n := 0
+	for _, qp := range cp.conns {
+		if !qp.errored || qp.repairing {
+			continue
+		}
+		qp.repairing = true
+		n++
+		cp.repairs++
+		q := qp
+		cp.eng.After(cp.p.QPSetupTime, func() {
+			q.Reset()
+			q.repairing = false
+		})
+	}
+	return n
+}
+
+// Repairs reports lifetime connection re-establishments.
+func (cp *ConnPool) Repairs() uint64 { return cp.repairs }
+
+// ActiveCount reports currently active QPs.
+func (cp *ConnPool) ActiveCount() int {
+	n := 0
+	for _, qp := range cp.conns {
+		if qp.active {
+			n++
+		}
+	}
+	return n
+}
+
+// Size reports total pooled connections.
+func (cp *ConnPool) Size() int { return len(cp.conns) }
+
+// Activations reports lifetime shadow-QP activations.
+func (cp *ConnPool) Activations() uint64 { return cp.activations }
+
+// Conns exposes the pooled QPs (tests and stats).
+func (cp *ConnPool) Conns() []*QP { return cp.conns }

@@ -1,0 +1,387 @@
+package rdma
+
+import (
+	"time"
+
+	"nadino/internal/mempool"
+	"nadino/internal/sim"
+)
+
+// QP is one end of a reliable-connected queue pair. Each tenant's QPs on a
+// node share one SRQ (receive side) and the node shares one CQ (§3.3).
+type QP struct {
+	id     int
+	rnic   *RNIC
+	peer   *QP
+	Tenant string
+	srq    *SRQ // receive side for two-sided ops arriving at this end
+	cq     *CQ  // completions for WRs posted at this end
+
+	active      bool
+	errored     bool
+	repairing   bool
+	outstanding int
+	sendsPosted uint64
+	bytesSent   uint64
+
+	// pending tracks unacked WRs for the RC retransmission timer.
+	pending map[uint64]*sendAttempt
+	// seen dedupes retransmitted deliveries at the receiver (the PSN
+	// check real RC performs): a duplicate is re-acked but consumes no
+	// receive buffer. Entries are swept after dedupWindow (see sweepSeen).
+	seen        map[uint64]bool
+	seenLog     []seenEntry
+	sweepArmed  bool
+	retransmits uint64
+	dupsDropped uint64
+}
+
+// seenEntry records when a wrID entered the receiver's dedup set.
+type seenEntry struct {
+	wr uint64
+	at time.Duration
+}
+
+// dedupWindow bounds how long dedup state is retained. It must exceed the
+// maximum plausible delivery skew between an original and its last
+// retransmitted copy (retries span ~4ms; pipe backlogs add the rest).
+const dedupWindow = time.Second
+
+// sendAttempt is the transport-level state of one in-flight WR.
+type sendAttempt struct {
+	done     bool
+	attempts int
+	timer    *sim.Event
+}
+
+// Connect establishes an RC connection between two RNICs and returns both
+// ends. The caller models setup latency (params.QPSetupTime) — see
+// ConnPool.Establish for the pooled version.
+func Connect(a, b *RNIC, tenant string, srqA, srqB *SRQ, cqA, cqB *CQ) (*QP, *QP) {
+	qa := &QP{id: a.qpID(), rnic: a, Tenant: tenant, srq: srqA, cq: cqA, active: true,
+		pending: make(map[uint64]*sendAttempt), seen: make(map[uint64]bool)}
+	qb := &QP{id: b.qpID(), rnic: b, Tenant: tenant, srq: srqB, cq: cqB, active: true,
+		pending: make(map[uint64]*sendAttempt), seen: make(map[uint64]bool)}
+	qa.peer, qb.peer = qb, qa
+	return qa, qb
+}
+
+// Errored reports whether the QP is in the error state (retry exceeded).
+func (qp *QP) Errored() bool { return qp.errored }
+
+// Retransmits reports transport-level retransmissions on this QP.
+func (qp *QP) Retransmits() uint64 { return qp.retransmits }
+
+// DupsDropped reports retransmitted deliveries discarded by the receiver's
+// PSN check.
+func (qp *QP) DupsDropped() uint64 { return qp.dupsDropped }
+
+// Reset returns an errored QP to the ready state after the out-of-band
+// re-handshake (the caller models the setup delay, see ConnPool.Repair).
+func (qp *QP) Reset() {
+	qp.errored = false
+	qp.outstanding = 0
+}
+
+// ID reports the QP number.
+func (qp *QP) ID() int { return qp.id }
+
+// Active reports whether the QP currently holds RNIC resources.
+func (qp *QP) Active() bool { return qp.active }
+
+// Outstanding reports WRs posted but not yet completed — the congestion
+// signal the DNE uses to pick the least-congested RC connection (§3.2).
+func (qp *QP) Outstanding() int { return qp.outstanding }
+
+// RNIC returns the local RNIC.
+func (qp *QP) RNIC() *RNIC { return qp.rnic }
+
+// Peer returns the remote end.
+func (qp *QP) Peer() *QP { return qp.peer }
+
+func (qp *QP) complete(e CQE) {
+	if st := qp.pending[e.WRID]; st != nil {
+		if st.done {
+			return // duplicate ack (a retransmitted copy also delivered)
+		}
+		st.done = true
+		if st.timer != nil {
+			st.timer.Cancel()
+		}
+		if st.attempts == 0 {
+			// Never retransmitted: exactly one copy exists, so no
+			// duplicate ack can arrive — reclaim immediately. This keeps
+			// the map tiny on lossless paths.
+			delete(qp.pending, e.WRID)
+		} else {
+			// Tombstone against late duplicate acks, swept after the
+			// dedup window.
+			id := e.WRID
+			qp.rnic.eng.After(dedupWindow, func() { delete(qp.pending, id) })
+		}
+	}
+	qp.outstanding--
+	qp.cq.push(e)
+}
+
+// PostSend posts a two-sided send of d.Len bytes described by d. The
+// payload lands in a buffer the receiver posted to its SRQ; the receive
+// CQE carries that buffer with d's routing metadata. Engine context; the
+// caller pays params.VerbsPostCost on its own core.
+func (qp *QP) PostSend(d mempool.Descriptor) uint64 {
+	r := qp.rnic
+	p := r.p
+	id := r.wrID()
+	qp.outstanding++
+	if qp.errored {
+		// Error-state QPs flush new WRs immediately.
+		r.eng.Immediate(func() {
+			qp.complete(CQE{WRID: id, Op: OpSend, Status: StatusQPError, Bytes: d.Len, Tenant: qp.Tenant, QP: qp, Desc: d})
+		})
+		return id
+	}
+	qp.sendsPosted++
+	qp.bytesSent += uint64(d.Len)
+	r.sends++
+
+	st := &sendAttempt{}
+	qp.pending[id] = st
+	attempt := func() {
+		cost := p.RNICPerWR + r.cachePenalty(qp.id) + r.dmaCost(d.Len)
+		done := r.pipe(cost)
+		wire := d.Len + wireHeaderBytes
+		r.eng.At(done, func() {
+			r.net.Send(r.node, qp.peer.rnic.node, wire, func() {
+				qp.peer.rnic.deliverSend(qp, id, d, 0)
+			})
+		})
+	}
+	qp.armRetransmit(id, st, d, attempt)
+	attempt()
+	return id
+}
+
+// armRetransmit schedules the RC ack timer for a WR: unacked WRs are
+// retransmitted, and after TransportRetries the QP errors out.
+func (qp *QP) armRetransmit(id uint64, st *sendAttempt, d mempool.Descriptor, attempt func()) {
+	r := qp.rnic
+	p := r.p
+	var check func()
+	check = func() {
+		if st.done {
+			return
+		}
+		st.attempts++
+		if st.attempts > p.TransportRetries {
+			qp.errored = true
+			qp.rnic.cache.evict(qp.id)
+			st.done = true // tombstone: late copies must not double-complete
+			r.eng.After(dedupWindow, func() { delete(qp.pending, id) })
+			qp.outstanding--
+			qp.cq.push(CQE{WRID: id, Op: OpSend, Status: StatusRetryExceeded, Bytes: d.Len, Tenant: qp.Tenant, QP: qp, Desc: d})
+			return
+		}
+		qp.retransmits++
+		attempt()
+		st.timer = r.eng.After(p.RetransmitTimeout, check)
+	}
+	st.timer = r.eng.After(p.RetransmitTimeout, check)
+}
+
+// deliverSend runs on the receiving RNIC when a two-sided send arrives.
+func (r *RNIC) deliverSend(src *QP, wrID uint64, d mempool.Descriptor, attempt int) {
+	dst := src.peer
+	p := r.p
+	if dst.seen[wrID] {
+		// Duplicate of a retransmitted WR (PSN already consumed): drop it
+		// and re-ack so the sender stops retransmitting.
+		dst.dupsDropped++
+		r.eng.After(p.FabricPropagation, func() {
+			src.complete(CQE{WRID: wrID, Op: OpSend, Status: StatusOK, Bytes: d.Len, Tenant: src.Tenant, QP: src, Desc: d})
+		})
+		return
+	}
+	cost := p.RNICPerWR + r.cachePenalty(dst.id) + p.RecvMatchCost
+	at := r.pipe(cost)
+	r.eng.At(at, func() {
+		buf, ok := dst.srq.pop()
+		if !ok {
+			// Receiver not ready: RC retries with backoff, then errors.
+			dst.srq.rnr++
+			r.rnrRetries++
+			if attempt+1 > maxRNRRetries {
+				src.rnic.eng.After(p.FabricPropagation, func() {
+					src.complete(CQE{WRID: wrID, Op: OpSend, Status: StatusRNRExceeded, Bytes: d.Len, Tenant: src.Tenant, QP: src, Desc: d})
+				})
+				return
+			}
+			r.eng.After(p.RNRRetryDelay, func() {
+				r.deliverSend(src, wrID, d, attempt+1)
+			})
+			return
+		}
+		dst.markSeen(wrID)
+		done := r.pipe(r.dmaCost(d.Len))
+		r.eng.At(done, func() {
+			recv := buf
+			recv.Len = d.Len
+			recv.Src = d.Src
+			recv.Dst = d.Dst
+			recv.Seq = d.Seq
+			recv.Stamp = d.Stamp
+			recv.Ctx = d.Ctx
+			dst.srq.consumed++
+			dst.cq.push(CQE{WRID: r.wrID(), Op: OpRecv, Status: StatusOK, Bytes: d.Len, Tenant: dst.Tenant, QP: dst, Desc: recv})
+			// RC ack completes the sender after one propagation delay.
+			r.eng.After(p.FabricPropagation, func() {
+				src.complete(CQE{WRID: wrID, Op: OpSend, Status: StatusOK, Bytes: d.Len, Tenant: src.Tenant, QP: src, Desc: d})
+			})
+		})
+	})
+}
+
+// RemoteBuf names a destination buffer for one-sided operations.
+type RemoteBuf struct {
+	MR  *MR
+	Buf mempool.Buffer
+}
+
+// PostWrite posts a one-sided RDMA write of d.Len bytes into remote. The
+// remote CPU is not involved and gets no completion — receivers must poll
+// the region (MR.PollLanded). Engine context.
+func (qp *QP) PostWrite(d mempool.Descriptor, remote RemoteBuf) uint64 {
+	r := qp.rnic
+	p := r.p
+	id := r.wrID()
+	qp.outstanding++
+	qp.bytesSent += uint64(d.Len)
+	r.writes++
+
+	cost := p.RNICPerWR + r.cachePenalty(qp.id) + r.dmaCost(d.Len)
+	done := r.pipe(cost)
+	wire := d.Len + wireHeaderBytes
+	r.eng.At(done, func() {
+		r.net.Send(r.node, qp.peer.rnic.node, wire, func() {
+			rr := qp.peer.rnic
+			at := rr.pipe(p.RNICPerWR + rr.cachePenalty(qp.peer.id) + rr.dmaCost(d.Len))
+			rr.eng.At(at, func() {
+				remote.MR.landed = append(remote.MR.landed, Landed{
+					Buf:   remote.Buf,
+					Bytes: d.Len,
+					Desc:  d,
+					At:    rr.eng.Now(),
+				})
+				rr.eng.After(p.FabricPropagation, func() {
+					qp.complete(CQE{WRID: id, Op: OpWrite, Status: StatusOK, Bytes: d.Len, Tenant: qp.Tenant, QP: qp, Desc: d})
+				})
+			})
+		})
+	})
+	return id
+}
+
+// PostRead posts a one-sided RDMA read of n bytes from remote into a local
+// buffer. Completion delivers after the data returns.
+func (qp *QP) PostRead(n int, remote RemoteBuf) uint64 {
+	r := qp.rnic
+	p := r.p
+	id := r.wrID()
+	qp.outstanding++
+	r.reads++
+
+	cost := p.RNICPerWR + r.cachePenalty(qp.id)
+	done := r.pipe(cost)
+	r.eng.At(done, func() {
+		// Request packet out...
+		r.net.Send(r.node, qp.peer.rnic.node, wireHeaderBytes, func() {
+			rr := qp.peer.rnic
+			at := rr.pipe(p.RNICPerWR + rr.cachePenalty(qp.peer.id) + rr.dmaCost(n))
+			rr.eng.At(at, func() {
+				// ...data packet back.
+				rr.net.Send(rr.node, r.node, n+wireHeaderBytes, func() {
+					fin := r.pipe(r.dmaCost(n))
+					r.eng.At(fin, func() {
+						qp.complete(CQE{WRID: id, Op: OpRead, Status: StatusOK, Bytes: n, Tenant: qp.Tenant, QP: qp})
+					})
+				})
+			})
+		})
+	})
+	return id
+}
+
+// CASResult reports the outcome of a remote compare-and-swap.
+type CASResult struct {
+	WRID uint64
+	Old  uint64
+	// Swapped reports whether the exchange happened (Old == compare).
+	Swapped bool
+}
+
+// PostCAS posts a one-sided atomic compare-and-swap on a named word at the
+// peer's RNIC. fn is invoked (engine context) when the result returns.
+// This is the primitive under the OWDL distributed-lock baseline (§4.1.2).
+func (qp *QP) PostCAS(key string, compare, swap uint64, fn func(CASResult)) uint64 {
+	r := qp.rnic
+	p := r.p
+	id := r.wrID()
+	qp.outstanding++
+	r.atomics++
+
+	cost := p.RNICPerWR + r.cachePenalty(qp.id)
+	done := r.pipe(cost)
+	r.eng.At(done, func() {
+		half := p.CASLatency / 2
+		r.eng.After(half, func() {
+			rr := qp.peer.rnic
+			old := rr.words[key]
+			swapped := old == compare
+			if swapped {
+				rr.words[key] = swap
+			}
+			rr.eng.After(half, func() {
+				qp.complete(CQE{WRID: id, Op: OpCAS, Status: StatusOK, Tenant: qp.Tenant, QP: qp})
+				fn(CASResult{WRID: id, Old: old, Swapped: swapped})
+			})
+		})
+	})
+	return id
+}
+
+// markSeen records a processed wrID for duplicate detection and arms the
+// batched sweeper that retires entries after the dedup window — one timer
+// per QP, not one per delivery.
+func (qp *QP) markSeen(wrID uint64) {
+	qp.seen[wrID] = true
+	qp.seenLog = append(qp.seenLog, seenEntry{wr: wrID, at: qp.rnic.eng.Now()})
+	if !qp.sweepArmed {
+		qp.sweepArmed = true
+		qp.rnic.eng.After(dedupWindow, qp.sweepSeen)
+	}
+}
+
+// sweepSeen retires dedup entries older than the window and re-arms while
+// any remain.
+func (qp *QP) sweepSeen() {
+	now := qp.rnic.eng.Now()
+	i := 0
+	for ; i < len(qp.seenLog); i++ {
+		if now-qp.seenLog[i].at < dedupWindow {
+			break
+		}
+		delete(qp.seen, qp.seenLog[i].wr)
+	}
+	qp.seenLog = qp.seenLog[i:]
+	if len(qp.seenLog) > 0 {
+		qp.rnic.eng.After(dedupWindow-(now-qp.seenLog[0].at), qp.sweepSeen)
+	} else {
+		qp.sweepArmed = false
+	}
+}
+
+// deactivate releases RNIC resources ("shadow" QP, §3.3): the QP keeps its
+// software state but vacates the cache and cannot post until reactivated.
+func (qp *QP) deactivate() {
+	qp.active = false
+	qp.rnic.cache.evict(qp.id)
+}

@@ -1,0 +1,375 @@
+// Package rdma is a verbs-level model of an RDMA-capable NIC and its RC
+// transport: queue pairs, shared receive queues, completion queues, memory
+// regions, two-sided send/recv, one-sided write/read, remote atomics, RNR
+// retry, an ICM-style QP cache with miss penalties, and a shadow-QP
+// connection pool (§3.3).
+//
+// Timing follows the ConnectX-6 path: software posts a WR (the caller pays
+// the post cost on its own core), the RNIC pipeline serializes per-WR
+// processing and PCIe DMA, the fabric serializes packets, and the receiving
+// RNIC matches (for two-sided) or lands data directly (one-sided). All
+// constants live in internal/params.
+package rdma
+
+import (
+	"container/list"
+	"time"
+
+	"nadino/internal/fabric"
+	"nadino/internal/mempool"
+	"nadino/internal/params"
+	"nadino/internal/sim"
+)
+
+// Op identifies a verb.
+type Op int
+
+// Verbs supported by the model.
+const (
+	OpSend Op = iota
+	OpRecv
+	OpWrite
+	OpRead
+	OpCAS
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSend:
+		return "SEND"
+	case OpRecv:
+		return "RECV"
+	case OpWrite:
+		return "WRITE"
+	case OpRead:
+		return "READ"
+	case OpCAS:
+		return "CAS"
+	}
+	return "?"
+}
+
+// Status is a completion status.
+type Status int
+
+// Completion statuses.
+const (
+	StatusOK Status = iota
+	StatusRNRExceeded
+	// StatusRetryExceeded: the transport retransmitted TransportRetries
+	// times without an ack (e.g. the link stayed down); the QP is now in
+	// the error state.
+	StatusRetryExceeded
+	// StatusQPError: the WR was posted to a QP already in the error state.
+	StatusQPError
+)
+
+// maxRNRRetries is the RC retry budget before the sender sees an error.
+const maxRNRRetries = 7
+
+// wireHeaderBytes approximates per-message RoCE/IB header overhead.
+const wireHeaderBytes = 60
+
+// CQE is a completion queue entry.
+type CQE struct {
+	WRID   uint64
+	Op     Op
+	Status Status
+	Bytes  int
+	Tenant string
+	QP     *QP
+	// Desc carries the receive-side buffer descriptor for OpRecv
+	// completions (the posted buffer, now holding the payload and the
+	// sender's routing metadata) and the source descriptor for OpSend and
+	// OpWrite completions (so senders can recycle the source buffer).
+	Desc mempool.Descriptor
+}
+
+// CQ is a completion queue. Consumers either Poll it or block on Wait.
+type CQ struct {
+	eng     *sim.Engine
+	entries []CQE
+	sig     *sim.Signal
+	onPush  func() // optional hook: prod an event loop
+}
+
+// NewCQ returns an empty completion queue.
+func NewCQ(eng *sim.Engine) *CQ {
+	return &CQ{eng: eng, sig: sim.NewSignal(eng)}
+}
+
+// SetNotify installs a callback invoked (in engine context) whenever an
+// entry is pushed. Event-loop consumers use it to avoid missed wakeups.
+func (cq *CQ) SetNotify(fn func()) { cq.onPush = fn }
+
+func (cq *CQ) push(e CQE) {
+	cq.entries = append(cq.entries, e)
+	cq.sig.Pulse()
+	if cq.onPush != nil {
+		cq.onPush()
+	}
+}
+
+// Poll removes and returns up to max entries (all if max <= 0).
+func (cq *CQ) Poll(max int) []CQE {
+	n := len(cq.entries)
+	if max > 0 && max < n {
+		n = max
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]CQE, n)
+	copy(out, cq.entries[:n])
+	cq.entries = cq.entries[n:]
+	return out
+}
+
+// Wait blocks p until the queue is non-empty.
+func (cq *CQ) Wait(p *sim.Proc) {
+	for len(cq.entries) == 0 {
+		cq.sig.Wait(p)
+	}
+}
+
+// Len reports queued completions.
+func (cq *CQ) Len() int { return len(cq.entries) }
+
+// SRQ is a shared receive queue: all of a tenant's RC QPs on a node share
+// one RQ posted from that tenant's pool, so the RNIC always lands incoming
+// data in the right pool (§3.3).
+type SRQ struct {
+	Tenant   string
+	posted   []mempool.Descriptor
+	consumed uint64 // recv CQEs since last ConsumedReset (drives replenish)
+	rnr      uint64
+}
+
+// NewSRQ returns an empty shared receive queue for tenant.
+func NewSRQ(tenant string) *SRQ { return &SRQ{Tenant: tenant} }
+
+// PostRecv posts a free buffer for incoming sends. The descriptor's buffer
+// must already be owned by the posting entity (ownership checks happen at
+// the mempool layer in the callers).
+func (s *SRQ) PostRecv(d mempool.Descriptor) { s.posted = append(s.posted, d) }
+
+// Posted reports currently posted buffers.
+func (s *SRQ) Posted() int { return len(s.posted) }
+
+// Consumed reports recv completions since the last reset — the counter the
+// DNE core thread watches to replenish buffers (§3.5.2).
+func (s *SRQ) Consumed() uint64 { return s.consumed }
+
+// ConsumedReset zeroes the consumed counter and returns its prior value.
+func (s *SRQ) ConsumedReset() uint64 {
+	c := s.consumed
+	s.consumed = 0
+	return c
+}
+
+// RNREvents reports receiver-not-ready stalls observed on this SRQ.
+func (s *SRQ) RNREvents() uint64 { return s.rnr }
+
+func (s *SRQ) pop() (mempool.Descriptor, bool) {
+	if len(s.posted) == 0 {
+		return mempool.Descriptor{}, false
+	}
+	d := s.posted[0]
+	s.posted = s.posted[1:]
+	return d, true
+}
+
+// Landed records a one-sided write that arrived in a memory region.
+// Receivers discover these only by polling (the write is invisible to the
+// remote CPU, which is exactly the "receiver-oblivious" hazard of §2.1).
+type Landed struct {
+	Buf   mempool.Buffer
+	Bytes int
+	Desc  mempool.Descriptor
+	At    time.Duration
+}
+
+// MR is a registered memory region backed by one tenant pool.
+type MR struct {
+	id     int
+	Pool   *mempool.Pool
+	node   fabric.NodeID
+	landed []Landed
+}
+
+// Node reports the node whose memory this region maps.
+func (m *MR) Node() fabric.NodeID { return m.node }
+
+// Pages reports MTT entries consumed (hugepages shrink this 512x vs 4K
+// pages, §3.4).
+func (m *MR) Pages() int { return m.Pool.Hugepages() }
+
+// PollLanded drains and returns writes that have landed in this region.
+// The scanning CPU cost is paid by the caller (params.OneSidedPollCost).
+func (m *MR) PollLanded() []Landed {
+	if len(m.landed) == 0 {
+		return nil
+	}
+	out := m.landed
+	m.landed = nil
+	return out
+}
+
+// LandedCount reports pending landed writes without consuming them.
+func (m *MR) LandedCount() int { return len(m.landed) }
+
+// qpCache models the RNIC's on-chip connection context cache (ICM). Only
+// active QPs occupy entries; misses add a per-WR penalty, which is how a
+// tenant hoarding many active QPs hurts everyone (§2.1, Harmonic).
+type qpCache struct {
+	capacity int
+	lru      *list.List // front = most recent
+	index    map[int]*list.Element
+	misses   uint64
+	hits     uint64
+}
+
+func newQPCache(capacity int) *qpCache {
+	return &qpCache{capacity: capacity, lru: list.New(), index: make(map[int]*list.Element)}
+}
+
+// touch records use of QP id and reports whether it missed.
+func (c *qpCache) touch(id int) bool {
+	if el, ok := c.index[id]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return false
+	}
+	c.misses++
+	el := c.lru.PushFront(id)
+	c.index[id] = el
+	for c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		delete(c.index, back.Value.(int))
+		c.lru.Remove(back)
+	}
+	return true
+}
+
+func (c *qpCache) evict(id int) {
+	if el, ok := c.index[id]; ok {
+		delete(c.index, id)
+		c.lru.Remove(el)
+	}
+}
+
+// RNIC models one RDMA NIC attached to the fabric.
+type RNIC struct {
+	eng  *sim.Engine
+	p    *params.Params
+	node fabric.NodeID
+	net  *fabric.Network
+
+	pipeBusy time.Duration
+	pipeTime time.Duration // accumulated busy (utilization)
+	cache    *qpCache
+	words    map[string]uint64 // remote-atomic target words
+
+	nextQP   int
+	nextWR   uint64
+	nextMR   int
+	mttPages int // translation entries pinned by registered MRs
+
+	sends, writes, reads, atomics uint64
+	rnrRetries                    uint64
+}
+
+// NewRNIC attaches a new RNIC for node to the network.
+func NewRNIC(eng *sim.Engine, p *params.Params, node fabric.NodeID, net *fabric.Network) *RNIC {
+	if !net.Has(node) {
+		net.AddNode(node)
+	}
+	return &RNIC{
+		eng:   eng,
+		p:     p,
+		node:  node,
+		net:   net,
+		cache: newQPCache(p.NICCacheActiveQPs),
+		words: make(map[string]uint64),
+	}
+}
+
+// Node reports the RNIC's node.
+func (r *RNIC) Node() fabric.NodeID { return r.node }
+
+// RegisterMR registers pool as a memory region on this RNIC. The pool's
+// pages pin MTT entries; overflowing the translation cache taxes every WR.
+func (r *RNIC) RegisterMR(pool *mempool.Pool) *MR {
+	r.nextMR++
+	r.mttPages += pool.Hugepages()
+	return &MR{id: r.nextMR, Pool: pool, node: r.node}
+}
+
+// MTTPages reports translation entries pinned by registered regions.
+func (r *RNIC) MTTPages() int { return r.mttPages }
+
+// mttPenalty is the expected per-WR translation-miss cost once registered
+// pages overflow the MTT cache: the miss probability approaches the
+// overflow fraction under uniform buffer access.
+func (r *RNIC) mttPenalty() time.Duration {
+	if r.mttPages <= r.p.NICMTTEntries {
+		return 0
+	}
+	frac := 1 - float64(r.p.NICMTTEntries)/float64(r.mttPages)
+	return time.Duration(frac * float64(r.p.NICMTTMissPenalty))
+}
+
+// pipe serializes cost on the RNIC's processing pipeline and returns the
+// completion time. Engine context only.
+func (r *RNIC) pipe(cost time.Duration) time.Duration {
+	now := r.eng.Now()
+	start := now
+	if r.pipeBusy > start {
+		start = r.pipeBusy
+	}
+	r.pipeBusy = start + cost
+	r.pipeTime += cost
+	return r.pipeBusy
+}
+
+// cachePenalty touches the QP cache and returns the per-WR on-chip context
+// costs: QP-state miss penalty plus the MTT translation-miss share.
+func (r *RNIC) cachePenalty(qpID int) time.Duration {
+	pen := r.mttPenalty()
+	if r.cache.touch(qpID) {
+		pen += r.p.NICCacheMissPenalty
+	}
+	return pen
+}
+
+// CacheMisses reports lifetime QP cache misses.
+func (r *RNIC) CacheMisses() uint64 { return r.cache.misses }
+
+// PipeBusyTime reports accumulated RNIC pipeline busy time.
+func (r *RNIC) PipeBusyTime() time.Duration { return r.pipeTime }
+
+// Stats reports per-verb counters.
+func (r *RNIC) Stats() (sends, writes, reads, atomics, rnrRetries uint64) {
+	return r.sends, r.writes, r.reads, r.atomics, r.rnrRetries
+}
+
+// dmaCost is the PCIe DMA time for n payload bytes.
+func (r *RNIC) dmaCost(n int) time.Duration {
+	return r.p.RNICDMAPerOp + params.Bytes(r.p.RNICDMAPerByte, n)
+}
+
+// Word returns the current value of a remote-atomic word.
+func (r *RNIC) Word(key string) uint64 { return r.words[key] }
+
+// SetWord initializes a remote-atomic word (e.g. a distributed lock).
+func (r *RNIC) SetWord(key string, v uint64) { r.words[key] = v }
+
+func (r *RNIC) wrID() uint64 {
+	r.nextWR++
+	return r.nextWR
+}
+
+func (r *RNIC) qpID() int {
+	r.nextQP++
+	return r.nextQP
+}

@@ -1,0 +1,159 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine owns a virtual clock and an event heap. Model code runs either
+// as plain event callbacks or as coroutine-style processes (Proc) that can
+// block on virtual time and on synchronization primitives. Exactly one
+// goroutine executes at any instant — the engine hands control to a process
+// and waits for it to yield — so simulations are fully deterministic for a
+// given seed and are safe to write without locks.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// Event is a scheduled callback. It can be canceled before it fires.
+type Event struct {
+	at       time.Duration
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 when not queued
+	canceled bool
+}
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (ev *Event) Cancel() { ev.canceled = true }
+
+// eventHeap orders events by (time, insertion sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. Create one with NewEngine, schedule
+// work with At/After/Spawn, then call Run (or RunUntil / RunFor). Call Stop
+// when done to release any processes still blocked inside the simulation.
+type Engine struct {
+	now     time.Duration
+	queue   eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	killed  chan struct{}
+	stopped bool
+	running bool
+	// procs counts live processes; atomic because process goroutines
+	// decrement it concurrently while draining after Stop.
+	procs atomic.Int64
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		rng:    rand.New(rand.NewSource(seed)),
+		killed: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would silently reorder causality.
+func (e *Engine) At(t time.Duration, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d from now. Negative d panics.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Immediate schedules fn at the current virtual time, after any events
+// already queued for this instant. It is the ordering-safe way to wake
+// processes from within other processes.
+func (e *Engine) Immediate(fn func()) *Event { return e.At(e.now, fn) }
+
+// Run executes events until the queue is empty or the engine is stopped.
+func (e *Engine) Run() { e.RunUntil(1<<62 - 1) }
+
+// RunFor runs for d of virtual time from now.
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now + d) }
+
+// RunUntil executes events with timestamps <= t, advancing the clock to t
+// (or stopping earlier if the queue drains or Stop is called).
+func (e *Engine) RunUntil(t time.Duration) {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for !e.stopped && len(e.queue) > 0 {
+		ev := e.queue[0]
+		if ev.at > t {
+			break
+		}
+		heap.Pop(&e.queue)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	if !e.stopped && e.now < t && t < 1<<62-1 {
+		e.now = t
+	}
+}
+
+// Stop halts the simulation and releases every process still blocked inside
+// it (their goroutines exit). The engine must not be used afterwards.
+func (e *Engine) Stop() {
+	if e.stopped {
+		return
+	}
+	e.stopped = true
+	close(e.killed)
+}
+
+// Pending reports the number of queued (possibly canceled) events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Procs reports the number of live processes.
+func (e *Engine) Procs() int { return int(e.procs.Load()) }

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Stop()
+	var got []int
+	e.At(30*time.Millisecond, func() { got = append(got, 3) })
+	e.At(10*time.Millisecond, func() { got = append(got, 1) })
+	e.At(20*time.Millisecond, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms", e.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Stop()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Stop()
+	fired := false
+	ev := e.After(time.Millisecond, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Stop()
+	e.After(time.Second, func() {})
+	e.RunUntil(500 * time.Millisecond)
+	if e.Now() != 500*time.Millisecond {
+		t.Fatalf("clock = %v, want 500ms", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.RunUntil(2 * time.Second)
+	if e.Now() != 2*time.Second {
+		t.Fatalf("clock = %v, want 2s", e.Now())
+	}
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Stop()
+	e.After(time.Second, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(time.Millisecond, func() {})
+}
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Stop()
+	var wake time.Duration
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(42 * time.Millisecond)
+		wake = p.Now()
+	})
+	e.Run()
+	if wake != 42*time.Millisecond {
+		t.Fatalf("woke at %v, want 42ms", wake)
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Stop()
+	var trace []string
+	e.Spawn("a", func(p *Proc) {
+		trace = append(trace, "a0")
+		p.Sleep(10 * time.Millisecond)
+		trace = append(trace, "a1")
+		p.Sleep(20 * time.Millisecond)
+		trace = append(trace, "a2")
+	})
+	e.Spawn("b", func(p *Proc) {
+		trace = append(trace, "b0")
+		p.Sleep(15 * time.Millisecond)
+		trace = append(trace, "b1")
+	})
+	e.Run()
+	want := []string{"a0", "b0", "a1", "b1", "a2"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		e := NewEngine(7)
+		defer e.Stop()
+		var stamps []time.Duration
+		q := NewQueue[int](e, 0)
+		for i := 0; i < 3; i++ {
+			e.Spawn("producer", func(p *Proc) {
+				for j := 0; j < 5; j++ {
+					p.Sleep(time.Duration(e.Rand().Intn(1000)) * time.Microsecond)
+					q.Put(p, j)
+				}
+			})
+		}
+		e.Spawn("consumer", func(p *Proc) {
+			for i := 0; i < 15; i++ {
+				q.Get(p)
+				stamps = append(stamps, p.Now())
+			}
+		})
+		e.Run()
+		return stamps
+	}
+	a, b := run(), run()
+	if len(a) != 15 || len(b) != 15 {
+		t.Fatalf("runs consumed %d and %d items, want 15", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStopReleasesBlockedProcs(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[int](e, 0)
+	for i := 0; i < 5; i++ {
+		e.Spawn("stuck", func(p *Proc) {
+			q.Get(p) // never satisfied
+		})
+	}
+	e.Run()
+	if e.Procs() != 5 {
+		t.Fatalf("live procs = %d, want 5", e.Procs())
+	}
+	e.Stop()
+	// Goroutines exit asynchronously; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Procs() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if e.Procs() != 0 {
+		t.Fatalf("live procs after Stop = %d, want 0", e.Procs())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Stop()
+	var ticks []time.Duration
+	stop := e.Ticker(10*time.Millisecond, func(now time.Duration) {
+		ticks = append(ticks, now)
+	})
+	e.RunUntil(35 * time.Millisecond)
+	stop()
+	e.RunUntil(100 * time.Millisecond)
+	if len(ticks) != 3 {
+		t.Fatalf("ticks = %v, want 3 ticks", ticks)
+	}
+	for i, tk := range ticks {
+		if tk != time.Duration(i+1)*10*time.Millisecond {
+			t.Fatalf("tick %d at %v", i, tk)
+		}
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Stop()
+	fired := 0
+	e.Ticker(10*time.Millisecond, func(time.Duration) { fired++ })
+	e.RunFor(35 * time.Millisecond)
+	if fired != 3 || e.Now() != 35*time.Millisecond {
+		t.Fatalf("fired=%d now=%v", fired, e.Now())
+	}
+	e.RunFor(10 * time.Millisecond)
+	if fired != 4 {
+		t.Fatalf("second RunFor fired %d total", fired)
+	}
+}
+
+func TestImmediateOrdersAfterCurrentInstant(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Stop()
+	var got []int
+	e.At(time.Millisecond, func() {
+		e.Immediate(func() { got = append(got, 2) })
+		got = append(got, 1)
+	})
+	e.At(time.Millisecond, func() { got = append(got, 3) })
+	e.Run()
+	// The Immediate lands after events already queued for this instant.
+	want := []int{1, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"runtime"
+	"time"
+)
+
+// Proc is a coroutine-style simulation process. A Proc runs on its own
+// goroutine but in strict lockstep with the engine: while the Proc executes,
+// the engine (and every other Proc) is parked, so Proc bodies never race.
+//
+// Proc methods that block (Sleep, WaitQueue.Wait, Semaphore.Acquire, ...)
+// must only be called from the Proc's own body.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+}
+
+// Spawn starts body as a new process at the current virtual time. The body
+// begins executing when the engine reaches the spawn event during Run.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.procs.Add(1)
+	e.Immediate(func() { p.start(body) })
+	return p
+}
+
+// start launches the goroutine and runs the body to its first block point.
+// Called from engine context.
+func (p *Proc) start(body func(p *Proc)) {
+	go func() {
+		if !p.await() {
+			p.eng.procs.Add(-1)
+			return
+		}
+		body(p)
+		p.done = true
+		p.eng.procs.Add(-1)
+		p.yield <- struct{}{}
+	}()
+	p.dispatch()
+}
+
+// dispatch hands control to the process and waits for it to yield or finish.
+// Called from engine context (an event callback or another process that is
+// itself being dispatched).
+func (p *Proc) dispatch() {
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// await parks the process goroutine until the engine resumes it. It returns
+// false if the engine was stopped, in which case the goroutine must exit.
+// Called from process context.
+func (p *Proc) await() bool {
+	select {
+	case <-p.resume:
+		return true
+	case <-p.eng.killed:
+		return false
+	}
+}
+
+// block yields control back to the engine and parks until woken. If the
+// engine is stopped while parked, the process goroutine exits immediately
+// (running deferred calls).
+func (p *Proc) block() {
+	p.yield <- struct{}{}
+	if !p.await() {
+		p.eng.procs.Add(-1)
+		runtime.Goexit()
+	}
+}
+
+// wake resumes a blocked process. It must be called from engine context;
+// use Engine.Immediate to get there from another process.
+func (p *Proc) wake() {
+	if p.done {
+		return
+	}
+	p.dispatch()
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.eng.now }
+
+// Sleep blocks the process for d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	if d == 0 {
+		// Still yield through the event queue so same-instant ordering is
+		// consistent with a zero-length timer.
+		p.eng.Immediate(p.wake)
+		p.block()
+		return
+	}
+	p.eng.After(d, p.wake)
+	p.block()
+}
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }

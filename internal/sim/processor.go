@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Processor models a single FCFS, non-preemptive core. Costs passed to Exec
+// are expressed in reference-core time (the testbed's x86 core); the
+// processor scales them by its Speed factor, so a wimpy DPU core with
+// Speed 0.45 takes ~2.2x longer for the same work.
+//
+// The FCFS discipline is exact: requests are served in Exec-call order and
+// each caller sleeps until its own completion instant, so queueing delay
+// under load emerges naturally.
+type Processor struct {
+	eng       *Engine
+	name      string
+	speed     float64
+	busyUntil time.Duration
+	busyTime  time.Duration
+	ops       uint64
+}
+
+// NewProcessor returns a core with the given relative speed (1.0 = reference).
+func NewProcessor(e *Engine, name string, speed float64) *Processor {
+	if speed <= 0 {
+		panic(fmt.Sprintf("sim: processor %q with non-positive speed", name))
+	}
+	return &Processor{eng: e, name: name, speed: speed}
+}
+
+// Scale converts a reference-core cost into this core's execution time.
+func (c *Processor) Scale(cost time.Duration) time.Duration {
+	return time.Duration(float64(cost) / c.speed)
+}
+
+// Exec runs cost worth of reference-core work on this core, blocking p
+// through any queueing delay plus the scaled service time.
+func (c *Processor) Exec(p *Proc, cost time.Duration) {
+	if cost < 0 {
+		panic("sim: negative exec cost")
+	}
+	now := c.eng.now
+	start := now
+	if c.busyUntil > start {
+		start = c.busyUntil
+	}
+	d := c.Scale(cost)
+	c.busyUntil = start + d
+	c.busyTime += d
+	c.ops++
+	p.Sleep(c.busyUntil - now)
+}
+
+// Charge accounts cost of busy time without blocking anyone. Use it for
+// work performed inside another component's timeline (e.g. interrupt
+// processing stolen from a core) where only utilization matters.
+func (c *Processor) Charge(cost time.Duration) {
+	d := c.Scale(cost)
+	c.busyTime += d
+	now := c.eng.now
+	if c.busyUntil < now {
+		c.busyUntil = now
+	}
+	c.busyUntil += d
+	c.ops++
+}
+
+// BusyTime reports accumulated busy time (scaled).
+func (c *Processor) BusyTime() time.Duration { return c.busyTime }
+
+// Ops reports the number of Exec/Charge calls served.
+func (c *Processor) Ops() uint64 { return c.ops }
+
+// Name returns the core's name.
+func (c *Processor) Name() string { return c.name }
+
+// Speed returns the core's relative speed factor.
+func (c *Processor) Speed() float64 { return c.speed }
+
+// QueueDelay reports how long a request issued now would wait before
+// starting service.
+func (c *Processor) QueueDelay() time.Duration {
+	if c.busyUntil <= c.eng.now {
+		return 0
+	}
+	return c.busyUntil - c.eng.now
+}
+
+// CorePool models k identical cores fed by a single FCFS queue (an M/G/k
+// style station). Each Exec is placed on the earliest-available core.
+type CorePool struct {
+	eng   *Engine
+	name  string
+	cores []*Processor
+}
+
+// NewCorePool returns a pool of n cores with the given speed.
+func NewCorePool(e *Engine, name string, n int, speed float64) *CorePool {
+	if n <= 0 {
+		panic("sim: core pool must have at least one core")
+	}
+	cores := make([]*Processor, n)
+	for i := range cores {
+		cores[i] = NewProcessor(e, fmt.Sprintf("%s/%d", name, i), speed)
+	}
+	return &CorePool{eng: e, name: name, cores: cores}
+}
+
+// Exec runs cost on the earliest-available core, blocking p until done.
+func (cp *CorePool) Exec(p *Proc, cost time.Duration) {
+	cp.pick().Exec(p, cost)
+}
+
+// Charge accounts cost on the earliest-available core without blocking.
+func (cp *CorePool) Charge(cost time.Duration) {
+	cp.pick().Charge(cost)
+}
+
+func (cp *CorePool) pick() *Processor {
+	best := cp.cores[0]
+	for _, c := range cp.cores[1:] {
+		if c.busyUntil < best.busyUntil {
+			best = c
+		}
+	}
+	return best
+}
+
+// BusyTime reports the summed busy time across all cores.
+func (cp *CorePool) BusyTime() time.Duration {
+	var total time.Duration
+	for _, c := range cp.cores {
+		total += c.busyTime
+	}
+	return total
+}
+
+// Cores returns the underlying processors.
+func (cp *CorePool) Cores() []*Processor { return cp.cores }
+
+// Size reports the number of cores.
+func (cp *CorePool) Size() int { return len(cp.cores) }
+
+// QueueDelay reports the wait a request issued now would see (the earliest
+// core's remaining backlog).
+func (cp *CorePool) QueueDelay() time.Duration { return cp.pick().QueueDelay() }

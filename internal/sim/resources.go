@@ -1,0 +1,220 @@
+package sim
+
+import "time"
+
+// WaitQueue is a FIFO list of blocked processes. It is the building block
+// for the higher-level primitives in this package; model code can also use
+// it directly for ad-hoc conditions.
+type WaitQueue struct {
+	eng     *Engine
+	waiters []*Proc
+}
+
+// NewWaitQueue returns an empty wait queue bound to e.
+func NewWaitQueue(e *Engine) *WaitQueue { return &WaitQueue{eng: e} }
+
+// Wait blocks p until a Wake call releases it. FIFO order.
+func (w *WaitQueue) Wait(p *Proc) {
+	w.waiters = append(w.waiters, p)
+	p.block()
+}
+
+// WakeOne releases the oldest waiter, if any. The waiter resumes at the
+// current virtual time, after events already queued for this instant.
+func (w *WaitQueue) WakeOne() bool {
+	if len(w.waiters) == 0 {
+		return false
+	}
+	p := w.waiters[0]
+	w.waiters = w.waiters[1:]
+	w.eng.Immediate(p.wake)
+	return true
+}
+
+// WakeAll releases every waiter in FIFO order.
+func (w *WaitQueue) WakeAll() {
+	for w.WakeOne() {
+	}
+}
+
+// Len reports the number of blocked processes.
+func (w *WaitQueue) Len() int { return len(w.waiters) }
+
+// Semaphore is a counting semaphore for processes. The zero value is not
+// usable; construct with NewSemaphore.
+type Semaphore struct {
+	eng     *Engine
+	avail   int
+	waiters []semWaiter
+}
+
+type semWaiter struct {
+	p *Proc
+	n int
+}
+
+// NewSemaphore returns a semaphore with count initial permits.
+func NewSemaphore(e *Engine, count int) *Semaphore {
+	return &Semaphore{eng: e, avail: count}
+}
+
+// Acquire takes n permits, blocking p until they are available. Waiters are
+// served strictly FIFO (no barging), so a large request cannot be starved.
+func (s *Semaphore) Acquire(p *Proc, n int) {
+	if n <= 0 {
+		panic("sim: semaphore acquire of non-positive count")
+	}
+	if len(s.waiters) == 0 && s.avail >= n {
+		s.avail -= n
+		return
+	}
+	s.waiters = append(s.waiters, semWaiter{p: p, n: n})
+	p.block()
+}
+
+// TryAcquire takes n permits without blocking, reporting success.
+func (s *Semaphore) TryAcquire(n int) bool {
+	if len(s.waiters) == 0 && s.avail >= n {
+		s.avail -= n
+		return true
+	}
+	return false
+}
+
+// Release returns n permits and wakes any waiters that now fit.
+func (s *Semaphore) Release(n int) {
+	if n <= 0 {
+		panic("sim: semaphore release of non-positive count")
+	}
+	s.avail += n
+	for len(s.waiters) > 0 && s.avail >= s.waiters[0].n {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.avail -= w.n
+		s.eng.Immediate(w.p.wake)
+	}
+}
+
+// Available reports the current free permit count.
+func (s *Semaphore) Available() int { return s.avail }
+
+// Waiting reports the number of blocked acquirers.
+func (s *Semaphore) Waiting() int { return len(s.waiters) }
+
+// Queue is a FIFO message queue between processes. With cap == 0 the queue
+// is unbounded; otherwise Put blocks when full.
+type Queue[T any] struct {
+	eng     *Engine
+	items   []T
+	cap     int
+	getters *WaitQueue
+	putters *WaitQueue
+	closed  bool
+}
+
+// NewQueue returns a queue with the given capacity (0 = unbounded).
+func NewQueue[T any](e *Engine, capacity int) *Queue[T] {
+	return &Queue[T]{
+		eng:     e,
+		cap:     capacity,
+		getters: NewWaitQueue(e),
+		putters: NewWaitQueue(e),
+	}
+}
+
+// Put appends v, blocking while the queue is full.
+func (q *Queue[T]) Put(p *Proc, v T) {
+	for q.cap > 0 && len(q.items) >= q.cap {
+		q.putters.Wait(p)
+	}
+	q.items = append(q.items, v)
+	q.getters.WakeOne()
+}
+
+// TryPut appends v without blocking, reporting success.
+func (q *Queue[T]) TryPut(v T) bool {
+	if q.cap > 0 && len(q.items) >= q.cap {
+		return false
+	}
+	q.items = append(q.items, v)
+	q.getters.WakeOne()
+	return true
+}
+
+// Get removes and returns the oldest item, blocking while empty.
+func (q *Queue[T]) Get(p *Proc) T {
+	for len(q.items) == 0 {
+		q.getters.Wait(p)
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.putters.WakeOne()
+	return v
+}
+
+// TryGet removes the oldest item without blocking.
+func (q *Queue[T]) TryGet() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.putters.WakeOne()
+	return v, true
+}
+
+// Peek returns the oldest item without removing it.
+func (q *Queue[T]) Peek() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	return q.items[0], true
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// WaitNonEmpty blocks p until the queue holds at least one item. Unlike Get
+// it does not consume; use it to build poll-style loops over many queues.
+func (q *Queue[T]) WaitNonEmpty(p *Proc) {
+	for len(q.items) == 0 {
+		q.getters.Wait(p)
+	}
+}
+
+// Signal is a broadcast condition: processes wait on it and any code can
+// pulse it. Unlike WaitQueue it is level-safe for the common "check
+// predicate, wait, recheck" loop shared by several pollers.
+type Signal struct {
+	wq *WaitQueue
+}
+
+// NewSignal returns a signal bound to e.
+func NewSignal(e *Engine) *Signal { return &Signal{wq: NewWaitQueue(e)} }
+
+// Wait blocks p until the next Pulse.
+func (s *Signal) Wait(p *Proc) { s.wq.Wait(p) }
+
+// Pulse wakes all current waiters.
+func (s *Signal) Pulse() { s.wq.WakeAll() }
+
+// Ticker runs fn every interval of virtual time starting at the next
+// interval boundary, until the returned stop function is called.
+func (e *Engine) Ticker(interval time.Duration, fn func(now time.Duration)) (stop func()) {
+	if interval <= 0 {
+		panic("sim: non-positive ticker interval")
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn(e.now)
+		e.After(interval, tick)
+	}
+	e.After(interval, tick)
+	return func() { stopped = true }
+}

@@ -1,0 +1,335 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSemaphoreFIFO(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Stop()
+	s := NewSemaphore(e, 2)
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Spawn("w", func(p *Proc) {
+			s.Acquire(p, 1)
+			order = append(order, i)
+			p.Sleep(time.Duration(10+i) * time.Millisecond)
+			s.Release(1)
+		})
+	}
+	e.Run()
+	if len(order) != 4 {
+		t.Fatalf("acquired %d times, want 4", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("non-FIFO semaphore order: %v", order)
+		}
+	}
+}
+
+func TestSemaphoreNoBarging(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Stop()
+	s := NewSemaphore(e, 2)
+	var got []string
+	// First, a big request that cannot be satisfied yet.
+	e.Spawn("big", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		s.Acquire(p, 3)
+		got = append(got, "big")
+	})
+	// Then a small request that *could* be satisfied but must queue behind.
+	e.Spawn("small", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond)
+		s.Acquire(p, 1)
+		got = append(got, "small")
+	})
+	e.Spawn("releaser", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		s.Release(2)
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != "big" || got[1] != "small" {
+		t.Fatalf("barging occurred: %v", got)
+	}
+}
+
+func TestQueueBlockingAndCapacity(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Stop()
+	q := NewQueue[int](e, 2)
+	var produced, consumed []time.Duration
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			q.Put(p, i)
+			produced = append(produced, p.Now())
+		}
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			p.Sleep(10 * time.Millisecond)
+			v := q.Get(p)
+			if v != i {
+				t.Errorf("got %d, want %d", v, i)
+			}
+			consumed = append(consumed, p.Now())
+		}
+	})
+	e.Run()
+	if len(produced) != 4 || len(consumed) != 4 {
+		t.Fatalf("produced %d consumed %d", len(produced), len(consumed))
+	}
+	// First two puts succeed immediately; third must wait for first get.
+	if produced[1] != 0 {
+		t.Fatalf("second put at %v, want 0", produced[1])
+	}
+	if produced[2] != 10*time.Millisecond {
+		t.Fatalf("third put at %v, want 10ms", produced[2])
+	}
+}
+
+func TestQueueTryOps(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Stop()
+	q := NewQueue[string](e, 1)
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue succeeded")
+	}
+	if !q.TryPut("a") {
+		t.Fatal("TryPut on empty queue failed")
+	}
+	if q.TryPut("b") {
+		t.Fatal("TryPut on full queue succeeded")
+	}
+	if v, ok := q.Peek(); !ok || v != "a" {
+		t.Fatalf("Peek = %q,%v", v, ok)
+	}
+	if v, ok := q.TryGet(); !ok || v != "a" {
+		t.Fatalf("TryGet = %q,%v", v, ok)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", q.Len())
+	}
+}
+
+func TestProcessorFCFSQueueing(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Stop()
+	c := NewProcessor(e, "core", 1.0)
+	var finish []time.Duration
+	for i := 0; i < 3; i++ {
+		e.Spawn("job", func(p *Proc) {
+			c.Exec(p, 10*time.Millisecond)
+			finish = append(finish, p.Now())
+		})
+	}
+	e.Run()
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+	if c.BusyTime() != 30*time.Millisecond {
+		t.Fatalf("busy = %v, want 30ms", c.BusyTime())
+	}
+}
+
+func TestProcessorSpeedScaling(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Stop()
+	wimpy := NewProcessor(e, "arm", 0.5)
+	var finish time.Duration
+	e.Spawn("job", func(p *Proc) {
+		wimpy.Exec(p, 10*time.Millisecond)
+		finish = p.Now()
+	})
+	e.Run()
+	if finish != 20*time.Millisecond {
+		t.Fatalf("finish = %v, want 20ms on half-speed core", finish)
+	}
+}
+
+func TestCorePoolParallelism(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Stop()
+	cp := NewCorePool(e, "pool", 2, 1.0)
+	var finish []time.Duration
+	for i := 0; i < 4; i++ {
+		e.Spawn("job", func(p *Proc) {
+			cp.Exec(p, 10*time.Millisecond)
+			finish = append(finish, p.Now())
+		})
+	}
+	e.Run()
+	// 2 cores, 4 jobs of 10ms: finish at 10,10,20,20.
+	want := []time.Duration{10 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond, 20 * time.Millisecond}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Stop()
+	sig := NewSignal(e)
+	woken := 0
+	for i := 0; i < 3; i++ {
+		e.Spawn("waiter", func(p *Proc) {
+			sig.Wait(p)
+			woken++
+		})
+	}
+	e.After(time.Millisecond, func() { sig.Pulse() })
+	e.Run()
+	if woken != 3 {
+		t.Fatalf("woken = %d, want 3", woken)
+	}
+}
+
+// Property: for any mix of put/get counts, a FIFO queue delivers items in
+// insertion order and conserves them.
+func TestQueueFIFOProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		e := NewEngine(seed)
+		defer e.Stop()
+		q := NewQueue[int](e, 0)
+		var got []int
+		e.Spawn("producer", func(p *Proc) {
+			for i := 0; i < n; i++ {
+				p.Sleep(time.Duration(e.Rand().Intn(100)) * time.Microsecond)
+				q.Put(p, i)
+			}
+		})
+		e.Spawn("consumer", func(p *Proc) {
+			for i := 0; i < n; i++ {
+				p.Sleep(time.Duration(e.Rand().Intn(100)) * time.Microsecond)
+				got = append(got, q.Get(p))
+			}
+		})
+		e.Run()
+		if len(got) != n {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: semaphore never goes negative and all acquirers eventually run
+// when permits cycle.
+func TestSemaphoreConservationProperty(t *testing.T) {
+	f := func(seed int64, workersRaw, permitsRaw uint8) bool {
+		workers := int(workersRaw%8) + 1
+		permits := int(permitsRaw%3) + 1
+		e := NewEngine(seed)
+		defer e.Stop()
+		s := NewSemaphore(e, permits)
+		inside, maxInside, completed := 0, 0, 0
+		for i := 0; i < workers; i++ {
+			e.Spawn("w", func(p *Proc) {
+				for j := 0; j < 3; j++ {
+					s.Acquire(p, 1)
+					inside++
+					if inside > maxInside {
+						maxInside = inside
+					}
+					p.Sleep(time.Duration(1+e.Rand().Intn(50)) * time.Microsecond)
+					inside--
+					s.Release(1)
+				}
+				completed++
+			})
+		}
+		e.Run()
+		return completed == workers && maxInside <= permits && s.Available() == permits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessorChargeAndAccessors(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Stop()
+	c := NewProcessor(e, "core", 0.5)
+	if c.Name() != "core" || c.Speed() != 0.5 {
+		t.Fatal("accessors wrong")
+	}
+	c.Charge(10 * time.Millisecond)
+	if c.BusyTime() != 20*time.Millisecond { // scaled by 1/0.5
+		t.Fatalf("busy = %v", c.BusyTime())
+	}
+	if c.Ops() != 1 {
+		t.Fatalf("ops = %d", c.Ops())
+	}
+	if c.QueueDelay() != 20*time.Millisecond {
+		t.Fatalf("queue delay = %v", c.QueueDelay())
+	}
+	// Charge stacks behind the backlog.
+	c.Charge(10 * time.Millisecond)
+	if c.QueueDelay() != 40*time.Millisecond {
+		t.Fatalf("stacked queue delay = %v", c.QueueDelay())
+	}
+	// An Exec issued now waits behind both charges.
+	var done time.Duration
+	e.Spawn("job", func(p *Proc) {
+		c.Exec(p, 5*time.Millisecond)
+		done = p.Now()
+	})
+	e.Run()
+	if done != 50*time.Millisecond {
+		t.Fatalf("exec finished at %v, want 50ms", done)
+	}
+}
+
+func TestCorePoolQueueDelayAndCharge(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Stop()
+	cp := NewCorePool(e, "pool", 2, 1.0)
+	if cp.Size() != 2 || len(cp.Cores()) != 2 {
+		t.Fatal("pool accessors wrong")
+	}
+	cp.Charge(10 * time.Millisecond)
+	if cp.QueueDelay() != 0 {
+		t.Fatal("second core should be free")
+	}
+	cp.Charge(10 * time.Millisecond)
+	if cp.QueueDelay() != 10*time.Millisecond {
+		t.Fatalf("both busy: delay = %v", cp.QueueDelay())
+	}
+	if cp.BusyTime() != 20*time.Millisecond {
+		t.Fatalf("pool busy = %v", cp.BusyTime())
+	}
+}
+
+func TestProcAccessors(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Stop()
+	p := e.Spawn("myproc", func(pr *Proc) {
+		if pr.Name() != "myproc" || pr.Engine() != e {
+			t.Error("proc accessors wrong")
+		}
+	})
+	if p.Done() {
+		t.Fatal("done before running")
+	}
+	e.Run()
+	if !p.Done() {
+		t.Fatal("not done after running")
+	}
+}

@@ -1,0 +1,83 @@
+// Package transport provides the TCP/IP stack cost models that the ingress
+// gateways and the TCP-based baseline data planes are built on: the
+// interrupt-driven Linux kernel stack versus the DPDK-based F-stack
+// userspace stack (§3.6, §4.1.3), plus HTTP processing.
+package transport
+
+import (
+	"time"
+
+	"nadino/internal/params"
+)
+
+// Stack selects a TCP/IP implementation.
+type Stack int
+
+// Supported stacks.
+const (
+	// Kernel is the interrupt-driven Linux stack (K-Ingress, SPRIGHT
+	// inter-node hops, NightCore's gateway).
+	Kernel Stack = iota
+	// FStack is the DPDK-based userspace stack (F-Ingress, FUYAO-F,
+	// NADINO's client-facing side).
+	FStack
+	// Junction is a library-OS kernel-bypass stack (Junction baseline):
+	// F-stack-class per-message cost, slightly higher because every app
+	// thread runs under its scheduler.
+	Junction
+)
+
+func (s Stack) String() string {
+	switch s {
+	case Kernel:
+		return "kernel"
+	case FStack:
+		return "f-stack"
+	case Junction:
+		return "junction"
+	}
+	return "?"
+}
+
+// SendCost is the sender-side CPU cost of pushing one message of n bytes
+// through the stack (syscall or poll-mode TX, copies, segmentation).
+func SendCost(p *params.Params, s Stack, n int) time.Duration {
+	switch s {
+	case Kernel:
+		return p.KernelTCPPerMsg*2/5 + params.Bytes(p.KernelTCPPerByte, n)
+	case Junction:
+		// Junction's library-OS stack handles each message under its
+		// own scheduler: poll-mode costs plus per-message scheduling and
+		// copies, roughly double a bare F-stack traversal.
+		return p.FStackPerMsg + params.Bytes(p.FStackPerByte, n)
+	default:
+		return p.FStackPerMsg/2 + params.Bytes(p.FStackPerByte, n)
+	}
+}
+
+// RecvCost is the receiver-side CPU cost (interrupt/softirq or poll-mode
+// RX, protocol processing, copy to user).
+func RecvCost(p *params.Params, s Stack, n int) time.Duration {
+	switch s {
+	case Kernel:
+		return p.KernelTCPPerMsg*3/5 + params.Bytes(p.KernelTCPPerByte, n)
+	case Junction:
+		return p.FStackPerMsg + params.Bytes(p.FStackPerByte, n)
+	default:
+		return p.FStackPerMsg/2 + params.Bytes(p.FStackPerByte, n)
+	}
+}
+
+// TransitLatency is the added one-way delivery latency of the stack beyond
+// the wire itself: interrupt coalescing and scheduling for the kernel path,
+// near-zero for busy-polled stacks.
+func TransitLatency(p *params.Params, s Stack) time.Duration {
+	if s == Kernel {
+		return p.KernelTCPLatency
+	}
+	return p.FStackLatency
+}
+
+// HTTPCost is per-request HTTP protocol processing (parse + route + build
+// response headers), NGINX-grade.
+func HTTPCost(p *params.Params) time.Duration { return p.HTTPParseCost }

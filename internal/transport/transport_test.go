@@ -1,0 +1,56 @@
+package transport
+
+import (
+	"testing"
+
+	"nadino/internal/params"
+)
+
+func TestKernelCostlierThanFStack(t *testing.T) {
+	p := params.Default()
+	for _, n := range []int{0, 64, 1024, 4096} {
+		if SendCost(p, Kernel, n) <= SendCost(p, FStack, n) {
+			t.Fatalf("kernel send not costlier at %dB", n)
+		}
+		if RecvCost(p, Kernel, n) <= RecvCost(p, FStack, n) {
+			t.Fatalf("kernel recv not costlier at %dB", n)
+		}
+	}
+	if TransitLatency(p, Kernel) <= TransitLatency(p, FStack) {
+		t.Fatal("kernel transit latency not higher")
+	}
+}
+
+func TestJunctionBetweenFStackAndKernel(t *testing.T) {
+	p := params.Default()
+	n := 1024
+	if !(SendCost(p, FStack, n) < SendCost(p, Junction, n) && SendCost(p, Junction, n) < SendCost(p, Kernel, n)) {
+		t.Fatalf("junction send cost out of band: f=%v j=%v k=%v",
+			SendCost(p, FStack, n), SendCost(p, Junction, n), SendCost(p, Kernel, n))
+	}
+}
+
+func TestCostsScaleWithBytes(t *testing.T) {
+	p := params.Default()
+	for _, s := range []Stack{Kernel, FStack, Junction} {
+		if SendCost(p, s, 8192) <= SendCost(p, s, 64) {
+			t.Fatalf("%v send cost does not grow with size", s)
+		}
+	}
+}
+
+func TestHTTPCostPositive(t *testing.T) {
+	p := params.Default()
+	if HTTPCost(p) <= 0 {
+		t.Fatal("HTTP cost must be positive")
+	}
+}
+
+func TestStackStrings(t *testing.T) {
+	if Kernel.String() != "kernel" || FStack.String() != "f-stack" || Junction.String() != "junction" {
+		t.Fatal("stack names wrong")
+	}
+	if Stack(99).String() != "?" {
+		t.Fatal("unknown stack name")
+	}
+}

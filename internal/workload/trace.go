@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"nadino/internal/sim"
+)
+
+// TraceGen synthesizes a production-like invocation trace: Poisson arrivals
+// whose rate follows a diurnal curve, spread over chains with Zipf-skewed
+// popularity — the shape of real FaaS traces (cf. the Azure Functions
+// characterization) that locality-oblivious placement has to serve (§2).
+type TraceGen struct {
+	// Chains are the invocable targets, most popular first.
+	Chains []string
+	// ZipfS is the popularity skew exponent (1.0 ~= classic Zipf; 0 =
+	// uniform).
+	ZipfS float64
+	// BaseRPS is the mean aggregate invocation rate.
+	BaseRPS float64
+	// DiurnalAmplitude in [0,1) modulates the rate sinusoidally:
+	// rate(t) = BaseRPS * (1 + A*sin(2*pi*t/Period)).
+	DiurnalAmplitude float64
+	// Period is the diurnal cycle length (compressed in simulations).
+	Period time.Duration
+
+	weights []float64
+	totalW  float64
+}
+
+// prepare builds the Zipf popularity weights.
+func (g *TraceGen) prepare() {
+	if len(g.Chains) == 0 {
+		panic("workload: trace needs at least one chain")
+	}
+	if g.Period <= 0 {
+		g.Period = time.Minute
+	}
+	g.weights = make([]float64, len(g.Chains))
+	g.totalW = 0
+	for i := range g.Chains {
+		w := 1.0 / math.Pow(float64(i+1), g.ZipfS)
+		g.weights[i] = w
+		g.totalW += w
+	}
+}
+
+// Rate reports the target aggregate rate at virtual time t.
+func (g *TraceGen) Rate(t time.Duration) float64 {
+	phase := 2 * math.Pi * float64(t) / float64(g.Period)
+	r := g.BaseRPS * (1 + g.DiurnalAmplitude*math.Sin(phase))
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// pick draws a chain by Zipf popularity.
+func (g *TraceGen) pick(u float64) string {
+	target := u * g.totalW
+	for i, w := range g.weights {
+		target -= w
+		if target <= 0 {
+			return g.Chains[i]
+		}
+	}
+	return g.Chains[len(g.Chains)-1]
+}
+
+// Start launches the generator on eng: submit is invoked (process context)
+// once per invocation with the chosen chain. Returns a per-chain counter
+// map that fills as the trace plays.
+func (g *TraceGen) Start(eng *sim.Engine) (counts map[string]*uint64, submitHook func(func(chain string))) {
+	g.prepare()
+	counts = make(map[string]*uint64, len(g.Chains))
+	for _, ch := range g.Chains {
+		var v uint64
+		counts[ch] = &v
+	}
+	var submit func(string)
+	submitHook = func(fn func(chain string)) { submit = fn }
+	eng.Spawn("trace-gen", func(pr *sim.Proc) {
+		rng := eng.Rand()
+		for {
+			rate := g.Rate(pr.Now())
+			if rate <= 0 {
+				pr.Sleep(g.Period / 100)
+				continue
+			}
+			// Poisson arrivals: exponential inter-arrival gaps.
+			gap := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+			if gap > g.Period {
+				gap = g.Period
+			}
+			pr.Sleep(gap)
+			chain := g.pick(rng.Float64())
+			*counts[chain]++
+			if submit != nil {
+				submit(chain)
+			}
+		}
+	})
+	return counts, submitHook
+}
+
+// String describes the trace.
+func (g *TraceGen) String() string {
+	return fmt.Sprintf("trace{%d chains, zipf=%.2f, base=%.0f rps, diurnal=%.0f%%/%v}",
+		len(g.Chains), g.ZipfS, g.BaseRPS, 100*g.DiurnalAmplitude, g.Period)
+}

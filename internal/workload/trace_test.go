@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"nadino/internal/sim"
+)
+
+func TestTraceZipfPopularity(t *testing.T) {
+	eng := sim.NewEngine(1)
+	defer eng.Stop()
+	g := &TraceGen{
+		Chains:  []string{"a", "b", "c", "d"},
+		ZipfS:   1.0,
+		BaseRPS: 20000,
+		Period:  time.Second,
+	}
+	counts, _ := g.Start(eng)
+	eng.RunUntil(2 * time.Second)
+	total := uint64(0)
+	for _, v := range counts {
+		total += *v
+	}
+	if total < 10000 {
+		t.Fatalf("trace produced only %d invocations", total)
+	}
+	// Zipf s=1 over 4 chains: shares ~ 0.48, 0.24, 0.16, 0.12.
+	want := []float64{0.48, 0.24, 0.16, 0.12}
+	for i, ch := range g.Chains {
+		got := float64(*counts[ch]) / float64(total)
+		if math.Abs(got-want[i]) > 0.05 {
+			t.Errorf("chain %s share %.3f, want ~%.2f", ch, got, want[i])
+		}
+	}
+	// Popularity must be monotone.
+	for i := 1; i < len(g.Chains); i++ {
+		if *counts[g.Chains[i]] > *counts[g.Chains[i-1]] {
+			t.Errorf("popularity not monotone at %d: %v", i, counts)
+		}
+	}
+}
+
+func TestTraceDiurnalModulation(t *testing.T) {
+	eng := sim.NewEngine(2)
+	defer eng.Stop()
+	g := &TraceGen{
+		Chains:           []string{"a"},
+		BaseRPS:          10000,
+		DiurnalAmplitude: 0.8,
+		Period:           time.Second,
+	}
+	counts, _ := g.Start(eng)
+	// Peak quarter [T/8, 3T/8] vs trough quarter [5T/8, 7T/8].
+	read := func() uint64 { return *counts["a"] }
+	eng.RunUntil(time.Second / 8)
+	c0 := read()
+	eng.RunUntil(3 * time.Second / 8)
+	peak := read() - c0
+	eng.RunUntil(5 * time.Second / 8)
+	c1 := read()
+	eng.RunUntil(7 * time.Second / 8)
+	trough := read() - c1
+	if peak < trough*2 {
+		t.Fatalf("diurnal peak (%d) not well above trough (%d)", peak, trough)
+	}
+	if got := g.Rate(time.Second / 4); math.Abs(got-18000) > 100 {
+		t.Fatalf("peak rate = %v, want ~18000", got)
+	}
+}
+
+func TestTraceSubmitHook(t *testing.T) {
+	eng := sim.NewEngine(3)
+	defer eng.Stop()
+	g := &TraceGen{Chains: []string{"x"}, BaseRPS: 1000, Period: time.Second}
+	_, hook := g.Start(eng)
+	var seen int
+	hook(func(chain string) {
+		if chain != "x" {
+			t.Errorf("unexpected chain %q", chain)
+		}
+		seen++
+	})
+	eng.RunUntil(100 * time.Millisecond)
+	if seen < 50 {
+		t.Fatalf("submit hook saw only %d invocations", seen)
+	}
+}
+
+func TestTraceUniformWhenUnskewed(t *testing.T) {
+	eng := sim.NewEngine(4)
+	defer eng.Stop()
+	g := &TraceGen{Chains: []string{"a", "b"}, ZipfS: 0, BaseRPS: 20000, Period: time.Second}
+	counts, _ := g.Start(eng)
+	eng.RunUntil(time.Second)
+	a, b := float64(*counts["a"]), float64(*counts["b"])
+	if ratio := a / b; ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("unskewed trace not uniform: %v vs %v", a, b)
+	}
+}

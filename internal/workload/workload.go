@@ -1,0 +1,181 @@
+// Package workload provides the load generators used across experiments:
+// wrk-style closed-loop clients against an ingress gateway (§4.1.3, §4.3)
+// and ramp-up schedules (Fig. 14).
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"nadino/internal/ingress"
+	"nadino/internal/metrics"
+	"nadino/internal/params"
+	"nadino/internal/sim"
+)
+
+// ClientPool is a set of closed-loop HTTP clients. Each client holds
+// ConnsPerClient concurrent connections (wrk drives many connections per
+// client thread, §4.1.3); each connection keeps one request outstanding.
+// With a Timeout set, a connection that waits too long gives up and
+// disconnects — the paper's overloaded K-Ingress loses "most of the
+// clients ... due to the lack of a response" this way (Fig. 14).
+type ClientPool struct {
+	eng *sim.Engine
+	p   *params.Params
+	gw  *ingress.Gateway
+
+	ReqBytes  int
+	RespBytes int
+	// ConnsPerClient is the concurrent connections each client drives
+	// (default 1).
+	ConnsPerClient int
+	// Timeout disconnects a connection whose request gets no response in
+	// time (0 = wait forever).
+	Timeout time.Duration
+	// OpenLoopRate, when positive, switches each client to open-loop
+	// generation at this request rate (req/s) across its connections,
+	// like a wrk client pinned to a core: it keeps offering load whether
+	// or not responses return, which is what overloads the kernel ingress
+	// in Fig. 14.
+	OpenLoopRate float64
+
+	Latency   *metrics.Hist
+	Completed *metrics.Meter
+
+	nClients     int
+	nConns       int
+	disconnected int
+	stopped      bool
+}
+
+// NewClientPool returns an empty pool targeting gw with the given payload
+// sizes.
+func NewClientPool(eng *sim.Engine, p *params.Params, gw *ingress.Gateway, reqBytes, respBytes int) *ClientPool {
+	return &ClientPool{
+		eng:       eng,
+		p:         p,
+		gw:        gw,
+		ReqBytes:  reqBytes,
+		RespBytes: respBytes,
+		Latency:   metrics.NewHist(),
+		Completed: metrics.NewMeter(),
+	}
+}
+
+// AddClient starts one client (all its connections) now.
+func (cp *ClientPool) AddClient() {
+	cp.nClients++
+	if cp.OpenLoopRate > 0 {
+		cp.addOpenLoopClient()
+		return
+	}
+	conns := cp.ConnsPerClient
+	if conns <= 0 {
+		conns = 1
+	}
+	for i := 0; i < conns; i++ {
+		id := cp.nConns
+		cp.nConns++
+		cp.eng.Spawn(fmt.Sprintf("conn-%d", id), func(pr *sim.Proc) {
+			for !cp.stopped {
+				start := pr.Now()
+				// Per-request rendezvous: true = response, false = timeout.
+				// Capacity 2 so a late response never blocks its sender.
+				doneQ := sim.NewQueue[bool](cp.eng, 2)
+				cp.gw.Submit(ingress.Request{
+					Client:    id,
+					Bytes:     cp.ReqBytes,
+					RespBytes: cp.RespBytes,
+					Stamp:     start,
+					Reply:     func(ingress.Response) { doneQ.TryPut(true) },
+				})
+				var timer *sim.Event
+				if cp.Timeout > 0 {
+					timer = cp.eng.After(cp.Timeout, func() { doneQ.TryPut(false) })
+				}
+				ok := doneQ.Get(pr)
+				if timer != nil {
+					timer.Cancel()
+				}
+				if !ok {
+					// No response in time: this connection gives up.
+					cp.disconnected++
+					return
+				}
+				cp.Latency.Observe(pr.Now() - start)
+				cp.Completed.Inc(1)
+			}
+		})
+	}
+}
+
+// addOpenLoopClient spawns a generator that offers OpenLoopRate requests
+// per second, spreading them over ConnsPerClient connection IDs for RSS.
+func (cp *ClientPool) addOpenLoopClient() {
+	id := cp.nClients - 1
+	conns := cp.ConnsPerClient
+	if conns <= 0 {
+		conns = 1
+	}
+	base := cp.nConns
+	cp.nConns += conns
+	gap := time.Duration(float64(time.Second) / cp.OpenLoopRate)
+	cp.eng.Spawn(fmt.Sprintf("openloop-client-%d", id), func(pr *sim.Proc) {
+		for i := 0; !cp.stopped; i++ {
+			start := pr.Now()
+			responded := false
+			cp.gw.Submit(ingress.Request{
+				Client:    base + i%conns,
+				Bytes:     cp.ReqBytes,
+				RespBytes: cp.RespBytes,
+				Stamp:     start,
+				Reply: func(ingress.Response) {
+					responded = true
+					cp.Latency.Observe(cp.eng.Now() - start)
+					cp.Completed.Inc(1)
+				},
+			})
+			if cp.Timeout > 0 {
+				cp.eng.After(cp.Timeout, func() {
+					if !responded {
+						cp.disconnected++
+					}
+				})
+			}
+			// Slight jitter decorrelates generators.
+			pr.Sleep(gap + time.Duration(cp.eng.Rand().Intn(int(gap/8)+1)))
+		}
+	})
+}
+
+// Disconnected reports connections that timed out and gave up.
+func (cp *ClientPool) Disconnected() int { return cp.disconnected }
+
+// AddClients starts n closed-loop clients.
+func (cp *ClientPool) AddClients(n int) {
+	for i := 0; i < n; i++ {
+		cp.AddClient()
+	}
+}
+
+// RampUp adds a client every interval until total clients are running —
+// the Fig. 14 load schedule ("adding a client every 10 seconds").
+func (cp *ClientPool) RampUp(total int, every time.Duration) {
+	cp.AddClient()
+	added := 1
+	var stop func()
+	stop = cp.eng.Ticker(every, func(time.Duration) {
+		if added >= total {
+			stop()
+			return
+		}
+		cp.AddClient()
+		added++
+	})
+}
+
+// Stop makes clients exit after their in-flight request completes.
+func (cp *ClientPool) Stop() { cp.stopped = true }
+
+// Clients reports how many clients have been started.
+func (cp *ClientPool) Clients() int { return cp.nClients }
