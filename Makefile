@@ -1,0 +1,32 @@
+# Build, vet and test targets for the NADINO simulator.
+
+GO ?= go
+
+.PHONY: build test vet race check bench trace
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the full suite under the race detector. The simulation engine is
+# single-threaded by design, but the coroutine lockstep (sim.Proc) and the
+# tracer ride on real goroutines — this target proves the handoffs are clean.
+# (The experiments package needs more than the default 10m under -race.)
+race:
+	$(GO) test -race -timeout 30m ./...
+
+# check is the full pre-commit gate.
+check: vet race
+
+bench:
+	$(GO) run ./cmd/nadino-bench -quick
+
+# trace reproduces the Fig. 6 per-stage latency attribution and writes a
+# Chrome trace-event file (load in chrome://tracing or ui.perfetto.dev).
+trace:
+	$(GO) run ./cmd/nadino-bench -run fig06 -quick -trace

@@ -7,6 +7,7 @@
 //	nadino-bench                 # run everything at full fidelity
 //	nadino-bench -run fig12      # one experiment
 //	nadino-bench -run fig13,fig14 -quick
+//	nadino-bench -run fig06 -trace
 //	nadino-bench -list
 package main
 
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"nadino/internal/experiments"
+	"nadino/internal/trace"
 )
 
 func main() {
@@ -25,6 +27,8 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink measurement windows and sweeps")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	list := flag.Bool("list", false, "list experiments and exit")
+	doTrace := flag.Bool("trace", false, "record per-stage latency attribution (experiments that support it) and export a Chrome trace")
+	traceOut := flag.String("trace-out", "nadino-trace.json", "Chrome trace-event output path (with -trace)")
 	flag.Parse()
 
 	if *list {
@@ -54,12 +58,44 @@ func main() {
 	}
 
 	opts := experiments.Opts{Quick: *quick, Seed: *seed}
+	var profiles []trace.Profile
+	if *doTrace {
+		opts.Trace = true
+		opts.TraceSink = func(name string, tr *trace.Tracer) {
+			profiles = append(profiles, trace.Profile{Name: name, Tracer: tr})
+		}
+	}
 	for _, e := range selected {
 		fmt.Printf("\n######## %s ########\n", e.Title)
 		start := time.Now()
+		profiled := len(profiles)
 		for _, tb := range e.Run(opts) {
 			tb.Print(os.Stdout)
 		}
+		for _, pr := range profiles[profiled:] {
+			experiments.TraceTable(pr.Name, pr.Tracer.Report()).Print(os.Stdout)
+		}
 		fmt.Printf("  [%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if *doTrace {
+		if len(profiles) == 0 {
+			fmt.Fprintln(os.Stderr, "nadino-bench: -trace set but no selected experiment records traces (try -run fig06)")
+			return
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nadino-bench:", err)
+			os.Exit(1)
+		}
+		if err := trace.WriteChrome(f, profiles); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nadino-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nChrome trace (load in chrome://tracing or https://ui.perfetto.dev): %s\n", *traceOut)
 	}
 }

@@ -16,8 +16,10 @@ import (
 	"time"
 
 	"nadino/internal/core"
+	"nadino/internal/experiments"
 	"nadino/internal/ingress"
 	"nadino/internal/sim"
+	"nadino/internal/trace"
 	"nadino/internal/workload"
 )
 
@@ -48,6 +50,7 @@ func main() {
 	clients := flag.Int("clients", 20, "closed-loop clients")
 	dur := flag.Duration("dur", 300*time.Millisecond, "measurement window (simulated)")
 	traceRPS := flag.Float64("trace-rps", 0, "drive ALL chains open-loop at this aggregate rate instead of closed-loop clients")
+	traceOut := flag.String("trace", "", "record per-stage latency attribution after warmup and write a Chrome trace to this file")
 	zipf := flag.Float64("zipf", 1.0, "trace mode: chain popularity skew")
 	diurnal := flag.Float64("diurnal", 0.5, "trace mode: diurnal amplitude [0,1)")
 	period := flag.Duration("period", 200*time.Millisecond, "trace mode: diurnal period")
@@ -122,10 +125,17 @@ func main() {
 			})
 		}
 	}
+	var tracer *trace.Tracer
 	warm := c.P.QPSetupTime + 10*time.Millisecond
 	c.Eng.RunUntil(warm)
 	c.Completed.MarkWindow(c.Eng.Now())
 	hist.Reset()
+	if *traceOut != "" {
+		// Arm the tracer only for the measured window so the attribution
+		// matches the reported steady-state latency.
+		tracer = trace.New(nil)
+		c.SetTracer(tracer)
+	}
 	c.Eng.RunUntil(warm + *dur)
 	elapsed := c.Eng.Now() - c.P.QPSetupTime
 
@@ -157,5 +167,24 @@ func main() {
 	}
 	if n := c.CrossTenantCopies(); n > 0 {
 		fmt.Printf("x-tenant  : %d sidecar copies\n", n)
+	}
+	if tracer != nil {
+		experiments.TraceTable(fmt.Sprintf("%v chain %s", cfg.System, *chain), tracer.Report()).Print(os.Stdout)
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nadino-sim:", err)
+			os.Exit(1)
+		}
+		name := fmt.Sprintf("%v", cfg.System)
+		if err := trace.WriteChrome(f, []trace.Profile{{Name: name, Tracer: tracer}}); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nadino-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace     : %s (chrome://tracing / ui.perfetto.dev)\n", *traceOut)
 	}
 }

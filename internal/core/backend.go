@@ -8,6 +8,7 @@ import (
 	"nadino/internal/mempool"
 	"nadino/internal/rdma"
 	"nadino/internal/sim"
+	"nadino/internal/trace"
 )
 
 // ingressResponse builds a gateway response.
@@ -111,6 +112,7 @@ func (b *rdmaBackend) Forward(req ingress.Request, done func(ingress.Response)) 
 			Chain: req.Chain, Calls: spec.Calls, RespBytes: spec.RespBytes,
 			IngressDone: done, Stamp: req.Stamp,
 		}},
+		Trace: req.Trace,
 	}
 	entry.noteInflight()
 	cp := t.conns[string(entry.node.name)]
@@ -128,6 +130,7 @@ func (b *rdmaBackend) pollLoop(pr *sim.Proc) {
 			t := b.tenant(cqe.Desc.Tenant)
 			switch cqe.Op {
 			case rdma.OpSend:
+				cqe.Desc.Trace.EndStage(trace.StageRDMAAck)
 				if cqe.Status != rdma.StatusOK {
 					b.sendErrors++
 				}
@@ -138,6 +141,7 @@ func (b *rdmaBackend) pollLoop(pr *sim.Proc) {
 				}
 			case rdma.OpRecv:
 				d := cqe.Desc
+				d.Trace.EndStage(trace.StageRDMACQ)
 				mc, ok := d.Ctx.(*msgCtx)
 				if !ok || mc.IngressDone == nil {
 					panic("core: ingress received response without done callback")
@@ -188,7 +192,9 @@ func (b *tcpBackend) Forward(req ingress.Request, done func(ingress.Response)) {
 		IngressDone: done, Stamp: req.Stamp,
 	}}
 	entry.noteInflight()
+	t0 := b.c.Eng.Now()
 	b.c.Eng.After(b.c.tcpTransit(b.c.workerStack()), func() {
-		entry.tcpIn.TryPut(tcpMsg{Bytes: req.Bytes, Src: "ingress", Ctx: mc})
+		req.Trace.Record(trace.StageTransit, "wire", t0, b.c.Eng.Now())
+		entry.tcpIn.TryPut(tcpMsg{Bytes: req.Bytes, Src: "ingress", Ctx: mc, Trace: req.Trace})
 	})
 }

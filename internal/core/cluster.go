@@ -14,6 +14,7 @@ import (
 	"nadino/internal/params"
 	"nadino/internal/rdma"
 	"nadino/internal/sim"
+	"nadino/internal/trace"
 	"nadino/internal/transport"
 )
 
@@ -50,6 +51,11 @@ type Config struct {
 	// AutoscaleEvery is the function autoscaler's evaluation period
 	// (default 5ms of simulated time).
 	AutoscaleEvery time.Duration
+
+	// Tracer, when non-nil, records a per-stage latency trace for every
+	// request submitted through SubmitChain (see internal/trace). A nil
+	// tracer keeps the whole path span-free.
+	Tracer *trace.Tracer
 
 	Seed int64
 }
@@ -104,6 +110,7 @@ type tcpMsg struct {
 	Bytes int
 	Src   string
 	Ctx   *msgCtx
+	Trace *trace.Req
 }
 
 // Cluster is the assembled system under test.
@@ -125,6 +132,7 @@ type Cluster struct {
 	coldStarts uint64
 
 	gw      *ingress.Gateway
+	tracer  *trace.Tracer
 	rdmaBE  *rdmaBackend
 	tcpBE   *tcpBackend
 	ready   *sim.Queue[struct{}]
@@ -188,6 +196,8 @@ func NewCluster(cfg Config) *Cluster {
 		Completed:    metrics.NewMeter(),
 	}
 	c.tenants = tenants
+	c.tracer = cfg.Tracer
+	c.tracer.SetClock(eng.Now)
 	for i := range cfg.Chains {
 		ch := cfg.Chains[i]
 		c.chains[ch.Name] = &ch
@@ -376,6 +386,13 @@ func (c *Cluster) chainTenant(spec *ChainSpec) string {
 	return c.cfg.Tenant
 }
 
+// SetTracer installs (or, with nil, removes) the request tracer at runtime;
+// callers use it to start tracing only after a warmup window.
+func (c *Cluster) SetTracer(tr *trace.Tracer) {
+	tr.SetClock(c.Eng.Now)
+	c.tracer = tr
+}
+
 // CrossTenantCopies reports sidecar-enforced copies between tenants.
 func (c *Cluster) CrossTenantCopies() uint64 { return c.crossTenantCopies }
 
@@ -476,7 +493,9 @@ func (c *Cluster) startFunction(f *Function) {
 		c.Eng.Spawn(f.name+"/shm-rx", func(pr *sim.Proc) {
 			for {
 				d := f.localIn.Recv(pr)
+				sp := d.Trace.Begin(trace.StageFnDeliver, f.name)
 				f.core.Exec(pr, f.localIn.WakeupCost()+c.P.SemTokenCost)
+				sp.End()
 				c.deliver(pr, f, d)
 			}
 		})
@@ -486,7 +505,9 @@ func (c *Cluster) startFunction(f *Function) {
 		c.Eng.Spawn(f.name+"/tcp-rx", func(pr *sim.Proc) {
 			for {
 				m := f.tcpIn.Get(pr)
+				sp := m.Trace.Begin(st.TraceStage(), f.name)
 				f.core.Exec(pr, transport.RecvCost(c.P, st, m.Bytes))
+				sp.End()
 				// The payload is copied out of the socket into a fresh
 				// local buffer.
 				buf, err := c.getBufferRetry(pr, f.node.pool(f.tenant), f.owner)
@@ -496,6 +517,7 @@ func (c *Cluster) startFunction(f *Function) {
 				d := mempool.Descriptor{
 					Tenant: f.tenant, Buf: buf, Len: m.Bytes,
 					Src: m.Src, Dst: f.name, Ctx: m.Ctx,
+					Trace: m.Trace,
 				}
 				c.deliver(pr, f, d)
 			}
@@ -539,13 +561,16 @@ func (c *Cluster) SubmitChain(chain string, client int, reply func(ingress.Respo
 		panic(fmt.Sprintf("core: unknown chain %q", chain))
 	}
 	now := c.Eng.Now()
+	tr := c.tracer.StartRequest("chain/" + chain)
 	c.gw.Submit(ingress.Request{
 		Client: client, Chain: chain,
 		Bytes: spec.ReqBytes, RespBytes: spec.RespBytes,
 		Stamp: now,
+		Trace: tr,
 		Reply: func(r ingress.Response) {
 			c.Completed.Inc(1)
 			c.ChainLatency[chain].Observe(c.Eng.Now() - r.Stamp)
+			tr.Finish()
 			if reply != nil {
 				reply(r)
 			}

@@ -7,6 +7,7 @@ import (
 	"nadino/internal/mempool"
 	"nadino/internal/params"
 	"nadino/internal/sim"
+	"nadino/internal/trace"
 	"nadino/internal/transport"
 )
 
@@ -18,6 +19,8 @@ func (c *Cluster) functionWorker(pr *sim.Proc, f *Function) {
 	lastServed := time.Duration(-1)
 	for {
 		d := f.inbox.Get(pr)
+		tr := d.Trace
+		tr.EndStage(trace.StageFnQueue)
 		mc, ok := d.Ctx.(*msgCtx)
 		if !ok || mc.Kind != kindRequest || mc.Req == nil {
 			panic(fmt.Sprintf("core: %s received malformed request descriptor", f.name))
@@ -26,7 +29,9 @@ func (c *Cluster) functionWorker(pr *sim.Proc, f *Function) {
 			idle := lastServed < 0 || pr.Now()-lastServed > f.spec.KeepWarm
 			if idle {
 				// Container boot: wall-clock delay, not core time.
+				sp := tr.Begin(trace.StageFnColdstart, f.name)
 				pr.Sleep(f.spec.ColdStart)
+				sp.End()
 				c.coldStarts++
 			}
 		}
@@ -36,7 +41,9 @@ func (c *Cluster) functionWorker(pr *sim.Proc, f *Function) {
 			panic(fmt.Sprintf("core: %s request buffer recycle: %v", f.name, err))
 		}
 		// Application compute.
+		sp := tr.Begin(trace.StageFnExec, f.name)
 		c.execApp(pr, f, f.spec.Service)
+		sp.End()
 		// Nested invocations: consecutive async calls fan out in parallel
 		// and join; synchronous calls run in order.
 		failed := false
@@ -48,14 +55,14 @@ func (c *Cluster) functionWorker(pr *sim.Proc, f *Function) {
 					group++
 				}
 			}
-			if err := c.invokeGroup(pr, f, calls[:group], rc.Chain); err != nil {
+			if err := c.invokeGroup(pr, f, calls[:group], rc.Chain, tr); err != nil {
 				failed = true
 			}
 			calls = calls[group:]
 		}
 		lastServed = pr.Now()
 		if !failed {
-			c.respond(pr, f, rc)
+			c.respond(pr, f, rc, tr)
 		}
 		f.inflight--
 	}
@@ -63,15 +70,15 @@ func (c *Cluster) functionWorker(pr *sim.Proc, f *Function) {
 
 // invokeGroup performs one or more invocations; multi-call groups fan out
 // concurrently and join before returning.
-func (c *Cluster) invokeGroup(pr *sim.Proc, f *Function, calls []Call, chain string) error {
+func (c *Cluster) invokeGroup(pr *sim.Proc, f *Function, calls []Call, chain string, tr *trace.Req) error {
 	if len(calls) == 1 {
-		return c.invoke(pr, f, calls[0], chain)
+		return c.invoke(pr, f, calls[0], chain, tr)
 	}
 	join := sim.NewQueue[error](c.Eng, 0)
 	for _, call := range calls {
 		call := call
 		c.Eng.Spawn(f.name+"/fanout", func(sub *sim.Proc) {
-			err := c.invoke(sub, f, call, chain)
+			err := c.invoke(sub, f, call, chain, tr)
 			join.TryPut(err)
 		})
 	}
@@ -93,7 +100,7 @@ func (c *Cluster) execApp(pr *sim.Proc, f *Function, cost time.Duration) {
 
 // invoke performs one synchronous downstream call and waits for the
 // response. The unified I/O library (send) picks the transport.
-func (c *Cluster) invoke(pr *sim.Proc, f *Function, call Call, chain string) error {
+func (c *Cluster) invoke(pr *sim.Proc, f *Function, call Call, chain string, tr *trace.Req) error {
 	buf, err := c.getBufferRetry(pr, f.node.pool(f.tenant), f.owner)
 	if err != nil {
 		return err
@@ -106,6 +113,7 @@ func (c *Cluster) invoke(pr *sim.Proc, f *Function, call Call, chain string) err
 			Chain: chain, Calls: call.Calls, RespBytes: call.RespBytes,
 			ReplyTo: f.name, Call: cc,
 		}},
+		Trace: tr,
 	}
 	if err := c.send(pr, f, call.Callee, d); err != nil {
 		return err
@@ -121,9 +129,9 @@ func (c *Cluster) invoke(pr *sim.Proc, f *Function, call Call, chain string) err
 
 // respond sends the invocation result upstream: to the calling function, or
 // back to the ingress gateway for entry functions.
-func (c *Cluster) respond(pr *sim.Proc, f *Function, rc *reqCtx) {
+func (c *Cluster) respond(pr *sim.Proc, f *Function, rc *reqCtx, tr *trace.Req) {
 	if rc.IngressDone != nil {
-		c.respondIngress(pr, f, rc)
+		c.respondIngress(pr, f, rc, tr)
 		return
 	}
 	buf, err := c.getBufferRetry(pr, f.node.pool(f.tenant), f.owner)
@@ -133,7 +141,8 @@ func (c *Cluster) respond(pr *sim.Proc, f *Function, rc *reqCtx) {
 	d := mempool.Descriptor{
 		Tenant: f.tenant, Buf: buf, Len: rc.RespBytes,
 		Src: f.name, Dst: rc.ReplyTo,
-		Ctx: &msgCtx{Kind: kindResponse, Call: rc.Call},
+		Ctx:   &msgCtx{Kind: kindResponse, Call: rc.Call},
+		Trace: tr,
 	}
 	if err := c.send(pr, f, rc.ReplyTo, d); err != nil {
 		_ = f.node.pool(f.tenant).Put(buf, f.owner)
@@ -141,7 +150,7 @@ func (c *Cluster) respond(pr *sim.Proc, f *Function, rc *reqCtx) {
 }
 
 // respondIngress returns an entry function's result to the gateway.
-func (c *Cluster) respondIngress(pr *sim.Proc, f *Function, rc *reqCtx) {
+func (c *Cluster) respondIngress(pr *sim.Proc, f *Function, rc *reqCtx, tr *trace.Req) {
 	if f.port != nil {
 		// NADINO: the response descriptor travels over RDMA to the
 		// ingress node, zero copy all the way.
@@ -152,7 +161,8 @@ func (c *Cluster) respondIngress(pr *sim.Proc, f *Function, rc *reqCtx) {
 		d := mempool.Descriptor{
 			Tenant: f.tenant, Buf: buf, Len: rc.RespBytes,
 			Src: f.name, Dst: "ingress",
-			Ctx: &msgCtx{Kind: kindResponse, IngressDone: rc.IngressDone, Stamp: rc.Stamp},
+			Ctx:   &msgCtx{Kind: kindResponse, IngressDone: rc.IngressDone, Stamp: rc.Stamp},
+			Trace: tr,
 		}
 		if err := f.port.Send(pr, f.core, d); err != nil {
 			_ = f.node.pool(f.tenant).Put(buf, f.owner)
@@ -161,11 +171,15 @@ func (c *Cluster) respondIngress(pr *sim.Proc, f *Function, rc *reqCtx) {
 	}
 	// Deferred conversion: the worker terminates TCP outbound too.
 	st := c.workerStack()
+	sp := tr.Begin(st.TraceStage(), f.name)
 	f.core.Exec(pr, transport.SendCost(c.P, st, rc.RespBytes))
+	sp.End()
 	done := rc.IngressDone
 	bytes := rc.RespBytes
 	stamp := rc.Stamp
+	t0 := c.Eng.Now()
 	c.Eng.After(c.tcpTransit(st), func() {
+		tr.Record(trace.StageTransit, "wire", t0, c.Eng.Now())
 		done(ingressResponse(bytes, stamp))
 	})
 }
@@ -200,7 +214,9 @@ func (c *Cluster) send(pr *sim.Proc, f *Function, dst string, d mempool.Descript
 			// Zero-copy shared memory: token passing + SK_MSG descriptor.
 			// (Cross-tenant deliveries get their sidecar copy on the
 			// receive side.)
+			sp := d.Trace.Begin(trace.StageSKMsg, f.name)
 			f.core.Exec(pr, p.SKMsgSendCost+p.SemTokenCost)
+			sp.End()
 			if err := pool.Transfer(d.Buf, f.owner, target.owner); err != nil {
 				return err
 			}
@@ -211,7 +227,9 @@ func (c *Cluster) send(pr *sim.Proc, f *Function, dst string, d mempool.Descript
 
 	case FuyaoF, FuyaoK:
 		if sameNode {
+			sp := d.Trace.Begin(trace.StageSKMsg, f.name)
 			f.core.Exec(pr, p.SKMsgSendCost+p.SemTokenCost)
+			sp.End()
 			if err := pool.Transfer(d.Buf, f.owner, target.owner); err != nil {
 				return err
 			}
@@ -219,7 +237,9 @@ func (c *Cluster) send(pr *sim.Proc, f *Function, dst string, d mempool.Descript
 			return nil
 		}
 		// Hand off to the node's FUYAO engine for a one-sided write.
+		sp := d.Trace.Begin(trace.StageSKMsg, f.name)
 		f.core.Exec(pr, p.SKMsgSendCost)
+		sp.End()
 		if err := pool.Transfer(d.Buf, f.owner, f.node.fuyao.owner); err != nil {
 			return err
 		}
@@ -228,7 +248,9 @@ func (c *Cluster) send(pr *sim.Proc, f *Function, dst string, d mempool.Descript
 
 	case Spright, NightCore:
 		if sameNode {
+			sp := d.Trace.Begin(trace.StageSKMsg, f.name)
 			f.core.Exec(pr, p.SKMsgSendCost+p.SemTokenCost)
+			sp.End()
 			if err := pool.Transfer(d.Buf, f.owner, target.owner); err != nil {
 				return err
 			}
@@ -237,7 +259,9 @@ func (c *Cluster) send(pr *sim.Proc, f *Function, dst string, d mempool.Descript
 		}
 		// SPRIGHT inter-node: kernel TCP on the function cores, with the
 		// payload copied through the sockets.
+		sp := d.Trace.Begin(transport.Kernel.TraceStage(), f.name)
 		f.core.Exec(pr, transport.SendCost(p, transport.Kernel, d.Len))
+		sp.End()
 		if err := pool.Put(d.Buf, f.owner); err != nil {
 			return err
 		}
@@ -247,7 +271,9 @@ func (c *Cluster) send(pr *sim.Proc, f *Function, dst string, d mempool.Descript
 	case Junction:
 		// Junction uses its kernel-bypass TCP stack for every hop, local
 		// or remote; data is copied through the stack either way.
+		sp := d.Trace.Begin(transport.Junction.TraceStage(), f.name)
 		f.core.Exec(pr, transport.SendCost(p, transport.Junction, d.Len))
+		sp.End()
 		if err := pool.Put(d.Buf, f.owner); err != nil {
 			return err
 		}
@@ -260,8 +286,10 @@ func (c *Cluster) send(pr *sim.Proc, f *Function, dst string, d mempool.Descript
 // tcpShip delivers a copied message to the target's socket inbox after the
 // stack's transit latency.
 func (c *Cluster) tcpShip(target *Function, d mempool.Descriptor, st transport.Stack) {
-	m := tcpMsg{Bytes: d.Len, Src: d.Src, Ctx: d.Ctx.(*msgCtx)}
+	m := tcpMsg{Bytes: d.Len, Src: d.Src, Ctx: d.Ctx.(*msgCtx), Trace: d.Trace}
+	t0 := c.Eng.Now()
 	c.Eng.After(c.tcpTransit(st), func() {
+		m.Trace.Record(trace.StageTransit, "wire", t0, c.Eng.Now())
 		target.tcpIn.TryPut(m)
 	})
 }
@@ -274,7 +302,9 @@ func (c *Cluster) tcpShip(target *Function, d mempool.Descriptor, st transport.S
 func (c *Cluster) deliver(pr *sim.Proc, f *Function, d mempool.Descriptor) {
 	if d.Tenant != "" && d.Tenant != f.tenant {
 		srcPool := f.node.pool(d.Tenant)
+		sp := d.Trace.Begin(trace.StageSidecar, f.name)
 		f.core.Exec(pr, c.P.MemcpyBase+params.Bytes(c.P.MemcpyPerByteCached, d.Len))
+		sp.End()
 		buf, err := c.getBufferRetry(pr, f.node.pool(f.tenant), f.owner)
 		if err != nil {
 			_ = srcPool.Put(d.Buf, f.owner)
@@ -293,6 +323,7 @@ func (c *Cluster) deliver(pr *sim.Proc, f *Function, d mempool.Descriptor) {
 	}
 	switch mc.Kind {
 	case kindRequest:
+		d.Trace.BeginStage(trace.StageFnQueue, f.name)
 		f.inbox.TryPut(d)
 	case kindResponse:
 		if mc.Call == nil {

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNetCPUStatsNadinoDNE checks the §4.3.1 accounting on the NADINO DNE
+// data plane: one pinned (DPU) engine core per node, a useful-work fraction
+// bounded by the pinned capacity, and a positive function-core share.
+func TestNetCPUStatsNadinoDNE(t *testing.T) {
+	c, done := runChainLoad(t, NadinoDNE, 4, 100*time.Millisecond)
+	if done == 0 {
+		t.Fatal("no requests completed")
+	}
+	elapsed := c.Eng.Now()
+	s := c.NetCPUStats(elapsed)
+	if !s.OnDPU {
+		t.Error("NADINO DNE pinned cores should be reported as DPU cores")
+	}
+	if s.PinnedCores != 2 {
+		t.Errorf("PinnedCores = %v, want 2 (one DNE worker core per node)", s.PinnedCores)
+	}
+	if s.PinnedUseful <= 0 || s.PinnedUseful > s.PinnedCores {
+		t.Errorf("PinnedUseful = %v, want in (0, %v]", s.PinnedUseful, s.PinnedCores)
+	}
+	if s.FnCores <= 0 {
+		t.Errorf("FnCores = %v, want > 0 (stack/IPC work on function cores)", s.FnCores)
+	}
+	if got := s.Total(); got != s.PinnedCores+s.FnCores {
+		t.Errorf("Total() = %v, want PinnedCores+FnCores = %v", got, s.PinnedCores+s.FnCores)
+	}
+}
+
+// TestNetCPUStatsFuyao checks the FUYAO accounting: engine + receiver poller
+// make two pinned host cores per node.
+func TestNetCPUStatsFuyao(t *testing.T) {
+	c, done := runChainLoad(t, FuyaoF, 4, 100*time.Millisecond)
+	if done == 0 {
+		t.Fatal("no requests completed")
+	}
+	s := c.NetCPUStats(c.Eng.Now())
+	if s.OnDPU {
+		t.Error("FUYAO pinned cores are host cores, not DPU cores")
+	}
+	if s.PinnedCores != 4 {
+		t.Errorf("PinnedCores = %v, want 4 (engine + poller on each of 2 nodes)", s.PinnedCores)
+	}
+	if s.PinnedUseful <= 0 || s.PinnedUseful > s.PinnedCores {
+		t.Errorf("PinnedUseful = %v, want in (0, %v]", s.PinnedUseful, s.PinnedCores)
+	}
+}
+
+// TestNetCPUStatsJunction checks that Junction's dedicated scheduler core is
+// counted as fully consumed (busy-polling pins it regardless of load).
+func TestNetCPUStatsJunction(t *testing.T) {
+	c, done := runChainLoad(t, Junction, 4, 100*time.Millisecond)
+	if done == 0 {
+		t.Fatal("no requests completed")
+	}
+	s := c.NetCPUStats(c.Eng.Now())
+	if s.PinnedCores != 2 {
+		t.Errorf("PinnedCores = %v, want 2 (one scheduler core per node)", s.PinnedCores)
+	}
+	if s.PinnedUseful != s.PinnedCores {
+		t.Errorf("PinnedUseful = %v, want %v (scheduler core counts fully)", s.PinnedUseful, s.PinnedCores)
+	}
+}
+
+// TestNetCPUStatsZeroElapsed: a non-positive window must yield the zero
+// value rather than dividing by zero.
+func TestNetCPUStatsZeroElapsed(t *testing.T) {
+	c, _ := runChainLoad(t, NadinoDNE, 1, 20*time.Millisecond)
+	for _, elapsed := range []time.Duration{0, -time.Second} {
+		s := c.NetCPUStats(elapsed)
+		if s != (NetCPU{}) {
+			t.Errorf("NetCPUStats(%v) = %+v, want zero value", elapsed, s)
+		}
+		if got := c.AppCPUCores(elapsed); got != 0 {
+			t.Errorf("AppCPUCores(%v) = %v, want 0", elapsed, got)
+		}
+	}
+}
+
+// TestNetCPUStatsNegativeNetClamped: if accounted application compute ever
+// exceeds measured function-core busy time (possible at window edges, where
+// appBusy is charged up front but the core drains later), the data-plane
+// share must clamp to zero instead of going negative.
+func TestNetCPUStatsNegativeNetClamped(t *testing.T) {
+	c, done := runChainLoad(t, NadinoDNE, 2, 50*time.Millisecond)
+	if done == 0 {
+		t.Fatal("no requests completed")
+	}
+	// Force the inconsistent edge case directly.
+	c.appBusy += time.Hour
+	s := c.NetCPUStats(c.Eng.Now())
+	if s.FnCores != 0 {
+		t.Errorf("FnCores = %v, want 0 when appBusy exceeds function-core busy time", s.FnCores)
+	}
+}
+
+// TestAppCPUCoresAndFnUtilization covers the per-function utilization map:
+// every deployed function appears, utilizations are sane, and application
+// compute is positive under load.
+func TestAppCPUCoresAndFnUtilization(t *testing.T) {
+	c, done := runChainLoad(t, NadinoDNE, 4, 100*time.Millisecond)
+	if done == 0 {
+		t.Fatal("no requests completed")
+	}
+	elapsed := c.Eng.Now()
+	if app := c.AppCPUCores(elapsed); app <= 0 {
+		t.Errorf("AppCPUCores = %v, want > 0 under load", app)
+	}
+	util := c.FnUtilization(elapsed)
+	for _, name := range []string{"frontend", "backend", "sibling"} {
+		u, ok := util[name]
+		if !ok {
+			t.Errorf("FnUtilization missing function %q", name)
+			continue
+		}
+		if u < 0 || u > 1 {
+			t.Errorf("FnUtilization[%q] = %v, want within [0, 1]", name, u)
+		}
+	}
+	if len(util) != len(c.fns) {
+		t.Errorf("FnUtilization has %d entries, want %d", len(util), len(c.fns))
+	}
+}

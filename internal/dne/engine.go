@@ -12,6 +12,7 @@ import (
 	"nadino/internal/params"
 	"nadino/internal/rdma"
 	"nadino/internal/sim"
+	"nadino/internal/trace"
 )
 
 // Mode selects on-path vs off-path DPU offloading (§2.1, Fig. 2).
@@ -333,9 +334,11 @@ func (e *Engine) workerLoop(pr *sim.Proc) {
 					break
 				}
 				if cost > 0 {
+					sp := d.Trace.Begin(trace.StageDNEIngest, e.actor())
 					e.worker.Exec(pr, cost)
+					sp.End()
 				}
-				e.sched.Enqueue(d.Tenant, d)
+				e.enqueue(d)
 				did = true
 			}
 		}
@@ -350,6 +353,7 @@ func (e *Engine) workerLoop(pr *sim.Proc) {
 			if !ok {
 				break
 			}
+			d.Trace.EndStage(trace.StageDNESched)
 			e.txOne(pr, d)
 			did = true
 		}
@@ -369,29 +373,36 @@ func (e *Engine) txOne(pr *sim.Proc, d mempool.Descriptor) {
 		// bucket refills, then feed it back through the scheduler.
 		e.rateDeferred++
 		wait := b.eta(e.eng.Now())
+		// The rate-limit hold reads as scheduler time: open the span now,
+		// before the timed re-enqueue, so the wait is attributed.
+		d.Trace.BeginStage(trace.StageDNESched, e.actor())
 		e.eng.After(wait, func() {
 			e.sched.Enqueue(d.Tenant, d)
 			e.work.Pulse()
 		})
 		return
 	}
+	sp := d.Trace.Begin(trace.StageDNETx, e.actor())
 	e.worker.Exec(pr, e.p.DNETxCost+e.perMsgExtra())
 	node, ok := e.routes[d.Dst]
 	if !ok {
 		e.dropNoRoute++
 		e.releaseBuffer(d)
+		sp.End()
 		return
 	}
 	byTenant, ok := e.pools[node]
 	if !ok {
 		e.dropNoRoute++
 		e.releaseBuffer(d)
+		sp.End()
 		return
 	}
 	cp, ok := byTenant[d.Tenant]
 	if !ok {
 		e.dropNoRoute++
 		e.releaseBuffer(d)
+		sp.End()
 		return
 	}
 	if e.cfg.Mode == OnPath {
@@ -402,6 +413,7 @@ func (e *Engine) txOne(pr *sim.Proc, d mempool.Descriptor) {
 	e.worker.Exec(pr, e.p.VerbsPostCost)
 	qp := cp.Pick()
 	qp.PostSend(d)
+	sp.End()
 	e.txCount++
 	if ts := e.tenants[d.Tenant]; ts != nil {
 		ts.TxMeter.Inc(1)
@@ -414,6 +426,7 @@ func (e *Engine) handleCQE(pr *sim.Proc, cqe rdma.CQE) {
 	case rdma.OpSend:
 		// Sender-side completion: recycle the source buffer.
 		e.worker.Exec(pr, e.p.VerbsPostCost/2)
+		cqe.Desc.Trace.EndStage(trace.StageRDMAAck)
 		if cqe.Status != rdma.StatusOK {
 			e.sendErrors++
 			// Transport-level failure (link loss, errored QP): retry the
@@ -423,13 +436,15 @@ func (e *Engine) handleCQE(pr *sim.Proc, cqe rdma.CQE) {
 			if d.Tenant != "" && d.Retries < 5 {
 				d.Retries++
 				e.retriedSends++
-				e.sched.Enqueue(d.Tenant, d)
+				e.enqueue(d)
 				return
 			}
 			e.dropRetryBudget++
 		}
 		e.releaseBuffer(cqe.Desc)
 	case rdma.OpRecv:
+		cqe.Desc.Trace.EndStage(trace.StageRDMACQ)
+		sp := cqe.Desc.Trace.Begin(trace.StageDNERx, e.actor())
 		e.worker.Exec(pr, e.p.DNERxCost)
 		if e.cfg.Mode == OnPath {
 			// Data was staged in SoC memory; push it to the host pool.
@@ -440,6 +455,7 @@ func (e *Engine) handleCQE(pr *sim.Proc, cqe rdma.CQE) {
 		if !ok {
 			e.dropNoPort++
 			e.releaseRQBuffer(d)
+			sp.End()
 			return
 		}
 		ts := e.tenants[d.Tenant]
@@ -455,8 +471,19 @@ func (e *Engine) handleCQE(pr *sim.Proc, cqe rdma.CQE) {
 		if cost > 0 {
 			e.worker.Exec(pr, cost)
 		}
+		sp.End()
 		fp.engineSidePush(d)
 	}
+}
+
+// actor labels this engine's spans.
+func (e *Engine) actor() string { return string(e.cfg.Node) + "/dne" }
+
+// enqueue feeds a descriptor to the tenant scheduler, opening its
+// scheduler-wait span (closed when the TX stage pops it).
+func (e *Engine) enqueue(d mempool.Descriptor) {
+	d.Trace.BeginStage(trace.StageDNESched, e.actor())
+	e.sched.Enqueue(d.Tenant, d)
 }
 
 // releaseBuffer recycles a buffer the engine owns after a send completes or

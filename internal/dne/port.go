@@ -8,6 +8,7 @@ import (
 	"nadino/internal/ipc"
 	"nadino/internal/mempool"
 	"nadino/internal/sim"
+	"nadino/internal/trace"
 )
 
 // Execer is any core a cost can be charged to (Processor or CorePool).
@@ -45,11 +46,14 @@ func (fp *FnPort) Send(pr *sim.Proc, core Execer, d mempool.Descriptor) error {
 	if err := ts.pool.Transfer(d.Buf, mempool.Owner(fp.fn), OwnerEngine(fp.engine.cfg.Node)); err != nil {
 		return err
 	}
+	sp := d.Trace.Begin(trace.StagePortSend, fp.fn)
 	if fp.comch != nil {
 		core.Exec(pr, fp.comch.SendCost())
+		sp.End()
 		fp.comch.SendToDNE(d)
 	} else {
 		core.Exec(pr, fp.toEngine.SendCost())
+		sp.End()
 		fp.toEngine.Send(d)
 	}
 	return nil
@@ -61,13 +65,17 @@ func (fp *FnPort) Send(pr *sim.Proc, core Execer, d mempool.Descriptor) error {
 func (fp *FnPort) Recv(pr *sim.Proc, core Execer) mempool.Descriptor {
 	if fp.comch != nil {
 		d := fp.comch.RecvOnHost(pr)
+		sp := d.Trace.Begin(trace.StagePortRecv, fp.fn)
 		if c := fp.comch.HostWakeupCost(); c > 0 {
 			core.Exec(pr, c)
 		}
+		sp.End()
 		return d
 	}
 	d := fp.toFn.Recv(pr)
+	sp := d.Trace.Begin(trace.StagePortRecv, fp.fn)
 	core.Exec(pr, fp.toFn.WakeupCost())
+	sp.End()
 	return d
 }
 

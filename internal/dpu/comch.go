@@ -6,6 +6,7 @@ import (
 	"nadino/internal/mempool"
 	"nadino/internal/params"
 	"nadino/internal/sim"
+	"nadino/internal/trace"
 )
 
 // ChannelMode selects the host<->DPU descriptor channel variant compared in
@@ -135,6 +136,7 @@ func (ep *Endpoint) PinsHostCore() bool { return ep.mode == ComchP }
 // own core before calling. Engine or process context.
 func (ep *Endpoint) SendToDNE(d mempool.Descriptor) {
 	ep.sentToDNE++
+	d.Trace.BeginStage(trace.StageComchH2D, "comch")
 	ep.eng.After(ep.deliverLatency(), func() {
 		ep.toDNE.TryPut(d)
 		if ep.work != nil {
@@ -146,6 +148,7 @@ func (ep *Endpoint) SendToDNE(d mempool.Descriptor) {
 // SendToHost ships a descriptor DPU -> host.
 func (ep *Endpoint) SendToHost(d mempool.Descriptor) {
 	ep.sentToHost++
+	d.Trace.BeginStage(trace.StageComchD2H, "comch")
 	ep.eng.After(ep.deliverLatency(), func() {
 		ep.toHost.TryPut(d)
 	})
@@ -153,7 +156,11 @@ func (ep *Endpoint) SendToHost(d mempool.Descriptor) {
 
 // TryRecvFromHost lets the DNE loop pull one pending descriptor.
 func (ep *Endpoint) TryRecvFromHost() (mempool.Descriptor, bool) {
-	return ep.toDNE.TryGet()
+	d, ok := ep.toDNE.TryGet()
+	if ok {
+		d.Trace.EndStage(trace.StageComchH2D)
+	}
+	return d, ok
 }
 
 // PendingFromHost reports queued host->DNE descriptors.
@@ -162,12 +169,18 @@ func (ep *Endpoint) PendingFromHost() int { return ep.toDNE.Len() }
 // RecvOnHost blocks the host function until a descriptor arrives. The
 // wakeup cost is paid by the caller afterwards (it knows its core).
 func (ep *Endpoint) RecvOnHost(pr *sim.Proc) mempool.Descriptor {
-	return ep.toHost.Get(pr)
+	d := ep.toHost.Get(pr)
+	d.Trace.EndStage(trace.StageComchD2H)
+	return d
 }
 
 // TryRecvOnHost is the non-blocking host-side receive (Comch-P pollers).
 func (ep *Endpoint) TryRecvOnHost() (mempool.Descriptor, bool) {
-	return ep.toHost.TryGet()
+	d, ok := ep.toHost.TryGet()
+	if ok {
+		d.Trace.EndStage(trace.StageComchD2H)
+	}
+	return d, ok
 }
 
 // Stats reports descriptors moved in each direction.

@@ -35,7 +35,7 @@ func AblConnPool(o Opts) *AblConnPoolResult {
 	p := params.Default()
 	const n = 10
 	// Pooled: the standard rig (connections established once at startup).
-	_, pooled := runDNEEcho(p, o.Seed, dne.OffPath, 1024, 1, o.scale(5*time.Millisecond, 20*time.Millisecond))
+	_, pooled := runDNEEcho(p, o.Seed, dne.OffPath, 1024, 1, o.scale(5*time.Millisecond, 20*time.Millisecond), nil)
 
 	// Per-request: every echo first performs the RC handshake, as a
 	// design without connection pooling would for short-lived functions.
@@ -406,7 +406,7 @@ func AblHugepage(o Opts) *AblHugepageResult {
 	run := func(pageSize int) (float64, time.Duration, int) {
 		p := params.Default()
 		p.HugepageSize = pageSize
-		rps, lat := runDNEEcho(p, o.Seed, dne.OffPath, 1024, 4, o.scale(10*time.Millisecond, 50*time.Millisecond))
+		rps, lat := runDNEEcho(p, o.Seed, dne.OffPath, 1024, 4, o.scale(10*time.Millisecond, 50*time.Millisecond), nil)
 		pages := mempool.NewPool("probe", 16384, 8192, pageSize).Hugepages()
 		return rps, lat, pages
 	}

@@ -14,6 +14,8 @@ import (
 	"strings"
 	"time"
 	"unicode/utf8"
+
+	"nadino/internal/trace"
 )
 
 // Opts scales experiment effort. Quick mode shrinks measurement windows and
@@ -22,6 +24,12 @@ import (
 type Opts struct {
 	Quick bool
 	Seed  int64
+
+	// Trace enables per-stage latency attribution in the experiments that
+	// support it (currently fig06). Each traced run hands its tracer to
+	// TraceSink under a profile name like "NADINO DNE/64B".
+	Trace     bool
+	TraceSink func(name string, tr *trace.Tracer)
 }
 
 // scale returns quick or full depending on the mode.
@@ -102,6 +110,45 @@ func fLat(d time.Duration) string {
 }
 
 func fRatio(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// TraceTable renders a tracer's per-stage latency attribution as a printable
+// table: per-request mean and P95 for each stage, plus each stage's share of
+// the end-to-end mean. Detail stages (marked "*") overlap primary stages and
+// are excluded from the reconciliation sum in the note.
+func TraceTable(name string, rep *trace.Report) *Table {
+	t := &Table{
+		Title:   "Latency attribution — " + name,
+		Columns: []string{"stage", "spans/req", "mean/req", "P95/span", "share"},
+	}
+	e2e := rep.EndToEnd.Mean()
+	for _, s := range rep.Stages {
+		per := s.PerRequest(rep.Requests)
+		share := "-"
+		if e2e > 0 && !s.Detail {
+			share = fmt.Sprintf("%.1f%%", 100*float64(per)/float64(e2e))
+		}
+		stage := s.Stage
+		if s.Detail {
+			stage += " *"
+		}
+		spansPerReq := float64(s.Count) / float64(max(rep.Requests, 1))
+		t.Rows = append(t.Rows, []string{
+			stage,
+			fmt.Sprintf("%.1f", spansPerReq),
+			fLat(per),
+			fLat(s.Hist.Quantile(0.95)),
+			share,
+		})
+	}
+	sum := rep.StageSumPerRequest()
+	gap := 0.0
+	if e2e > 0 {
+		gap = 100 * (float64(sum) - float64(e2e)) / float64(e2e)
+	}
+	t.Note = fmt.Sprintf("%d requests traced (%d unfinished, %d past sampling limit); stage sum %s vs end-to-end mean %s (%+.1f%%); * = overlapping detail stage",
+		rep.Requests, rep.Unfinished, rep.Dropped, fLat(sum), fLat(e2e), gap)
+	return t
+}
 
 // Experiment is a runnable evaluation artifact.
 type Experiment struct {

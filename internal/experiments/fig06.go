@@ -10,6 +10,7 @@ import (
 	"nadino/internal/params"
 	"nadino/internal/rdma"
 	"nadino/internal/sim"
+	"nadino/internal/trace"
 )
 
 // Fig06Row is one (setup, payload) measurement.
@@ -27,10 +28,15 @@ type Fig06Result struct {
 
 // runNativeEcho measures an echo pair that uses two-sided verbs directly
 // over a single RC QP — the paper's "native RDMA" baselines, with the
-// functions' cores running at coreSpeed (host vs wimpy DPU).
-func runNativeEcho(p *params.Params, seed int64, coreSpeed float64, payload, clients int, dur time.Duration) (float64, time.Duration) {
+// functions' cores running at coreSpeed (host vs wimpy DPU). A non-nil
+// tracer records per-stage spans for requests issued after warmup.
+func runNativeEcho(p *params.Params, seed int64, coreSpeed float64, payload, clients int, dur time.Duration, tracer *trace.Tracer) (float64, time.Duration) {
 	eng := sim.NewEngine(seed)
 	defer eng.Stop()
+	tracer.SetClock(eng.Now)
+	// live is armed only after warmup so the trace covers the measured
+	// steady-state window (closures read it at request-issue time).
+	var live *trace.Tracer
 	net := fabric.New(eng, p)
 	ra := rdma.NewRNIC(eng, p, "nodeA", net)
 	rb := rdma.NewRNIC(eng, p, "nodeB", net)
@@ -59,15 +65,22 @@ func runNativeEcho(p *params.Params, seed int64, coreSpeed float64, payload, cli
 		for {
 			cqB.Wait(pr)
 			for _, e := range cqB.Poll(0) {
-				coreB.Exec(pr, p.VerbsPostCost/2)
 				switch e.Op {
 				case rdma.OpRecv:
+					e.Desc.Trace.EndStage(trace.StageRDMACQ)
+					sp := e.Desc.Trace.Begin("srv.proc", "srv")
+					coreB.Exec(pr, p.VerbsPostCost/2)
 					if err := poolB.Transfer(e.Desc.Buf, "rq", "srv"); err != nil {
 						panic(err)
 					}
 					coreB.Exec(pr, p.VerbsPostCost)
-					qb.PostSend(mempool.Descriptor{Tenant: "t", Buf: e.Desc.Buf, Len: e.Bytes, Seq: e.Desc.Seq})
+					sp.End()
+					qb.PostSend(mempool.Descriptor{Tenant: "t", Buf: e.Desc.Buf, Len: e.Bytes, Seq: e.Desc.Seq, Trace: e.Desc.Trace})
 				case rdma.OpSend:
+					e.Desc.Trace.EndStage(trace.StageRDMAAck)
+					sp := e.Desc.Trace.BeginDetail("srv.ack", "srv")
+					coreB.Exec(pr, p.VerbsPostCost/2)
+					sp.End()
 					if err := poolB.Put(e.Desc.Buf, "srv"); err != nil {
 						panic(err)
 					}
@@ -85,9 +98,12 @@ func runNativeEcho(p *params.Params, seed int64, coreSpeed float64, payload, cli
 		for {
 			cqA.Wait(pr)
 			for _, e := range cqA.Poll(0) {
-				coreA.Exec(pr, p.VerbsPostCost/2)
 				switch e.Op {
 				case rdma.OpRecv:
+					e.Desc.Trace.EndStage(trace.StageRDMACQ)
+					sp := e.Desc.Trace.Begin("cli.proc", "cli")
+					coreA.Exec(pr, p.VerbsPostCost/2)
+					sp.End()
 					if w, ok := waiters[e.Desc.Seq]; ok {
 						delete(waiters, e.Desc.Seq)
 						w.TryPut(struct{}{})
@@ -100,6 +116,10 @@ func runNativeEcho(p *params.Params, seed int64, coreSpeed float64, payload, cli
 					}
 					post(poolA, srqA, 1)
 				case rdma.OpSend:
+					e.Desc.Trace.EndStage(trace.StageRDMAAck)
+					sp := e.Desc.Trace.BeginDetail("cli.ack", "cli")
+					coreA.Exec(pr, p.VerbsPostCost/2)
+					sp.End()
 					if err := poolA.Put(e.Desc.Buf, "cli"); err != nil {
 						panic(err)
 					}
@@ -121,16 +141,21 @@ func runNativeEcho(p *params.Params, seed int64, coreSpeed float64, payload, cli
 				w := sim.NewQueue[struct{}](eng, 1)
 				waiters[id] = w
 				start := pr.Now()
+				req := live.StartRequest("echo/native")
+				sp := req.Begin("cli.post", "cli")
 				coreA.Exec(pr, p.VerbsPostCost)
-				qa.PostSend(mempool.Descriptor{Tenant: "t", Buf: buf, Len: payload, Seq: id})
+				sp.End()
+				qa.PostSend(mempool.Descriptor{Tenant: "t", Buf: buf, Len: payload, Seq: id, Trace: req})
 				w.Get(pr)
+				req.Finish()
 				count++
 				rttSum += pr.Now() - start
 			}
 		})
 	}
-	// Warmup, then measure.
+	// Warmup, then measure (tracing only the measured window).
 	eng.RunUntil(2 * time.Millisecond)
+	live = tracer
 	base, baseRTT := count, rttSum
 	start := eng.Now()
 	eng.RunUntil(start + dur)
@@ -141,10 +166,13 @@ func runNativeEcho(p *params.Params, seed int64, coreSpeed float64, payload, cli
 	return float64(n) / (eng.Now() - start).Seconds(), (rttSum - baseRTT) / time.Duration(n)
 }
 
-// runDNEEcho measures the echo pair behind the full DNE isolation layer.
-func runDNEEcho(p *params.Params, seed int64, mode dne.Mode, payload, clients int, dur time.Duration) (float64, time.Duration) {
+// runDNEEcho measures the echo pair behind the full DNE isolation layer. A
+// non-nil tracer records per-stage spans for requests issued after warmup.
+func runDNEEcho(p *params.Params, seed int64, mode dne.Mode, payload, clients int, dur time.Duration, tracer *trace.Tracer) (float64, time.Duration) {
 	r := newDNERig(p, seed, mode, dne.SchedDWRR, []tenantSpec{{name: "t", weight: 1}})
 	defer r.eng.Stop()
+	tracer.SetClock(r.eng.Now)
+	r.tracer = tracer
 	cliPort := r.ea.AttachFunction("cli-t", "t")
 	srvPort := r.eb.AttachFunction("srv-t", "t")
 	r.spawnEchoServer("t", srvPort)
@@ -156,20 +184,39 @@ func runDNEEcho(p *params.Params, seed int64, mode dne.Mode, payload, clients in
 // Fig06Setups lists the compared configurations.
 var Fig06Setups = []string{"NADINO DNE", "native RDMA (CPU)", "native RDMA (DPU)"}
 
-// Fig06 runs the §3.2.1 isolation-cost microbenchmark.
+// Fig06 runs the §3.2.1 isolation-cost microbenchmark. With o.Trace set it
+// also hands one per-(setup, payload) latency-attribution tracer to
+// o.TraceSink.
 func Fig06(o Opts) *Fig06Result {
 	p := params.Default()
 	payloads := o.pick([]int{64, 4096}, []int{64, 512, 1024, 4096})
 	dur := o.scale(20*time.Millisecond, 200*time.Millisecond)
 	const clients = 4
 	res := &Fig06Result{}
+	newTracer := func() *trace.Tracer {
+		if !o.Trace {
+			return nil
+		}
+		return trace.New(nil) // clock attached by the echo runner
+	}
+	emit := func(setup string, pl int, tr *trace.Tracer) {
+		if tr != nil && o.TraceSink != nil {
+			o.TraceSink(fmt.Sprintf("%s/%dB", setup, pl), tr)
+		}
+	}
 	for _, pl := range payloads {
-		rps, lat := runDNEEcho(p, o.Seed, dne.OffPath, pl, clients, dur)
+		tr := newTracer()
+		rps, lat := runDNEEcho(p, o.Seed, dne.OffPath, pl, clients, dur, tr)
 		res.Rows = append(res.Rows, Fig06Row{Setup: "NADINO DNE", Payload: pl, RPS: rps, MeanLat: lat})
-		rps, lat = runNativeEcho(p, o.Seed, p.HostCoreSpeed, pl, clients, dur)
+		emit("NADINO DNE", pl, tr)
+		tr = newTracer()
+		rps, lat = runNativeEcho(p, o.Seed, p.HostCoreSpeed, pl, clients, dur, tr)
 		res.Rows = append(res.Rows, Fig06Row{Setup: "native RDMA (CPU)", Payload: pl, RPS: rps, MeanLat: lat})
-		rps, lat = runNativeEcho(p, o.Seed, p.DPUNetSpeed, pl, clients, dur)
+		emit("native RDMA (CPU)", pl, tr)
+		tr = newTracer()
+		rps, lat = runNativeEcho(p, o.Seed, p.DPUNetSpeed, pl, clients, dur, tr)
 		res.Rows = append(res.Rows, Fig06Row{Setup: "native RDMA (DPU)", Payload: pl, RPS: rps, MeanLat: lat})
+		emit("native RDMA (DPU)", pl, tr)
 	}
 	return res
 }

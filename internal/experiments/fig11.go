@@ -40,13 +40,13 @@ func Fig11(o Opts) *Fig11Result {
 	res := &Fig11Result{}
 	for _, mode := range []dne.Mode{dne.OffPath, dne.OnPath} {
 		for _, pl := range payloads {
-			rps, lat := runDNEEcho(p, o.Seed, mode, pl, 1, dur)
+			rps, lat := runDNEEcho(p, o.Seed, mode, pl, 1, dur, nil)
 			res.PayloadSweep = append(res.PayloadSweep, Fig11Row{
 				Mode: fig11Mode(mode), Payload: pl, Concurrency: 1, RPS: rps, MeanLat: lat,
 			})
 		}
 		for _, cc := range concs {
-			rps, lat := runDNEEcho(p, o.Seed, mode, 1024, cc, dur)
+			rps, lat := runDNEEcho(p, o.Seed, mode, 1024, cc, dur, nil)
 			res.ConcurrencySweep = append(res.ConcurrencySweep, Fig11Row{
 				Mode: fig11Mode(mode), Payload: 1024, Concurrency: cc, RPS: rps, MeanLat: lat,
 			})

@@ -202,7 +202,7 @@ func Fig12(o Opts) *Fig12Result {
 			var rps float64
 			var lat time.Duration
 			if v == TwoSided {
-				rps, lat = runNativeEcho(p, o.Seed, p.HostCoreSpeed, pl, clients, dur)
+				rps, lat = runNativeEcho(p, o.Seed, p.HostCoreSpeed, pl, clients, dur, nil)
 			} else {
 				rps, lat = runOneSidedEcho(p, o.Seed, v, pl, clients, dur)
 			}

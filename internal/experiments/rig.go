@@ -11,6 +11,7 @@ import (
 	"nadino/internal/params"
 	"nadino/internal/rdma"
 	"nadino/internal/sim"
+	"nadino/internal/trace"
 )
 
 // dneRig is a two-worker-node setup with a network engine per node and one
@@ -24,6 +25,10 @@ type dneRig struct {
 	ea, eb *dne.Engine
 	pools  map[string][2]*mempool.Pool // per tenant: [nodeA, nodeB]
 	ready  *sim.Queue[struct{}]
+	// tracer, when non-nil, records per-stage spans for echo requests.
+	// measureEcho nils it during warmup so only steady-state requests are
+	// traced.
+	tracer *trace.Tracer
 }
 
 // tenantSpec declares one tenant on the rig.
@@ -113,6 +118,7 @@ func (r *dneRig) spawnEchoServer(tenant string, port *dne.FnPort) {
 			out := mempool.Descriptor{
 				Tenant: tenant, Buf: reply, Len: d.Len,
 				Src: "srv-" + tenant, Dst: d.Src, Seq: d.Seq, Stamp: d.Stamp, Ctx: d.Ctx,
+				Trace: d.Trace,
 			}
 			if err := port.Send(pr, core, out); err != nil {
 				panic(err)
@@ -172,14 +178,17 @@ func (r *dneRig) spawnEchoClients(tenant string, port *dne.FnPort, n, payload in
 				id := seq
 				waiters[id] = respQ
 				start := pr.Now()
+				req := r.tracer.StartRequest("echo/" + tenant)
 				d := mempool.Descriptor{
 					Tenant: tenant, Buf: buf, Len: payload,
 					Src: "cli-" + tenant, Dst: "srv-" + tenant, Seq: id, Stamp: start,
+					Trace: req,
 				}
 				if err := port.Send(pr, core, d); err != nil {
 					panic(err)
 				}
 				resp := respQ.Get(pr)
+				req.Finish()
 				stats.count++
 				stats.rttSum += pr.Now() - start
 				if err := pool.Put(resp.Buf, cli); err != nil {
@@ -201,7 +210,13 @@ func (s *echoClientStats) meanRTT() time.Duration {
 // measureEcho runs the rig for dur (after setup) and returns RPS and mean
 // RTT for the tenant stats.
 func measureEcho(r *dneRig, stats *echoClientStats, dur time.Duration) (float64, time.Duration) {
+	// Trace only the measured window: requests issued during warmup would
+	// otherwise skew the trace's end-to-end mean relative to the reported
+	// steady-state RTT.
+	tr := r.tracer
+	r.tracer = nil
 	r.eng.RunUntil(r.p.QPSetupTime + 2*time.Millisecond) // warmup
+	r.tracer = tr
 	base := stats.count
 	baseRTT := stats.rttSum
 	start := r.eng.Now()
@@ -217,5 +232,5 @@ func measureEcho(r *dneRig, stats *echoClientStats, dur time.Duration) (float64,
 // RTT. It is the standard "is the whole data path alive" probe used by the
 // repository's benchmarks.
 func EchoProbe(p *params.Params, seed int64) (float64, time.Duration) {
-	return runDNEEcho(p, seed, dne.OffPath, 1024, 4, 10*time.Millisecond)
+	return runDNEEcho(p, seed, dne.OffPath, 1024, 4, 10*time.Millisecond, nil)
 }

@@ -10,6 +10,7 @@ import (
 
 	"nadino/internal/params"
 	"nadino/internal/sim"
+	"nadino/internal/trace"
 )
 
 // NodeID names a server node on the fabric.
@@ -96,6 +97,15 @@ func (n *Network) Send(from, to NodeID, bytes int, deliver func()) time.Duration
 		}
 		deliver()
 	})
+	return at
+}
+
+// SendTraced is Send plus a detail span on r covering the wire segment
+// (egress queueing + serialization + propagation). A nil r is free.
+func (n *Network) SendTraced(from, to NodeID, bytes int, r *trace.Req, deliver func()) time.Duration {
+	start := n.eng.Now()
+	at := n.Send(from, to, bytes, deliver)
+	r.RecordDetail(trace.StageFabric, string(from)+">"+string(to), start, at)
 	return at
 }
 

@@ -17,6 +17,7 @@ import (
 	"nadino/internal/metrics"
 	"nadino/internal/params"
 	"nadino/internal/sim"
+	"nadino/internal/trace"
 	"nadino/internal/transport"
 )
 
@@ -65,6 +66,8 @@ type Request struct {
 	// Reply delivers the response to the client (engine context), already
 	// delayed by the external network.
 	Reply func(Response)
+	// Trace is the request's latency-attribution trace (nil when untraced).
+	Trace *trace.Req
 }
 
 // Response is the gateway's answer to a Request.
@@ -103,6 +106,7 @@ type workerEvent struct {
 	resp   Response
 	// reply is the client callback carried through the response path.
 	reply func(Response)
+	tr    *trace.Req
 }
 
 // worker is one gateway worker process pinned to a core.
@@ -198,7 +202,9 @@ func (g *Gateway) addWorker() {
 func (g *Gateway) Submit(req Request) {
 	g.nextID++
 	req.ID = g.nextID
+	t0 := g.eng.Now()
 	g.eng.After(g.p.ExtNetOneWay+transport.TransitLatency(g.p, g.cfg.Kind.clientStack()), func() {
+		req.Trace.Record(trace.StageNetClient, "extnet", t0, g.eng.Now())
 		w := g.pick(req.Client)
 		if g.cfg.Kind == KIngress {
 			// Interrupt-driven input: the IRQ/softirq cost is paid on
@@ -210,6 +216,7 @@ func (g *Gateway) Submit(req Request) {
 			g.dropped++
 			return
 		}
+		req.Trace.BeginStage(trace.StageIngressQueue, "ingress")
 		w.q = append(w.q, workerEvent{req: req})
 		w.wake.Pulse()
 	})
@@ -255,8 +262,14 @@ func (g *Gateway) workerLoop(pr *sim.Proc, w *worker) {
 		w.q = w.q[1:]
 		if !ev.isResp {
 			req := ev.req
+			tr := req.Trace
+			tr.EndStage(trace.StageIngressQueue)
+			actor := fmt.Sprintf("ingress-w%d", w.id)
 			// Client-side TCP receive + HTTP processing.
+			sp := tr.Begin(trace.StageIngressRecv, actor)
 			w.core.Exec(pr, transport.RecvCost(p, cs, req.Bytes)+transport.HTTPCost(p)+g.cfg.ExtraPerRequest)
+			sp.End()
+			sp = tr.Begin(trace.StageIngressConv, actor)
 			if kind == Nadino {
 				// Early transport conversion: copy the payload into an
 				// RDMA-registered buffer and post a two-sided send.
@@ -266,17 +279,25 @@ func (g *Gateway) workerLoop(pr *sim.Proc, w *worker) {
 				// the upstream connection-management overhead here.
 				w.core.Exec(pr, transport.SendCost(p, us, req.Bytes)+p.ProxyUpstreamOverhead/2)
 			}
+			sp.End()
+			// The backend wait wraps every worker-side stage, so it is a
+			// detail span: useful in the timeline, excluded from sums.
+			tr.BeginStageDetail(trace.StageIngressWait, actor)
 			g.backend.Forward(req, func(resp Response) {
+				tr.EndStage(trace.StageIngressWait)
+				tr.BeginStage(trace.StageIngressQueue, "ingress")
 				w2 := w
 				if !w2.active {
 					w2 = g.pick(req.Client)
 				}
-				w2.q = append(w2.q, workerEvent{isResp: true, resp: resp, reply: req.Reply})
+				w2.q = append(w2.q, workerEvent{isResp: true, resp: resp, reply: req.Reply, tr: tr})
 				w2.wake.Pulse()
 			})
 			continue
 		}
 		resp := ev.resp
+		ev.tr.EndStage(trace.StageIngressQueue)
+		sp := ev.tr.Begin(trace.StageIngressResp, fmt.Sprintf("ingress-w%d", w.id))
 		if kind == Nadino {
 			// Poll the RDMA completion and copy the payload back out into
 			// the TCP stream.
@@ -286,9 +307,15 @@ func (g *Gateway) workerLoop(pr *sim.Proc, w *worker) {
 		}
 		// HTTP response relay + client-side TCP send.
 		w.core.Exec(pr, transport.HTTPCost(p)/2+transport.SendCost(p, cs, resp.Bytes))
+		sp.End()
 		g.served.Inc(1)
 		if cb := ev.reply; cb != nil {
-			g.eng.After(g.p.ExtNetOneWay+transport.TransitLatency(p, cs), func() { cb(resp) })
+			t0 := pr.Now()
+			tr := ev.tr
+			g.eng.After(g.p.ExtNetOneWay+transport.TransitLatency(p, cs), func() {
+				tr.Record(trace.StageNetClient, "extnet", t0, g.eng.Now())
+				cb(resp)
+			})
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"nadino/internal/mempool"
 	"nadino/internal/params"
 	"nadino/internal/sim"
+	"nadino/internal/trace"
 )
 
 // SKMsg is a unidirectional SK_MSG descriptor channel between two local
@@ -52,6 +53,7 @@ func (c *SKMsg) InterruptCost(backlog int) time.Duration {
 // Send ships a descriptor; it arrives after the SK_MSG delivery latency.
 // The caller pays SendCost on its own core first. Engine/process context.
 func (c *SKMsg) Send(d mempool.Descriptor) {
+	d.Trace.BeginStage(trace.StageSKMsg, "skmsg")
 	c.eng.After(c.p.SKMsgDeliver, func() {
 		c.delivered++
 		c.q.TryPut(d)
@@ -63,10 +65,20 @@ func (c *SKMsg) Send(d mempool.Descriptor) {
 
 // Recv blocks until a descriptor arrives. The caller pays WakeupCost on its
 // own core afterwards.
-func (c *SKMsg) Recv(pr *sim.Proc) mempool.Descriptor { return c.q.Get(pr) }
+func (c *SKMsg) Recv(pr *sim.Proc) mempool.Descriptor {
+	d := c.q.Get(pr)
+	d.Trace.EndStage(trace.StageSKMsg)
+	return d
+}
 
 // TryRecv is the non-blocking receive used by event loops.
-func (c *SKMsg) TryRecv() (mempool.Descriptor, bool) { return c.q.TryGet() }
+func (c *SKMsg) TryRecv() (mempool.Descriptor, bool) {
+	d, ok := c.q.TryGet()
+	if ok {
+		d.Trace.EndStage(trace.StageSKMsg)
+	}
+	return d, ok
+}
 
 // Pending reports queued descriptors (the CNE's interrupt backlog).
 func (c *SKMsg) Pending() int { return c.q.Len() }

@@ -1,6 +1,10 @@
 package mempool
 
-import "time"
+import (
+	"time"
+
+	"nadino/internal/trace"
+)
 
 // Descriptor is the 16-byte buffer descriptor exchanged over NADINO's data
 // plane (§3.5.4): intra-node via SK_MSG, host<->DPU via Comch, and embedded
@@ -19,6 +23,9 @@ type Descriptor struct {
 
 	Stamp time.Duration // creation time (latency accounting)
 	Ctx   any           // opaque request context carried end to end
+	// Trace is the request trace this descriptor belongs to; nil (the
+	// common case) disables all span recording along its path.
+	Trace *trace.Req
 	// Retries counts data-plane retransmissions of this descriptor after
 	// transport errors (engine-level at-least-once recovery).
 	Retries uint8

@@ -94,14 +94,25 @@ func (h *Hist) Quantile(q float64) time.Duration {
 	if target >= h.count {
 		target = h.count - 1
 	}
+	v := h.max
 	var seen uint64
 	for i, c := range h.buckets {
 		seen += c
 		if seen > target {
-			return histBounds[i]
+			v = histBounds[i]
+			break
 		}
 	}
-	return h.max
+	// Bucket bounds are ~2% coarser than the exact extrema tracked
+	// alongside the buckets: clamp so no quantile escapes [Min, Max]
+	// (notably Quantile(1.0), whose bucket bound can exceed Max).
+	if v > h.max {
+		v = h.max
+	}
+	if v < h.min {
+		v = h.min
+	}
+	return v
 }
 
 // P50, P95, P99 are convenience quantiles.

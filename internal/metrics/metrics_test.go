@@ -78,10 +78,30 @@ func TestHistQuantileMonotoneProperty(t *testing.T) {
 			}
 			prev = v
 		}
-		return float64(h.Quantile(1.0)) <= float64(h.Max())*1.03+float64(histBase)
+		return h.Quantile(1.0) <= h.Max() && h.Quantile(0.0) >= h.Min()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Regression: quantiles are clamped to the exact tracked [Min, Max]. The
+// log-spaced buckets are ~2% coarse, so before clamping Quantile(1.0)
+// returned a bucket upper bound above the largest observed sample.
+func TestHistQuantileClampedToMinMax(t *testing.T) {
+	h := NewHist()
+	h.Observe(333 * time.Microsecond) // lands mid-bucket: bound > sample
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 0.99, 1.0} {
+		if got := h.Quantile(q); got != 333*time.Microsecond {
+			t.Fatalf("single-sample Quantile(%v) = %v, want exactly 333us", q, got)
+		}
+	}
+	h.Observe(100 * time.Microsecond)
+	if got := h.Quantile(1.0); got != h.Max() {
+		t.Fatalf("Quantile(1.0) = %v, want Max() = %v", got, h.Max())
+	}
+	if got := h.Quantile(0.0); got < h.Min() {
+		t.Fatalf("Quantile(0.0) = %v below Min() = %v", got, h.Min())
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"nadino/internal/mempool"
 	"nadino/internal/sim"
+	"nadino/internal/trace"
 )
 
 // QP is one end of a reliable-connected queue pair. Each tenant's QPs on a
@@ -144,6 +145,10 @@ func (qp *QP) PostSend(d mempool.Descriptor) uint64 {
 	qp.bytesSent += uint64(d.Len)
 	r.sends++
 
+	// The transfer span runs from the post to the receive-side CQE (closed
+	// in CQ.push); a send abandoned by the transport leaves it open, which
+	// reports and exports ignore.
+	d.Trace.BeginStage(trace.StageRDMA, string(r.node)+"/rnic")
 	st := &sendAttempt{}
 	qp.pending[id] = st
 	attempt := func() {
@@ -151,7 +156,7 @@ func (qp *QP) PostSend(d mempool.Descriptor) uint64 {
 		done := r.pipe(cost)
 		wire := d.Len + wireHeaderBytes
 		r.eng.At(done, func() {
-			r.net.Send(r.node, qp.peer.rnic.node, wire, func() {
+			r.net.SendTraced(r.node, qp.peer.rnic.node, wire, d.Trace, func() {
 				qp.peer.rnic.deliverSend(qp, id, d, 0)
 			})
 		})
@@ -209,6 +214,7 @@ func (r *RNIC) deliverSend(src *QP, wrID uint64, d mempool.Descriptor, attempt i
 			// Receiver not ready: RC retries with backoff, then errors.
 			dst.srq.rnr++
 			r.rnrRetries++
+			d.Trace.Event(trace.StageRNR, string(r.node)+"/rnic")
 			if attempt+1 > maxRNRRetries {
 				src.rnic.eng.After(p.FabricPropagation, func() {
 					src.complete(CQE{WRID: wrID, Op: OpSend, Status: StatusRNRExceeded, Bytes: d.Len, Tenant: src.Tenant, QP: src, Desc: d})
@@ -230,6 +236,7 @@ func (r *RNIC) deliverSend(src *QP, wrID uint64, d mempool.Descriptor, attempt i
 			recv.Seq = d.Seq
 			recv.Stamp = d.Stamp
 			recv.Ctx = d.Ctx
+			recv.Trace = d.Trace
 			dst.srq.consumed++
 			dst.cq.push(CQE{WRID: r.wrID(), Op: OpRecv, Status: StatusOK, Bytes: d.Len, Tenant: dst.Tenant, QP: dst, Desc: recv})
 			// RC ack completes the sender after one propagation delay.
@@ -257,11 +264,12 @@ func (qp *QP) PostWrite(d mempool.Descriptor, remote RemoteBuf) uint64 {
 	qp.bytesSent += uint64(d.Len)
 	r.writes++
 
+	d.Trace.BeginStage(trace.StageRDMA, string(r.node)+"/rnic")
 	cost := p.RNICPerWR + r.cachePenalty(qp.id) + r.dmaCost(d.Len)
 	done := r.pipe(cost)
 	wire := d.Len + wireHeaderBytes
 	r.eng.At(done, func() {
-		r.net.Send(r.node, qp.peer.rnic.node, wire, func() {
+		r.net.SendTraced(r.node, qp.peer.rnic.node, wire, d.Trace, func() {
 			rr := qp.peer.rnic
 			at := rr.pipe(p.RNICPerWR + rr.cachePenalty(qp.peer.id) + rr.dmaCost(d.Len))
 			rr.eng.At(at, func() {

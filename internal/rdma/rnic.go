@@ -19,6 +19,7 @@ import (
 	"nadino/internal/mempool"
 	"nadino/internal/params"
 	"nadino/internal/sim"
+	"nadino/internal/trace"
 )
 
 // Op identifies a verb.
@@ -103,6 +104,18 @@ func NewCQ(eng *sim.Engine) *CQ {
 func (cq *CQ) SetNotify(fn func()) { cq.onPush = fn }
 
 func (cq *CQ) push(e CQE) {
+	// Completion is the transfer/ack boundary for the descriptor's trace:
+	// arrival closes the in-flight span, and the time until a consumer
+	// drains this CQE is its own stage.
+	switch e.Op {
+	case OpRecv, OpWrite:
+		e.Desc.Trace.EndStage(trace.StageRDMA)
+		if e.Op == OpRecv {
+			e.Desc.Trace.BeginStage(trace.StageRDMACQ, "cq")
+		}
+	case OpSend:
+		e.Desc.Trace.BeginStageDetail(trace.StageRDMAAck, "cq")
+	}
 	cq.entries = append(cq.entries, e)
 	cq.sig.Pulse()
 	if cq.onPush != nil {

@@ -67,8 +67,18 @@ func (c *Processor) Charge(cost time.Duration) {
 	c.ops++
 }
 
-// BusyTime reports accumulated busy time (scaled).
-func (c *Processor) BusyTime() time.Duration { return c.busyTime }
+// BusyTime reports busy time realized so far (scaled). Exec and Charge
+// accrue their full cost into the backlog up front while the core serves it
+// over [now, busyUntil]; the not-yet-served remainder is excluded here so
+// that BusyTime never exceeds elapsed virtual time on any core and
+// mid-run utilization samples (autoscalers, NetCPUStats) stay <= 100%.
+func (c *Processor) BusyTime() time.Duration {
+	busy := c.busyTime
+	if pending := c.busyUntil - c.eng.now; pending > 0 {
+		busy -= pending
+	}
+	return busy
+}
 
 // Ops reports the number of Exec/Charge calls served.
 func (c *Processor) Ops() uint64 { return c.ops }
@@ -128,11 +138,11 @@ func (cp *CorePool) pick() *Processor {
 	return best
 }
 
-// BusyTime reports the summed busy time across all cores.
+// BusyTime reports the summed realized busy time across all cores.
 func (cp *CorePool) BusyTime() time.Duration {
 	var total time.Duration
 	for _, c := range cp.cores {
-		total += c.busyTime
+		total += c.BusyTime()
 	}
 	return total
 }

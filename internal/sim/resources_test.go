@@ -271,19 +271,26 @@ func TestProcessorChargeAndAccessors(t *testing.T) {
 		t.Fatal("accessors wrong")
 	}
 	c.Charge(10 * time.Millisecond)
-	if c.BusyTime() != 20*time.Millisecond { // scaled by 1/0.5
-		t.Fatalf("busy = %v", c.BusyTime())
+	// The charge is backlog: none of it has been realized at t=0, so the
+	// core cannot report more busy time than has elapsed.
+	if c.BusyTime() != 0 {
+		t.Fatalf("busy = %v, want 0 at t=0", c.BusyTime())
 	}
 	if c.Ops() != 1 {
 		t.Fatalf("ops = %d", c.Ops())
 	}
-	if c.QueueDelay() != 20*time.Millisecond {
+	if c.QueueDelay() != 20*time.Millisecond { // scaled by 1/0.5
 		t.Fatalf("queue delay = %v", c.QueueDelay())
 	}
 	// Charge stacks behind the backlog.
 	c.Charge(10 * time.Millisecond)
 	if c.QueueDelay() != 40*time.Millisecond {
 		t.Fatalf("stacked queue delay = %v", c.QueueDelay())
+	}
+	// Mid-backlog, realized busy time equals elapsed time (core saturated).
+	e.RunUntil(10 * time.Millisecond)
+	if c.BusyTime() != 10*time.Millisecond {
+		t.Fatalf("busy = %v, want 10ms mid-backlog", c.BusyTime())
 	}
 	// An Exec issued now waits behind both charges.
 	var done time.Duration
@@ -294,6 +301,9 @@ func TestProcessorChargeAndAccessors(t *testing.T) {
 	e.Run()
 	if done != 50*time.Millisecond {
 		t.Fatalf("exec finished at %v, want 50ms", done)
+	}
+	if c.BusyTime() != 50*time.Millisecond {
+		t.Fatalf("busy = %v, want 50ms once backlog drains", c.BusyTime())
 	}
 }
 
@@ -312,9 +322,58 @@ func TestCorePoolQueueDelayAndCharge(t *testing.T) {
 	if cp.QueueDelay() != 10*time.Millisecond {
 		t.Fatalf("both busy: delay = %v", cp.QueueDelay())
 	}
-	if cp.BusyTime() != 20*time.Millisecond {
-		t.Fatalf("pool busy = %v", cp.BusyTime())
+	// Nothing realized yet at t=0; once the backlog drains the pool has
+	// accumulated both charges.
+	if cp.BusyTime() != 0 {
+		t.Fatalf("pool busy = %v, want 0 at t=0", cp.BusyTime())
 	}
+	e.RunUntil(10 * time.Millisecond)
+	if cp.BusyTime() != 20*time.Millisecond {
+		t.Fatalf("pool busy = %v, want 20ms after backlog", cp.BusyTime())
+	}
+}
+
+// Property: realized busy time never exceeds elapsed virtual time on any
+// core and is monotone non-decreasing, under a randomized mix of blocking
+// Execs and non-blocking Charges (the Charge-during-Run double-accounting
+// regression).
+func TestProcessorBusyTimeWithinElapsed(t *testing.T) {
+	e := NewEngine(7)
+	defer e.Stop()
+	cores := []*Processor{
+		NewProcessor(e, "wimpy", 0.5),
+		NewProcessor(e, "ref", 1.0),
+		NewProcessor(e, "fast", 2.0),
+	}
+	const horizon = 50 * time.Millisecond
+	for i := 0; i < 8; i++ {
+		c := cores[i%len(cores)]
+		e.Spawn("worker", func(p *Proc) {
+			for p.Now() < horizon {
+				c.Exec(p, time.Duration(1+e.Rand().Intn(500))*time.Microsecond)
+				p.Sleep(time.Duration(e.Rand().Intn(300)) * time.Microsecond)
+			}
+		})
+	}
+	stopCharge := e.Ticker(173*time.Microsecond, func(now time.Duration) {
+		cores[e.Rand().Intn(len(cores))].Charge(time.Duration(e.Rand().Intn(400)) * time.Microsecond)
+	})
+	last := make([]time.Duration, len(cores))
+	stopSample := e.Ticker(97*time.Microsecond, func(now time.Duration) {
+		for i, c := range cores {
+			busy := c.BusyTime()
+			if busy > now {
+				t.Fatalf("core %s: busy %v > elapsed %v", c.Name(), busy, now)
+			}
+			if busy < last[i] {
+				t.Fatalf("core %s: busy went backwards %v -> %v", c.Name(), last[i], busy)
+			}
+			last[i] = busy
+		}
+	})
+	e.RunUntil(60 * time.Millisecond)
+	stopCharge()
+	stopSample()
 }
 
 func TestProcAccessors(t *testing.T) {

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Profile names one tracer for export; each profile becomes one Chrome
+// trace process (pid) with a thread (tid) per actor.
+type Profile struct {
+	Name   string
+	Tracer *Tracer
+}
+
+// chromeRequestCap bounds how many finished requests per profile are
+// exported. Attribution reports use every traced request; the Chrome file
+// is for eyeballing individual timelines, so a head sample keeps it small.
+const chromeRequestCap = 100
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome renders the profiles as a Chrome trace-event JSON file
+// (load it in chrome://tracing or https://ui.perfetto.dev). Virtual time
+// maps directly onto the trace clock; open spans are skipped.
+func WriteChrome(w io.Writer, profiles []Profile) error {
+	file := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for pid, p := range profiles {
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "process_name", Phase: "M", PID: pid,
+			Args: map[string]any{"name": p.Name},
+		})
+		tids := make(map[string]int)
+		exported := 0
+		for _, r := range p.Tracer.Requests() {
+			if !r.Finished() {
+				continue
+			}
+			if exported++; exported > chromeRequestCap {
+				break
+			}
+			for _, sp := range r.Spans() {
+				if sp.Open() {
+					continue
+				}
+				tid, ok := tids[sp.Actor]
+				if !ok {
+					tid = len(tids) + 1
+					tids[sp.Actor] = tid
+					file.TraceEvents = append(file.TraceEvents, chromeEvent{
+						Name: "thread_name", Phase: "M", PID: pid, TID: tid,
+						Args: map[string]any{"name": sp.Actor},
+					})
+				}
+				ev := chromeEvent{
+					Name:  sp.Stage,
+					Phase: "X",
+					TS:    float64(sp.Start.Nanoseconds()) / 1e3,
+					Dur:   float64(sp.Duration().Nanoseconds()) / 1e3,
+					PID:   pid,
+					TID:   tid,
+					Args: map[string]any{
+						"trace": r.Name, "span": sp.ID, "parent": sp.Parent,
+					},
+				}
+				if sp.Duration() == 0 && sp.Detail {
+					ev.Phase = "i"
+					ev.Dur = 0
+					ev.Scope = "t"
+				}
+				file.TraceEvents = append(file.TraceEvents, ev)
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}

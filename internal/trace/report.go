@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"nadino/internal/metrics"
+)
+
+// StageStat aggregates all closed spans of one stage across the finished
+// requests of a tracer.
+type StageStat struct {
+	Stage  string
+	Detail bool // excluded from tiling sums
+	Count  int  // spans (a request can pass a stage more than once)
+	Total  time.Duration
+	Hist   *metrics.Hist
+}
+
+// PerRequest reports the stage's mean attributed time per finished request
+// (not per span — a round trip crosses most stages twice).
+func (s StageStat) PerRequest(requests int) time.Duration {
+	if requests == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(requests)
+}
+
+// Report is the per-stage latency attribution over a tracer's finished
+// requests. Unfinished requests and open spans are excluded so partial
+// traces at the end of a run cannot skew the attribution.
+type Report struct {
+	Requests   int // finished requests
+	Unfinished int
+	Dropped    uint64
+	EndToEnd   *metrics.Hist // root-span durations
+	Stages     []StageStat   // sorted by Total descending
+}
+
+// Report computes the attribution over the tracer's finished requests.
+func (t *Tracer) Report() *Report {
+	rep := &Report{EndToEnd: metrics.NewHist(), Dropped: t.Dropped()}
+	if t == nil {
+		return rep
+	}
+	stages := make(map[string]*StageStat)
+	for _, r := range t.reqs {
+		if !r.Finished() {
+			rep.Unfinished++
+			continue
+		}
+		rep.Requests++
+		rep.EndToEnd.Observe(r.Root().Duration())
+		for _, sp := range r.spans[1:] {
+			if sp.Open() {
+				continue
+			}
+			st := stages[sp.Stage]
+			if st == nil {
+				st = &StageStat{Stage: sp.Stage, Detail: sp.Detail, Hist: metrics.NewHist()}
+				stages[sp.Stage] = st
+			}
+			st.Count++
+			st.Total += sp.Duration()
+			st.Hist.Observe(sp.Duration())
+		}
+	}
+	for _, st := range stages {
+		rep.Stages = append(rep.Stages, *st)
+	}
+	sort.Slice(rep.Stages, func(i, j int) bool {
+		if rep.Stages[i].Total != rep.Stages[j].Total {
+			return rep.Stages[i].Total > rep.Stages[j].Total
+		}
+		return rep.Stages[i].Stage < rep.Stages[j].Stage
+	})
+	return rep
+}
+
+// StageSum is the total time attributed to tiling (non-detail) stages.
+func (rep *Report) StageSum() time.Duration {
+	var sum time.Duration
+	for _, st := range rep.Stages {
+		if !st.Detail {
+			sum += st.Total
+		}
+	}
+	return sum
+}
+
+// StageSumPerRequest is the mean tiling-stage time per finished request; in
+// steady state it reconciles with EndToEnd.Mean().
+func (rep *Report) StageSumPerRequest() time.Duration {
+	if rep.Requests == 0 {
+		return 0
+	}
+	return rep.StageSum() / time.Duration(rep.Requests)
+}

@@ -39,6 +39,10 @@ func (s Stack) String() string {
 	return "?"
 }
 
+// TraceStage names the latency-attribution stage for traversals of this
+// stack (see internal/trace).
+func (s Stack) TraceStage() string { return "transport." + s.String() }
+
 // SendCost is the sender-side CPU cost of pushing one message of n bytes
 // through the stack (syscall or poll-mode TX, copies, segmentation).
 func SendCost(p *params.Params, s Stack, n int) time.Duration {
