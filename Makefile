@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench trace
+.PHONY: build test vet race check bench suite trace
 
 build:
 	$(GO) build ./...
@@ -14,17 +14,28 @@ vet:
 	$(GO) vet ./...
 
 # race runs the full suite under the race detector. The simulation engine is
-# single-threaded by design, but the coroutine lockstep (sim.Proc) and the
-# tracer ride on real goroutines — this target proves the handoffs are clean.
-# (The experiments package needs more than the default 10m under -race.)
+# single-threaded by design, but the coroutine lockstep (sim.Proc), the
+# tracer, and the parallel experiment runner ride on real goroutines — this
+# target proves the handoffs are clean. It includes TestParallelDeterminism,
+# which runs every experiment sequentially and sharded across all cores and
+# asserts byte-identical tables. (The experiments package needs more than
+# the default 10m under -race.)
 race:
 	$(GO) test -race -timeout 30m ./...
 
 # check is the full pre-commit gate.
 check: vet race
 
+# bench runs the simulator-core microbenchmarks (event scheduling, cancel,
+# spawn/yield; events/sec and allocs/op) and archives them as BENCH_sim.json
+# for cross-commit comparison. The human-readable output goes to stderr.
 bench:
-	$(GO) run ./cmd/nadino-bench -quick
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkProc' -benchmem ./internal/sim/ | $(GO) run ./cmd/benchjson > BENCH_sim.json
+
+# suite regenerates every paper artifact at quick fidelity, sharded across
+# all cores (output is bitwise-identical to -parallel 1).
+suite:
+	$(GO) run ./cmd/nadino-bench -quick -parallel 0
 
 # trace reproduces the Fig. 6 per-stage latency attribution and writes a
 # Chrome trace-event file (load in chrome://tracing or ui.perfetto.dev).

@@ -7,6 +7,7 @@
 package nadino
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -120,6 +121,36 @@ func BenchmarkFig17TenancyScale(b *testing.B) {
 		if res.Run.Aggregate.Len() == 0 {
 			b.Fatal("no aggregate series")
 		}
+	}
+}
+
+// runSuite executes every experiment (figures + ablations) at quick
+// fidelity with the given worker count.
+func runSuite(b *testing.B, parallel int) {
+	b.Helper()
+	o := experiments.Opts{Quick: true, Seed: 1, Parallel: parallel}
+	for _, e := range experiments.AllWithAblations() {
+		if tables := e.Run(o); len(tables) == 0 {
+			b.Fatalf("%s produced no tables", e.ID)
+		}
+	}
+}
+
+// BenchmarkSuiteSequential is the full quick suite on one core: the
+// baseline for the -parallel speedup. Run with -benchtime 1x; one
+// iteration is tens of seconds.
+func BenchmarkSuiteSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSuite(b, 1)
+	}
+}
+
+// BenchmarkSuiteParallel is the same suite with sweep points sharded
+// across all cores (nadino-bench -parallel 0). Output is bitwise-identical
+// to the sequential run; only the wall clock changes.
+func BenchmarkSuiteParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSuite(b, runtime.GOMAXPROCS(0))
 	}
 }
 

@@ -7,8 +7,14 @@
 //	nadino-bench                 # run everything at full fidelity
 //	nadino-bench -run fig12      # one experiment
 //	nadino-bench -run fig13,fig14 -quick
+//	nadino-bench -parallel 0     # shard sweep points across all cores
 //	nadino-bench -run fig06 -trace
 //	nadino-bench -list
+//
+// Each sweep point is an independent simulation engine, so -parallel N
+// shards points across N workers (0 = one per core) and merges results in
+// input order: for a fixed seed the output is bitwise-identical to a
+// sequential run.
 package main
 
 import (
@@ -26,6 +32,7 @@ func main() {
 	run := flag.String("run", "all", "comma-separated experiment IDs, 'all' (paper artifacts), or 'everything' (incl. ablations)")
 	quick := flag.Bool("quick", false, "shrink measurement windows and sweeps")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", 1, "workers sharding each experiment's sweep points (0 = all cores, 1 = sequential); output is identical either way")
 	list := flag.Bool("list", false, "list experiments and exit")
 	doTrace := flag.Bool("trace", false, "record per-stage latency attribution (experiments that support it) and export a Chrome trace")
 	traceOut := flag.String("trace-out", "nadino-trace.json", "Chrome trace-event output path (with -trace)")
@@ -57,7 +64,7 @@ func main() {
 		}
 	}
 
-	opts := experiments.Opts{Quick: *quick, Seed: *seed}
+	opts := experiments.Opts{Quick: *quick, Seed: *seed, Parallel: experiments.Parallelism(*parallel)}
 	var profiles []trace.Profile
 	if *doTrace {
 		opts.Trace = true

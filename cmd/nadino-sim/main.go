@@ -6,12 +6,21 @@
 // Usage:
 //
 //	nadino-sim -config configs/sample-cluster.json -chain main -clients 40
+//	nadino-sim -config cluster.json -replicas 8 -parallel 0
 //	nadino-sim -template        # print a starter config
+//
+// -replicas N runs N independent copies of the cluster with seeds
+// seed..seed+N-1 and prints their reports in replica order; -parallel M
+// shards the replicas across M workers (0 = one per core). Each replica is
+// its own simulation engine, so the reports are identical whether the
+// replicas run sequentially or concurrently.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -44,11 +53,129 @@ const template = `{
 }
 `
 
+// runOpts carries the per-run knobs from flags into runCluster.
+type runOpts struct {
+	chain    string
+	clients  int
+	dur      time.Duration
+	traceRPS float64
+	zipf     float64
+	diurnal  float64
+	period   time.Duration
+	traceOut string
+}
+
+// runCluster builds one cluster from cfg, drives it, and writes the report
+// to w. It is safe to call concurrently for independent configs.
+func runCluster(cfg core.Config, r runOpts, w io.Writer) error {
+	c := core.NewCluster(cfg)
+	defer c.Eng.Stop()
+	hist, ok := c.ChainLatency[r.chain]
+	if !ok {
+		return fmt.Errorf("unknown chain %q", r.chain)
+	}
+	if r.traceRPS > 0 {
+		// Trace mode: Poisson arrivals with diurnal modulation, spread
+		// over every chain by Zipf popularity.
+		var names []string
+		for _, ch := range cfg.Chains {
+			names = append(names, ch.Name)
+		}
+		gen := &workload.TraceGen{
+			Chains:           names,
+			ZipfS:            r.zipf,
+			BaseRPS:          r.traceRPS,
+			DiurnalAmplitude: r.diurnal,
+			Period:           r.period,
+		}
+		_, hook := gen.Start(c.Eng)
+		n := 0
+		hook(func(ch string) {
+			n++
+			c.SubmitChain(ch, n, nil)
+		})
+		fmt.Fprintf(w, "workload  : %v\n", gen)
+	} else {
+		for i := 0; i < r.clients; i++ {
+			id := i
+			c.Eng.Spawn("client", func(pr *sim.Proc) {
+				c.WaitReady(pr)
+				respQ := sim.NewQueue[ingress.Response](c.Eng, 0)
+				for {
+					c.SubmitChain(r.chain, id, func(resp ingress.Response) { respQ.TryPut(resp) })
+					respQ.Get(pr)
+				}
+			})
+		}
+	}
+	var tracer *trace.Tracer
+	warm := c.P.QPSetupTime + 10*time.Millisecond
+	c.Eng.RunUntil(warm)
+	c.Completed.MarkWindow(c.Eng.Now())
+	hist.Reset()
+	if r.traceOut != "" {
+		// Arm the tracer only for the measured window so the attribution
+		// matches the reported steady-state latency.
+		tracer = trace.New(nil)
+		c.SetTracer(tracer)
+	}
+	c.Eng.RunUntil(warm + r.dur)
+	elapsed := c.Eng.Now() - c.P.QPSetupTime
+
+	net := c.NetCPUStats(elapsed)
+	kind := "CPU"
+	if net.OnDPU {
+		kind = "DPU"
+	}
+	fmt.Fprintf(w, "system    : %v\n", cfg.System)
+	if r.traceRPS > 0 {
+		fmt.Fprintf(w, "chain     : %s (measured; all chains driven), %v window\n", r.chain, r.dur)
+	} else {
+		fmt.Fprintf(w, "chain     : %s, %d clients, %v window\n", r.chain, r.clients, r.dur)
+	}
+	fmt.Fprintf(w, "throughput: %.0f RPS\n", c.Completed.WindowRate(c.Eng.Now()))
+	fmt.Fprintf(w, "latency   : mean %v  p50 %v  p99 %v\n", hist.Mean(), hist.P50(), hist.P99())
+	fmt.Fprintf(w, "dataplane : %.0f pinned %s cores (%.2f useful) + %.2f host-core share\n",
+		net.PinnedCores, kind, net.PinnedUseful, net.FnCores)
+	for _, fs := range cfg.Functions {
+		if fs.MaxScale > 1 {
+			g := c.Group(fs.Name)
+			ups, downs := g.ScaleEvents()
+			fmt.Fprintf(w, "autoscale : %s at %d instance(s) (%d up / %d down events)\n",
+				fs.Name, g.Instances(), ups, downs)
+		}
+	}
+	if n := c.ColdStarts(); n > 0 {
+		fmt.Fprintf(w, "coldstarts: %d\n", n)
+	}
+	if n := c.CrossTenantCopies(); n > 0 {
+		fmt.Fprintf(w, "x-tenant  : %d sidecar copies\n", n)
+	}
+	if tracer != nil {
+		experiments.TraceTable(fmt.Sprintf("%v chain %s", cfg.System, r.chain), tracer.Report()).Print(w)
+		f, err := os.Create(r.traceOut)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("%v", cfg.System)
+		if err := trace.WriteChrome(f, []trace.Profile{{Name: name, Tracer: tracer}}); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+			return err
+		}
+		fmt.Fprintf(w, "trace     : %s (chrome://tracing / ui.perfetto.dev)\n", r.traceOut)
+	}
+	return nil
+}
+
 func main() {
 	cfgPath := flag.String("config", "", "cluster config file (JSON)")
 	chain := flag.String("chain", "", "chain to drive (default: the config's first)")
 	clients := flag.Int("clients", 20, "closed-loop clients")
 	dur := flag.Duration("dur", 300*time.Millisecond, "measurement window (simulated)")
+	replicas := flag.Int("replicas", 1, "independent replica runs with seeds seed..seed+N-1")
+	parallel := flag.Int("parallel", 1, "workers running replicas concurrently (0 = all cores)")
 	traceRPS := flag.Float64("trace-rps", 0, "drive ALL chains open-loop at this aggregate rate instead of closed-loop clients")
 	traceOut := flag.String("trace", "", "record per-stage latency attribution after warmup and write a Chrome trace to this file")
 	zipf := flag.Float64("zipf", 1.0, "trace mode: chain popularity skew")
@@ -63,6 +190,14 @@ func main() {
 	}
 	if *cfgPath == "" {
 		fmt.Fprintln(os.Stderr, "nadino-sim: -config is required (try -template)")
+		os.Exit(2)
+	}
+	if *replicas < 1 {
+		fmt.Fprintln(os.Stderr, "nadino-sim: -replicas must be >= 1")
+		os.Exit(2)
+	}
+	if *replicas > 1 && *traceOut != "" {
+		fmt.Fprintln(os.Stderr, "nadino-sim: -trace requires -replicas 1 (one Chrome trace per run)")
 		os.Exit(2)
 	}
 	f, err := os.Open(*cfgPath)
@@ -84,107 +219,34 @@ func main() {
 		*chain = cfg.Chains[0].Name
 	}
 
-	c := core.NewCluster(cfg)
-	defer c.Eng.Stop()
-	hist, ok := c.ChainLatency[*chain]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "nadino-sim: unknown chain %q\n", *chain)
-		os.Exit(2)
+	r := runOpts{
+		chain:    *chain,
+		clients:  *clients,
+		dur:      *dur,
+		traceRPS: *traceRPS,
+		zipf:     *zipf,
+		diurnal:  *diurnal,
+		period:   *period,
+		traceOut: *traceOut,
 	}
-	if *traceRPS > 0 {
-		// Trace mode: Poisson arrivals with diurnal modulation, spread
-		// over every chain by Zipf popularity.
-		var names []string
-		for _, ch := range cfg.Chains {
-			names = append(names, ch.Name)
+	// Each replica is an independent cluster with its own seed; reports are
+	// buffered and printed in replica order so concurrent runs read the
+	// same as sequential ones.
+	outs := make([]bytes.Buffer, *replicas)
+	errs := make([]error, *replicas)
+	experiments.ForEach(experiments.Parallelism(*parallel), *replicas, func(i int) {
+		rcfg := cfg
+		rcfg.Seed = cfg.Seed + int64(i)
+		errs[i] = runCluster(rcfg, r, &outs[i])
+	})
+	for i := range outs {
+		if *replicas > 1 {
+			fmt.Printf("---- replica %d (seed %d) ----\n", i, cfg.Seed+int64(i))
 		}
-		gen := &workload.TraceGen{
-			Chains:           names,
-			ZipfS:            *zipf,
-			BaseRPS:          *traceRPS,
-			DiurnalAmplitude: *diurnal,
-			Period:           *period,
-		}
-		_, hook := gen.Start(c.Eng)
-		n := 0
-		hook(func(ch string) {
-			n++
-			c.SubmitChain(ch, n, nil)
-		})
-		fmt.Printf("workload  : %v\n", gen)
-	} else {
-		for i := 0; i < *clients; i++ {
-			id := i
-			c.Eng.Spawn("client", func(pr *sim.Proc) {
-				c.WaitReady(pr)
-				respQ := sim.NewQueue[ingress.Response](c.Eng, 0)
-				for {
-					c.SubmitChain(*chain, id, func(r ingress.Response) { respQ.TryPut(r) })
-					respQ.Get(pr)
-				}
-			})
-		}
-	}
-	var tracer *trace.Tracer
-	warm := c.P.QPSetupTime + 10*time.Millisecond
-	c.Eng.RunUntil(warm)
-	c.Completed.MarkWindow(c.Eng.Now())
-	hist.Reset()
-	if *traceOut != "" {
-		// Arm the tracer only for the measured window so the attribution
-		// matches the reported steady-state latency.
-		tracer = trace.New(nil)
-		c.SetTracer(tracer)
-	}
-	c.Eng.RunUntil(warm + *dur)
-	elapsed := c.Eng.Now() - c.P.QPSetupTime
-
-	net := c.NetCPUStats(elapsed)
-	kind := "CPU"
-	if net.OnDPU {
-		kind = "DPU"
-	}
-	fmt.Printf("system    : %v\n", cfg.System)
-	if *traceRPS > 0 {
-		fmt.Printf("chain     : %s (measured; all chains driven), %v window\n", *chain, *dur)
-	} else {
-		fmt.Printf("chain     : %s, %d clients, %v window\n", *chain, *clients, *dur)
-	}
-	fmt.Printf("throughput: %.0f RPS\n", c.Completed.WindowRate(c.Eng.Now()))
-	fmt.Printf("latency   : mean %v  p50 %v  p99 %v\n", hist.Mean(), hist.P50(), hist.P99())
-	fmt.Printf("dataplane : %.0f pinned %s cores (%.2f useful) + %.2f host-core share\n",
-		net.PinnedCores, kind, net.PinnedUseful, net.FnCores)
-	for _, fs := range cfg.Functions {
-		if fs.MaxScale > 1 {
-			g := c.Group(fs.Name)
-			ups, downs := g.ScaleEvents()
-			fmt.Printf("autoscale : %s at %d instance(s) (%d up / %d down events)\n",
-				fs.Name, g.Instances(), ups, downs)
-		}
-	}
-	if n := c.ColdStarts(); n > 0 {
-		fmt.Printf("coldstarts: %d\n", n)
-	}
-	if n := c.CrossTenantCopies(); n > 0 {
-		fmt.Printf("x-tenant  : %d sidecar copies\n", n)
-	}
-	if tracer != nil {
-		experiments.TraceTable(fmt.Sprintf("%v chain %s", cfg.System, *chain), tracer.Report()).Print(os.Stdout)
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "nadino-sim:", err)
+		os.Stdout.Write(outs[i].Bytes())
+		if errs[i] != nil {
+			fmt.Fprintln(os.Stderr, "nadino-sim:", errs[i])
 			os.Exit(1)
 		}
-		name := fmt.Sprintf("%v", cfg.System)
-		if err := trace.WriteChrome(f, []trace.Profile{{Name: name, Tracer: tracer}}); err == nil {
-			err = f.Close()
-		} else {
-			f.Close()
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "nadino-sim:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("trace     : %s (chrome://tracing / ui.perfetto.dev)\n", *traceOut)
 	}
 }

@@ -33,10 +33,11 @@ type beTenant struct {
 // enters the tenant pool on the worker — zero copy from there on), and
 // worker responses land in the ingress node's per-tenant SRQs.
 type rdmaBackend struct {
-	c       *Cluster
-	rnic    *rdma.RNIC
-	cq      *rdma.CQ
-	tenants map[string]*beTenant
+	c         *Cluster
+	rnic      *rdma.RNIC
+	cq        *rdma.CQ
+	tenants   map[string]*beTenant
+	tenantSeq []*beTenant // insertion order: map walks are nondeterministic
 
 	drops      uint64
 	sendErrors uint64
@@ -62,13 +63,14 @@ func (b *rdmaBackend) tenant(name string) *beTenant {
 			conns: make(map[string]*rdma.ConnPool),
 		}
 		b.tenants[name] = t
+		b.tenantSeq = append(b.tenantSeq, t)
 	}
 	return t
 }
 
 // start posts the initial receive rings and spawns the completion poller.
 func (b *rdmaBackend) start() {
-	for _, t := range b.tenants {
+	for _, t := range b.tenantSeq {
 		b.post(t, 1024)
 	}
 	b.c.Eng.Spawn("ingress-rdma-poller", b.pollLoop)
@@ -155,7 +157,7 @@ func (b *rdmaBackend) pollLoop(pr *sim.Proc) {
 				mc.IngressDone(ingressResponse(cqe.Bytes, mc.Stamp))
 			}
 		}
-		for _, t := range b.tenants {
+		for _, t := range b.tenantSeq {
 			if n := int(t.srq.ConsumedReset()); n > 0 {
 				b.post(t, n)
 			}

@@ -123,6 +123,7 @@ type Cluster struct {
 	nodes   map[string]*Node
 	nodeSeq []*Node
 	fns     map[string]*Function
+	fnSeq   []*Function // declaration order: map walks are nondeterministic
 	groups  map[string]*FnGroup
 	chains  map[string]*ChainSpec
 	tenants []TenantSpec
@@ -331,6 +332,7 @@ func (c *Cluster) addFunction(fs FunctionSpec) *Function {
 	}
 	n.fns = append(n.fns, f)
 	c.fns[f.name] = f
+	c.fnSeq = append(c.fnSeq, f)
 	return f
 }
 
@@ -417,7 +419,7 @@ func (c *Cluster) setup(pr *sim.Proc) {
 	if c.tcpBE != nil {
 		c.tcpBE.start()
 	}
-	for _, f := range c.fns {
+	for _, f := range c.fnSeq {
 		c.startFunction(f)
 	}
 	c.isReady = true
@@ -428,7 +430,7 @@ func (c *Cluster) setupNadino(pr *sim.Proc) {
 	// Routes: every engine knows where every function lives, plus the
 	// ingress pseudo-destination.
 	for _, n := range c.nodeSeq {
-		for _, f := range c.fns {
+		for _, f := range c.fnSeq {
 			n.engine.SetRoute(f.name, f.node.name)
 		}
 		n.engine.SetRoute("ingress", ingressNodeName)

@@ -95,10 +95,17 @@ type Engine struct {
 	cq     *rdma.CQ
 	work   *sim.Signal
 
-	tenants map[string]*tenantState
-	routes  map[string]fabric.NodeID
-	ports   map[string]*FnPort
-	pools   map[fabric.NodeID]map[string]*rdma.ConnPool
+	// The map fields support lookup; the *Seq slices preserve insertion
+	// order for iteration, because Go map iteration order is randomized and
+	// any map-ordered walk on the simulation path would make runs
+	// nondeterministic.
+	tenants   map[string]*tenantState
+	tenantSeq []*tenantState
+	routes    map[string]fabric.NodeID
+	ports     map[string]*FnPort
+	portSeq   []*FnPort
+	pools     map[fabric.NodeID]map[string]*rdma.ConnPool
+	poolSeq   []*rdma.ConnPool
 
 	sched     Scheduler
 	dwrrSched *DWRR
@@ -212,6 +219,7 @@ func (e *Engine) AddTenant(tenant string, pool *mempool.Pool, weight int) *rdma.
 		RxMeter: metrics.NewMeter(),
 	}
 	e.tenants[tenant] = ts
+	e.tenantSeq = append(e.tenantSeq, ts)
 	if e.dwrrSched != nil {
 		e.dwrrSched.SetWeight(tenant, weight)
 	}
@@ -246,6 +254,7 @@ func (e *Engine) AddConnPool(remote fabric.NodeID, tenant string, cp *rdma.ConnP
 		e.pools[remote] = m
 	}
 	m[tenant] = cp
+	e.poolSeq = append(e.poolSeq, cp)
 }
 
 // AttachFunction creates the descriptor channel between a host function and
@@ -263,6 +272,7 @@ func (e *Engine) AttachFunction(fn, tenant string) *FnPort {
 		fp.toFn = ipc.NewSKMsg(e.eng, e.p, nil)
 	}
 	e.ports[fn] = fp
+	e.portSeq = append(e.portSeq, fp)
 	return fp
 }
 
@@ -327,7 +337,7 @@ func (e *Engine) workerLoop(pr *sim.Proc) {
 		t1 := e.eng.Now()
 		e.RxWall += t1 - t0
 		// Ingest host -> engine descriptors into the tenant scheduler.
-		for _, fp := range e.ports {
+		for _, fp := range e.portSeq {
 			for {
 				d, cost, ok := fp.engineSidePull()
 				if !ok {
@@ -523,14 +533,14 @@ func (e *Engine) releaseRQBuffer(d mempool.Descriptor) {
 // and periodically shrinks idle connection pools (§3.3).
 func (e *Engine) keeperLoop(pr *sim.Proc) {
 	// Initial posting.
-	for _, ts := range e.tenants {
+	for _, ts := range e.tenantSeq {
 		e.replenish(pr, ts, e.cfg.InitialRQ)
 	}
 	shrinkEvery := 100 // replenish rounds between pool shrinks
 	round := 0
 	for {
 		pr.Sleep(e.cfg.ReplenishEvery)
-		for _, ts := range e.tenants {
+		for _, ts := range e.tenantSeq {
 			n := int(ts.srq.ConsumedReset())
 			if n > 0 {
 				e.replenish(pr, ts, n)
@@ -538,17 +548,13 @@ func (e *Engine) keeperLoop(pr *sim.Proc) {
 		}
 		round++
 		if round%shrinkEvery == 0 {
-			for _, byTenant := range e.pools {
-				for _, cp := range byTenant {
-					cp.Shrink()
-				}
+			for _, cp := range e.poolSeq {
+				cp.Shrink()
 			}
 		}
 		// Re-handshake any connections that errored out (link failures).
-		for _, byTenant := range e.pools {
-			for _, cp := range byTenant {
-				cp.Repair()
-			}
+		for _, cp := range e.poolSeq {
+			cp.Repair()
 		}
 	}
 }

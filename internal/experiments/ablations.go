@@ -30,15 +30,11 @@ type AblConnPoolResult struct {
 	SpeedupLat float64
 }
 
-// AblConnPool measures both variants over sequential 1KB echoes.
-func AblConnPool(o Opts) *AblConnPoolResult {
-	p := params.Default()
+// ablConnPoolPerReq measures the no-pooling variant: every echo first
+// performs the RC handshake, as a design without connection pooling would
+// for short-lived functions.
+func ablConnPoolPerReq(o Opts, p *params.Params) time.Duration {
 	const n = 10
-	// Pooled: the standard rig (connections established once at startup).
-	_, pooled := runDNEEcho(p, o.Seed, dne.OffPath, 1024, 1, o.scale(5*time.Millisecond, 20*time.Millisecond), nil)
-
-	// Per-request: every echo first performs the RC handshake, as a
-	// design without connection pooling would for short-lived functions.
 	eng := sim.NewEngine(o.Seed)
 	defer eng.Stop()
 	net := fabric.New(eng, p)
@@ -74,10 +70,24 @@ func AblConnPool(o Opts) *AblConnPoolResult {
 		}
 	})
 	eng.RunUntil(10 * time.Second)
-	res := &AblConnPoolResult{
-		PooledLat: pooled,
-		PerReqLat: sum / n,
-	}
+	return sum / n
+}
+
+// AblConnPool measures both variants over sequential 1KB echoes.
+func AblConnPool(o Opts) *AblConnPoolResult {
+	lats := make([]time.Duration, 2)
+	o.forEach(2, func(i int) {
+		p := params.Default()
+		switch i {
+		case 0:
+			// Pooled: the standard rig (connections established once at
+			// startup).
+			_, lats[0] = runDNEEcho(p, o.Seed, dne.OffPath, 1024, 1, o.scale(5*time.Millisecond, 20*time.Millisecond), nil)
+		case 1:
+			lats[1] = ablConnPoolPerReq(o, p)
+		}
+	})
+	res := &AblConnPoolResult{PooledLat: lats[0], PerReqLat: lats[1]}
 	res.SpeedupLat = float64(res.PerReqLat) / float64(res.PooledLat)
 	return res
 }
@@ -229,15 +239,20 @@ func runVictimEcho(o Opts, p *params.Params, rogueQPs int, capActive bool) time.
 	return rttSum / time.Duration(count)
 }
 
-// AblIsolation runs the rogue-tenant comparison.
+// AblIsolation runs the rogue-tenant comparison. Each scenario builds its
+// own params so the three engines can run on separate workers.
 func AblIsolation(o Opts) *AblIsolationResult {
-	p := params.Default()
-	p.NICCacheActiveQPs = 64 // a small ICM cache makes the attack visible
-	return &AblIsolationResult{
-		BaselineLat: runVictimEcho(o, p, 0, false),
-		ManagedLat:  runVictimEcho(o, p, 512, true),
-		RogueLat:    runVictimEcho(o, p, 512, false),
-	}
+	scenarios := []struct {
+		rogueQPs  int
+		capActive bool
+	}{{0, false}, {512, true}, {512, false}}
+	lats := make([]time.Duration, len(scenarios))
+	o.forEach(len(scenarios), func(i int) {
+		p := params.Default()
+		p.NICCacheActiveQPs = 64 // a small ICM cache makes the attack visible
+		lats[i] = runVictimEcho(o, p, scenarios[i].rogueQPs, scenarios[i].capActive)
+	})
+	return &AblIsolationResult{BaselineLat: lats[0], ManagedLat: lats[1], RogueLat: lats[2]}
 }
 
 // RunAblIsolation adapts AblIsolation to the registry.
@@ -271,8 +286,9 @@ type AblReplenishRow struct {
 // load with a small pre-posted ring.
 func AblReplenish(o Opts) []AblReplenishRow {
 	periods := []time.Duration{10 * time.Microsecond, 50 * time.Microsecond, 500 * time.Microsecond, 2 * time.Millisecond}
-	var rows []AblReplenishRow
-	for _, period := range periods {
+	rows := make([]AblReplenishRow, len(periods))
+	o.forEach(len(periods), func(i int) {
+		period := periods[i]
 		p := params.Default()
 		r := newDNERig(p, o.Seed, dne.OffPath, dne.SchedDWRR, []tenantSpec{{name: "t", weight: 1}},
 			func(cfg *dne.Config) {
@@ -284,14 +300,14 @@ func AblReplenish(o Opts) []AblReplenishRow {
 		r.spawnEchoServer("t", srvPort)
 		stats := r.spawnEchoClients("t", cliPort, 32, 1024, nil)
 		rps, lat := measureEcho(r, stats, o.scale(10*time.Millisecond, 50*time.Millisecond))
-		rows = append(rows, AblReplenishRow{
+		rows[i] = AblReplenishRow{
 			Period:  period,
 			RPS:     rps,
 			MeanLat: lat,
 			RNR:     r.eb.SRQ("t").RNREvents(),
-		})
+		}
 		r.eng.Stop()
-	}
+	})
 	return rows
 }
 
@@ -327,8 +343,9 @@ type AblQuantumRow struct {
 func AblQuantum(o Opts) []AblQuantumRow {
 	quanta := []int{256, 2048, 16384, 262144}
 	total := o.scale(400*time.Millisecond, 3*time.Second)
-	var rows []AblQuantumRow
-	for _, q := range quanta {
+	rows := make([]AblQuantumRow, len(quanta))
+	o.forEach(len(quanta), func(qi int) {
+		q := quanta[qi]
 		p := params.Default()
 		p.DNEExtraPerMsg = 4600 * time.Nanosecond
 		specs := []tenantSpec{{"t1", 6}, {"t2", 1}, {"t3", 2}}
@@ -351,9 +368,12 @@ func AblQuantum(o Opts) []AblQuantumRow {
 		el := (r.eng.Now() - start).Seconds()
 		rates := map[string]float64{}
 		var agg float64
-		for name, s := range stats {
-			rates[name] = float64(s.count-base[name]) / el
-			agg += rates[name]
+		// Sum in spec order: float addition over a map walk would be
+		// nondeterministic.
+		for _, ts := range specs {
+			s := stats[ts.name]
+			rates[ts.name] = float64(s.count-base[ts.name]) / el
+			agg += rates[ts.name]
 		}
 		want := map[string]float64{"t1": 6.0 / 9, "t2": 1.0 / 9, "t3": 2.0 / 9}
 		maxErr := 0.0
@@ -366,9 +386,9 @@ func AblQuantum(o Opts) []AblQuantumRow {
 				maxErr = err
 			}
 		}
-		rows = append(rows, AblQuantumRow{Quantum: q, MaxShareErr: maxErr, Aggregate: agg})
+		rows[qi] = AblQuantumRow{Quantum: q, MaxShareErr: maxErr, Aggregate: agg}
 		r.eng.Stop()
-	}
+	})
 	return rows
 }
 
@@ -411,8 +431,13 @@ func AblHugepage(o Opts) *AblHugepageResult {
 		return rps, lat, pages
 	}
 	res := &AblHugepageResult{}
-	res.HugeRPS, res.HugeLat, res.HugePages = run(2 << 20)
-	res.SmallRPS, res.SmallLat, res.SmallPages = run(4 << 10)
+	o.forEach(2, func(i int) {
+		if i == 0 {
+			res.HugeRPS, res.HugeLat, res.HugePages = run(2 << 20)
+		} else {
+			res.SmallRPS, res.SmallLat, res.SmallPages = run(4 << 10)
+		}
+	})
 	return res
 }
 
@@ -445,8 +470,9 @@ type AblKeepWarmRow struct {
 // different keep-warm windows.
 func AblKeepWarm(o Opts) []AblKeepWarmRow {
 	windows := []time.Duration{0, 5 * time.Millisecond, 50 * time.Millisecond}
-	var rows []AblKeepWarmRow
-	for _, w := range windows {
+	rows := make([]AblKeepWarmRow, len(windows))
+	o.forEach(len(windows), func(wi int) {
+		w := windows[wi]
 		cfg := core.Config{
 			System: core.NadinoDNE,
 			Nodes:  []string{"node1", "node2"},
@@ -468,13 +494,13 @@ func AblKeepWarm(o Opts) []AblKeepWarmRow {
 			}
 		})
 		c.Eng.RunUntil(2 * time.Second)
-		rows = append(rows, AblKeepWarmRow{
+		rows[wi] = AblKeepWarmRow{
 			KeepWarm:   w,
 			ColdStarts: c.ColdStarts(),
 			MeanLat:    c.ChainLatency["hit"].Mean(),
-		})
+		}
 		c.Eng.Stop()
-	}
+	})
 	return rows
 }
 
@@ -539,7 +565,11 @@ func AblFanout(o Opts) *AblFanoutResult {
 		c.Eng.RunUntil(2 * time.Second)
 		return c.ChainLatency["fan"].Mean()
 	}
-	res := &AblFanoutResult{SeqLat: run(false), ParLat: run(true)}
+	lats := make([]time.Duration, 2)
+	o.forEach(2, func(i int) {
+		lats[i] = run(i == 1) // 0 = sequential, 1 = async fan-out
+	})
+	res := &AblFanoutResult{SeqLat: lats[0], ParLat: lats[1]}
 	res.Speedup = float64(res.SeqLat) / float64(res.ParLat)
 	return res
 }
@@ -605,9 +635,16 @@ func AblCrossTenant(o Opts) *AblCrossTenantResult {
 		c.Eng.RunUntil(2 * time.Second)
 		return c.ChainLatency["chain"].Mean(), c.CrossTenantCopies()
 	}
-	same, _ := mk(false)
-	cross, copies := mk(true)
-	return &AblCrossTenantResult{SameLat: same, CrossLat: cross, Copies: copies}
+	lats := make([]time.Duration, 2)
+	var copies uint64
+	o.forEach(2, func(i int) {
+		if i == 0 {
+			lats[0], _ = mk(false)
+		} else {
+			lats[1], copies = mk(true)
+		}
+	})
+	return &AblCrossTenantResult{SameLat: lats[0], CrossLat: lats[1], Copies: copies}
 }
 
 // RunAblCrossTenant adapts AblCrossTenant to the registry.

@@ -25,9 +25,17 @@ type Opts struct {
 	Quick bool
 	Seed  int64
 
+	// Parallel shards each experiment's independent sweep points (one
+	// sim.Engine per point) across this many workers; <= 1 runs
+	// sequentially and <= 0 means GOMAXPROCS (see Parallelism). Results
+	// are merged in input order, so for a fixed seed the output is
+	// bitwise-identical to a sequential run.
+	Parallel int
+
 	// Trace enables per-stage latency attribution in the experiments that
 	// support it (currently fig06). Each traced run hands its tracer to
-	// TraceSink under a profile name like "NADINO DNE/64B".
+	// TraceSink under a profile name like "NADINO DNE/64B". Tracing forces
+	// sequential sweeps (sink callback order is part of the output).
 	Trace     bool
 	TraceSink func(name string, tr *trace.Tracer)
 }

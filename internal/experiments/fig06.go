@@ -186,39 +186,49 @@ var Fig06Setups = []string{"NADINO DNE", "native RDMA (CPU)", "native RDMA (DPU)
 
 // Fig06 runs the §3.2.1 isolation-cost microbenchmark. With o.Trace set it
 // also hands one per-(setup, payload) latency-attribution tracer to
-// o.TraceSink.
+// o.TraceSink. Sweep points are independent engines, sharded by o.Parallel.
 func Fig06(o Opts) *Fig06Result {
-	p := params.Default()
 	payloads := o.pick([]int{64, 4096}, []int{64, 512, 1024, 4096})
 	dur := o.scale(20*time.Millisecond, 200*time.Millisecond)
 	const clients = 4
-	res := &Fig06Result{}
-	newTracer := func() *trace.Tracer {
-		if !o.Trace {
-			return nil
-		}
-		return trace.New(nil) // clock attached by the echo runner
+	type job struct {
+		setup   string
+		payload int
 	}
-	emit := func(setup string, pl int, tr *trace.Tracer) {
-		if tr != nil && o.TraceSink != nil {
-			o.TraceSink(fmt.Sprintf("%s/%dB", setup, pl), tr)
-		}
-	}
+	var jobs []job
 	for _, pl := range payloads {
-		tr := newTracer()
-		rps, lat := runDNEEcho(p, o.Seed, dne.OffPath, pl, clients, dur, tr)
-		res.Rows = append(res.Rows, Fig06Row{Setup: "NADINO DNE", Payload: pl, RPS: rps, MeanLat: lat})
-		emit("NADINO DNE", pl, tr)
-		tr = newTracer()
-		rps, lat = runNativeEcho(p, o.Seed, p.HostCoreSpeed, pl, clients, dur, tr)
-		res.Rows = append(res.Rows, Fig06Row{Setup: "native RDMA (CPU)", Payload: pl, RPS: rps, MeanLat: lat})
-		emit("native RDMA (CPU)", pl, tr)
-		tr = newTracer()
-		rps, lat = runNativeEcho(p, o.Seed, p.DPUNetSpeed, pl, clients, dur, tr)
-		res.Rows = append(res.Rows, Fig06Row{Setup: "native RDMA (DPU)", Payload: pl, RPS: rps, MeanLat: lat})
-		emit("native RDMA (DPU)", pl, tr)
+		for _, setup := range Fig06Setups {
+			jobs = append(jobs, job{setup: setup, payload: pl})
+		}
 	}
-	return res
+	rows := make([]Fig06Row, len(jobs))
+	tracers := make([]*trace.Tracer, len(jobs))
+	o.forEach(len(jobs), func(i int) {
+		j := jobs[i]
+		p := params.Default()
+		var tr *trace.Tracer
+		if o.Trace {
+			tr = trace.New(nil) // clock attached by the echo runner
+		}
+		var rps float64
+		var lat time.Duration
+		switch j.setup {
+		case "NADINO DNE":
+			rps, lat = runDNEEcho(p, o.Seed, dne.OffPath, j.payload, clients, dur, tr)
+		case "native RDMA (CPU)":
+			rps, lat = runNativeEcho(p, o.Seed, p.HostCoreSpeed, j.payload, clients, dur, tr)
+		case "native RDMA (DPU)":
+			rps, lat = runNativeEcho(p, o.Seed, p.DPUNetSpeed, j.payload, clients, dur, tr)
+		}
+		rows[i] = Fig06Row{Setup: j.setup, Payload: j.payload, RPS: rps, MeanLat: lat}
+		tracers[i] = tr
+	})
+	for i, tr := range tracers {
+		if tr != nil && o.TraceSink != nil {
+			o.TraceSink(fmt.Sprintf("%s/%dB", jobs[i].setup, jobs[i].payload), tr)
+		}
+	}
+	return &Fig06Result{Rows: rows}
 }
 
 // Get returns the row for (setup, payload).

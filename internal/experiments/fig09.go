@@ -90,19 +90,29 @@ func runComch(p *params.Params, seed int64, mode dpu.ChannelMode, n int, dur tim
 // Fig09Channels lists the compared channel variants.
 var Fig09Channels = []dpu.ChannelMode{dpu.ChannelTCP, dpu.ComchE, dpu.ComchP}
 
-// Fig09 runs the channel comparison.
+// Fig09 runs the channel comparison, sharding the (channel, functions) grid
+// across o.Parallel workers.
 func Fig09(o Opts) *Fig09Result {
-	p := params.Default()
 	counts := o.pick([]int{1, 6, 8}, []int{1, 2, 4, 6, 8, 10})
 	dur := o.scale(10*time.Millisecond, 100*time.Millisecond)
-	res := &Fig09Result{}
+	type job struct {
+		mode dpu.ChannelMode
+		n    int
+	}
+	var jobs []job
 	for _, mode := range Fig09Channels {
 		for _, n := range counts {
-			rtt, rate := runComch(p, o.Seed, mode, n, dur)
-			res.Rows = append(res.Rows, Fig09Row{Channel: mode.String(), Functions: n, RTT: rtt, Rate: rate})
+			jobs = append(jobs, job{mode: mode, n: n})
 		}
 	}
-	return res
+	rows := make([]Fig09Row, len(jobs))
+	o.forEach(len(jobs), func(i int) {
+		j := jobs[i]
+		p := params.Default()
+		rtt, rate := runComch(p, o.Seed, j.mode, j.n, dur)
+		rows[i] = Fig09Row{Channel: j.mode.String(), Functions: j.n, RTT: rtt, Rate: rate}
+	})
+	return &Fig09Result{Rows: rows}
 }
 
 // Get returns the row for (channel, functions).

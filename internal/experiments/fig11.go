@@ -31,27 +31,56 @@ func fig11Mode(m dne.Mode) string {
 	return "on-path"
 }
 
-// Fig11 runs both sweeps.
+// Fig11 runs both sweeps. Each (mode, payload/concurrency) point is an
+// independent engine, so the two sweeps flatten into one job list sharded by
+// o.Parallel.
 func Fig11(o Opts) *Fig11Result {
-	p := params.Default()
 	dur := o.scale(20*time.Millisecond, 150*time.Millisecond)
 	payloads := o.pick([]int{64, 4096}, []int{64, 512, 1024, 4096, 16384})
 	concs := o.pick([]int{1, 8}, []int{1, 2, 4, 8, 16, 32})
-	res := &Fig11Result{}
+	type job struct {
+		mode    dne.Mode
+		payload int
+		conc    int
+		sweep   int // 0 = payload sweep, 1 = concurrency sweep
+		slot    int
+	}
+	var jobs []job
 	for _, mode := range []dne.Mode{dne.OffPath, dne.OnPath} {
 		for _, pl := range payloads {
-			rps, lat := runDNEEcho(p, o.Seed, mode, pl, 1, dur, nil)
-			res.PayloadSweep = append(res.PayloadSweep, Fig11Row{
-				Mode: fig11Mode(mode), Payload: pl, Concurrency: 1, RPS: rps, MeanLat: lat,
-			})
+			jobs = append(jobs, job{mode: mode, payload: pl, conc: 1, sweep: 0, slot: -1})
 		}
 		for _, cc := range concs {
-			rps, lat := runDNEEcho(p, o.Seed, mode, 1024, cc, dur, nil)
-			res.ConcurrencySweep = append(res.ConcurrencySweep, Fig11Row{
-				Mode: fig11Mode(mode), Payload: 1024, Concurrency: cc, RPS: rps, MeanLat: lat,
-			})
+			jobs = append(jobs, job{mode: mode, payload: 1024, conc: cc, sweep: 1, slot: -1})
 		}
 	}
+	res := &Fig11Result{
+		PayloadSweep:     make([]Fig11Row, 0, 2*len(payloads)),
+		ConcurrencySweep: make([]Fig11Row, 0, 2*len(concs)),
+	}
+	// Pre-assign each job its slot in the per-sweep result slice so parallel
+	// workers write by index and the merge order matches the loop order.
+	for i := range jobs {
+		switch jobs[i].sweep {
+		case 0:
+			jobs[i].slot = len(res.PayloadSweep)
+			res.PayloadSweep = append(res.PayloadSweep, Fig11Row{})
+		case 1:
+			jobs[i].slot = len(res.ConcurrencySweep)
+			res.ConcurrencySweep = append(res.ConcurrencySweep, Fig11Row{})
+		}
+	}
+	o.forEach(len(jobs), func(i int) {
+		j := jobs[i]
+		p := params.Default()
+		rps, lat := runDNEEcho(p, o.Seed, j.mode, j.payload, j.conc, dur, nil)
+		row := Fig11Row{Mode: fig11Mode(j.mode), Payload: j.payload, Concurrency: j.conc, RPS: rps, MeanLat: lat}
+		if j.sweep == 0 {
+			res.PayloadSweep[j.slot] = row
+		} else {
+			res.ConcurrencySweep[j.slot] = row
+		}
+	})
 	return res
 }
 

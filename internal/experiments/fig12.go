@@ -190,26 +190,36 @@ func runOneSidedEcho(p *params.Params, seed int64, variant Fig12Variant, payload
 	return float64(n) / (eng.Now() - start).Seconds(), (rttSum - baseRTT) / time.Duration(n)
 }
 
-// Fig12 runs the primitive comparison across payloads.
+// Fig12 runs the primitive comparison across payloads, sharding the
+// (payload, variant) grid across o.Parallel workers.
 func Fig12(o Opts) *Fig12Result {
-	p := params.Default()
 	payloads := o.pick([]int{64, 4096}, []int{64, 512, 1024, 4096})
 	dur := o.scale(20*time.Millisecond, 200*time.Millisecond)
 	const clients = 4
-	res := &Fig12Result{}
+	type job struct {
+		variant Fig12Variant
+		payload int
+	}
+	var jobs []job
 	for _, pl := range payloads {
 		for _, v := range Fig12Variants {
-			var rps float64
-			var lat time.Duration
-			if v == TwoSided {
-				rps, lat = runNativeEcho(p, o.Seed, p.HostCoreSpeed, pl, clients, dur, nil)
-			} else {
-				rps, lat = runOneSidedEcho(p, o.Seed, v, pl, clients, dur)
-			}
-			res.Rows = append(res.Rows, Fig12Row{Variant: v, Payload: pl, RPS: rps, MeanLat: lat})
+			jobs = append(jobs, job{variant: v, payload: pl})
 		}
 	}
-	return res
+	rows := make([]Fig12Row, len(jobs))
+	o.forEach(len(jobs), func(i int) {
+		j := jobs[i]
+		p := params.Default()
+		var rps float64
+		var lat time.Duration
+		if j.variant == TwoSided {
+			rps, lat = runNativeEcho(p, o.Seed, p.HostCoreSpeed, j.payload, clients, dur, nil)
+		} else {
+			rps, lat = runOneSidedEcho(p, o.Seed, j.variant, j.payload, clients, dur)
+		}
+		rows[i] = Fig12Row{Variant: j.variant, Payload: j.payload, RPS: rps, MeanLat: lat}
+	})
+	return &Fig12Result{Rows: rows}
 }
 
 // Get returns the row for (variant, payload).

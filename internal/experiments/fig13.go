@@ -44,18 +44,28 @@ func runIngress(o Opts, kind ingress.Kind, n int, dur time.Duration) (float64, t
 	return cp.Completed.WindowRate(eng.Now()), cp.Latency.Mean()
 }
 
-// Fig13 runs the client sweep for each design.
+// Fig13 runs the client sweep for each design, sharding the (design,
+// clients) grid across o.Parallel workers.
 func Fig13(o Opts) *Fig13Result {
 	clients := o.pick([]int{1, 32}, []int{1, 4, 8, 16, 32, 64})
 	dur := o.scale(50*time.Millisecond, 300*time.Millisecond)
-	res := &Fig13Result{}
+	type job struct {
+		kind ingress.Kind
+		n    int
+	}
+	var jobs []job
 	for _, kind := range Fig13Kinds {
 		for _, n := range clients {
-			rps, lat := runIngress(o, kind, n, dur)
-			res.Rows = append(res.Rows, Fig13Row{Design: kind.String(), Clients: n, RPS: rps, MeanLat: lat})
+			jobs = append(jobs, job{kind: kind, n: n})
 		}
 	}
-	return res
+	rows := make([]Fig13Row, len(jobs))
+	o.forEach(len(jobs), func(i int) {
+		j := jobs[i]
+		rps, lat := runIngress(o, j.kind, j.n, dur)
+		rows[i] = Fig13Row{Design: j.kind.String(), Clients: j.n, RPS: rps, MeanLat: lat}
+	})
+	return &Fig13Result{Rows: rows}
 }
 
 // Get returns the row for (design, clients).

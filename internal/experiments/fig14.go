@@ -81,14 +81,25 @@ func Fig14(o Opts) *Fig14Result {
 	if o.Quick {
 		clients = 8
 	}
-	res := &Fig14Result{Interval: every, Total: total}
-	// NADINO: autoscaled busy-poll workers.
-	res.Series = append(res.Series, runFig14(o, ingress.Nadino, true, 1, 8, clients, every, total))
-	// F-Ingress: the paper adapts the same autoscaler to it.
-	res.Series = append(res.Series, runFig14(o, ingress.FIngress, true, 1, 8, clients, every, total))
-	// K-Ingress: interrupt-driven, spreads across all 8 cores from the
-	// start, no explicit scaling.
-	res.Series = append(res.Series, runFig14(o, ingress.KIngress, false, 8, 8, clients, every, total))
+	jobs := []struct {
+		kind       ingress.Kind
+		autoScale  bool
+		workers    int
+		maxWorkers int
+	}{
+		// NADINO: autoscaled busy-poll workers.
+		{ingress.Nadino, true, 1, 8},
+		// F-Ingress: the paper adapts the same autoscaler to it.
+		{ingress.FIngress, true, 1, 8},
+		// K-Ingress: interrupt-driven, spreads across all 8 cores from the
+		// start, no explicit scaling.
+		{ingress.KIngress, false, 8, 8},
+	}
+	res := &Fig14Result{Interval: every, Total: total, Series: make([]Fig14Series, len(jobs))}
+	o.forEach(len(jobs), func(i int) {
+		j := jobs[i]
+		res.Series[i] = runFig14(o, j.kind, j.autoScale, j.workers, j.maxWorkers, clients, every, total)
+	})
 	return res
 }
 

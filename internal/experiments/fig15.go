@@ -74,15 +74,19 @@ func runTenancy(o Opts, sched dne.SchedulerKind, tenants []TenantLoad, total tim
 	window := total / 48
 	last := make(map[string]uint64)
 	r.eng.At(r.p.QPSetupTime, func() {
-		for name, s := range stats {
-			last[name] = s.count
+		// Walk the tenant slice, not the stats map: float addition is not
+		// associative, so a map-ordered sum would make Aggregate
+		// nondeterministic across runs.
+		for _, t := range tenants {
+			last[t.Name] = stats[t.Name].count
 		}
 		r.eng.Ticker(window, func(now time.Duration) {
 			var sum float64
-			for name, s := range stats {
-				rate := float64(s.count-last[name]) / window.Seconds()
-				last[name] = s.count
-				res.Series[name].Add(now, rate)
+			for _, t := range tenants {
+				s := stats[t.Name]
+				rate := float64(s.count-last[t.Name]) / window.Seconds()
+				last[t.Name] = s.count
+				res.Series[t.Name].Add(now, rate)
 				sum += rate
 			}
 			res.Aggregate.Add(now, sum)
@@ -136,11 +140,15 @@ func Fig15(o Opts) *Fig15Result {
 	total := o.scale(1500*time.Millisecond, 8*time.Second)
 	tenants := fig15Tenants(total)
 	res := &Fig15Result{
-		FCFS:        runTenancy(o, dne.SchedFCFS, tenants, total),
-		DWRR:        runTenancy(o, dne.SchedDWRR, tenants, total),
 		AllActiveLo: total * 2 / 5,
 		AllActiveHi: total * 3 / 5,
 	}
+	scheds := []dne.SchedulerKind{dne.SchedFCFS, dne.SchedDWRR}
+	runs := make([]*TenancyResult, len(scheds))
+	o.forEach(len(scheds), func(i int) {
+		runs[i] = runTenancy(o, scheds[i], tenants, total)
+	})
+	res.FCFS, res.DWRR = runs[0], runs[1]
 	return res
 }
 

@@ -58,7 +58,8 @@ func runBoutique(o Opts, sys core.System, chain string, n int, dur time.Duration
 	}
 }
 
-// Fig16 sweeps systems x chains x client counts.
+// Fig16 sweeps systems x chains x client counts, sharding the grid across
+// o.Parallel workers (each point is its own cluster and engine).
 func Fig16(o Opts) *Fig16Result {
 	systems := core.Systems()
 	chains := boutique.MeasuredChains()
@@ -68,15 +69,25 @@ func Fig16(o Opts) *Fig16Result {
 		chains = chains[:1]
 		clients = []int{8, 64}
 	}
-	res := &Fig16Result{}
+	type job struct {
+		sys   core.System
+		chain string
+		n     int
+	}
+	var jobs []job
 	for _, sys := range systems {
 		for _, ch := range chains {
 			for _, n := range clients {
-				res.Rows = append(res.Rows, runBoutique(o, sys, ch, n, dur))
+				jobs = append(jobs, job{sys: sys, chain: ch, n: n})
 			}
 		}
 	}
-	return res
+	rows := make([]Fig16Row, len(jobs))
+	o.forEach(len(jobs), func(i int) {
+		j := jobs[i]
+		rows[i] = runBoutique(o, j.sys, j.chain, j.n, dur)
+	})
+	return &Fig16Result{Rows: rows}
 }
 
 // Get returns the row for (system, chain, clients).

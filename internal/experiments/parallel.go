@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallelism resolves an Opts.Parallel / -parallel flag value to a worker
+// count: n <= 0 means "one worker per available CPU" (GOMAXPROCS), 1 is
+// sequential, anything else is taken literally.
+func Parallelism(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// forEach runs n independent sweep points. Every point must build its own
+// sim.Engine (and params.Params) and write its result into an
+// index-addressed slot, never append to shared state — under those rules
+// the merge order is the input order and the output is bitwise-identical
+// whether the points run sequentially or sharded across workers.
+//
+// With o.Parallel > 1 the points are distributed across min(Parallel, n)
+// goroutines. Tracing forces sequential execution: TraceSink callbacks are
+// ordered side effects, and attribution runs are about fidelity, not
+// wall-clock.
+func (o Opts) forEach(n int, point func(i int)) {
+	workers := o.Parallel
+	if o.Trace && o.TraceSink != nil {
+		workers = 1
+	}
+	ForEach(workers, n, point)
+}
+
+// ForEach runs n independent points across up to `workers` goroutines
+// (workers <= 1 runs them inline on the calling goroutine). Points must not
+// share mutable state; results must be written to index-addressed slots so
+// the merge order is the input order regardless of scheduling.
+func ForEach(workers, n int, point func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			point(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				point(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

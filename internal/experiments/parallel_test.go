@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// render runs every experiment (paper figures + ablations) at quick
+// fidelity and returns the concatenated rendered tables.
+func render(t *testing.T, o Opts) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, e := range AllWithAblations() {
+		for _, tb := range e.Run(o) {
+			tb.Print(&buf)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestParallelDeterminism asserts the parallel sharding contract: for a
+// fixed seed, running the sweep points across GOMAXPROCS workers produces
+// byte-identical tables to a sequential run. This is the regression fence
+// for "results merged in input order, one engine per point, no shared
+// mutable state".
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick suite twice")
+	}
+	o := Opts{Quick: true, Seed: 7}
+	seq := render(t, o)
+	// At least 4 workers even on a single-core box: goroutines still
+	// interleave, so the sharding and index-addressed merging are exercised
+	// either way.
+	o.Parallel = runtime.GOMAXPROCS(0)
+	if o.Parallel < 4 {
+		o.Parallel = 4
+	}
+	par := render(t, o)
+	if !bytes.Equal(seq, par) {
+		d := firstDiff(seq, par)
+		t.Fatalf("parallel run diverged from sequential run at byte %d:\nseq: %q\npar: %q",
+			d, excerpt(seq, d), excerpt(par, d))
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+func excerpt(b []byte, at int) []byte {
+	lo, hi := at-60, at+60
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(b) {
+		hi = len(b)
+	}
+	return b[lo:hi]
+}
+
+// TestParallelism pins the flag-to-worker-count mapping.
+func TestParallelism(t *testing.T) {
+	if got := Parallelism(3); got != 3 {
+		t.Fatalf("Parallelism(3) = %d", got)
+	}
+	if got := Parallelism(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Parallelism(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Parallelism(-2); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Parallelism(-2) = %d, want GOMAXPROCS", got)
+	}
+}
+
+// TestForEachCoversAllIndices checks the work distribution hits every index
+// exactly once for worker counts around the edge cases.
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 16, 100} {
+		const n = 37
+		hits := make([]int32, n)
+		ForEach(workers, n, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d run %d times", workers, i, h)
+			}
+		}
+	}
+}

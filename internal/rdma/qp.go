@@ -52,7 +52,7 @@ const dedupWindow = time.Second
 type sendAttempt struct {
 	done     bool
 	attempts int
-	timer    *sim.Event
+	timer    sim.Event
 }
 
 // Connect establishes an RC connection between two RNICs and returns both
@@ -106,9 +106,7 @@ func (qp *QP) complete(e CQE) {
 			return // duplicate ack (a retransmitted copy also delivered)
 		}
 		st.done = true
-		if st.timer != nil {
-			st.timer.Cancel()
-		}
+		st.timer.Cancel()
 		if st.attempts == 0 {
 			// Never retransmitted: exactly one copy exists, so no
 			// duplicate ack can arrive — reclaim immediately. This keeps

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// benchJitter is a tiny deterministic xorshift generator used to spread
+// event timestamps so the heap benchmarks exercise real sift paths instead
+// of degenerate FIFO order. It allocates nothing.
+type benchJitter uint64
+
+func (j *benchJitter) next() time.Duration {
+	x := uint64(*j)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*j = benchJitter(x)
+	return time.Duration(x%4096) * time.Nanosecond
+}
+
+// BenchmarkEngineSchedule measures steady-state schedule+fire throughput
+// with a populated heap: 512 self-rescheduling timers with jittered
+// deadlines, so every op is one heap push plus one pop at depth ~log4(512).
+// ns/op is the inverse of events/sec; allocs/op is the headline zero-alloc
+// claim (the event pool must absorb all steady-state traffic).
+func BenchmarkEngineSchedule(b *testing.B) {
+	b.ReportAllocs()
+	eng := NewEngine(1)
+	defer eng.Stop()
+	const outstanding = 512
+	jit := benchJitter(0x9e3779b97f4a7c15)
+	fired, target := 0, 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired < target {
+			eng.After(jit.next(), tick)
+		}
+	}
+	run := func(n int) {
+		fired, target = 0, n
+		for i := 0; i < outstanding; i++ {
+			eng.After(jit.next(), tick)
+		}
+		eng.Run()
+	}
+	run(outstanding * 4) // warm the heap and the event pool
+	b.ResetTimer()
+	run(b.N)
+}
+
+// BenchmarkEngineScheduleCancel measures the schedule-then-cancel cycle that
+// dominates timeout-guarded workloads (every RDMA send posts a retransmit
+// timer and cancels it on the ack). A heap that only marks canceled events
+// retains them all here; immediate removal keeps it empty.
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	b.ReportAllocs()
+	eng := NewEngine(1)
+	defer eng.Stop()
+	jit := benchJitter(0x2545f4914f6cdd1d)
+	for i := 0; i < 1024; i++ { // warm the event pool
+		eng.After(jit.next(), func() {}).Cancel()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(time.Millisecond+jit.next(), nop).Cancel()
+	}
+	b.StopTimer()
+	eng.Run()
+}
+
+func nop() {}
+
+// BenchmarkEngineImmediate measures the same-instant wakeup path (the
+// process-to-process handoff primitive).
+func BenchmarkEngineImmediate(b *testing.B) {
+	b.ReportAllocs()
+	eng := NewEngine(1)
+	defer eng.Stop()
+	n := 0
+	var again func()
+	again = func() {
+		n++
+		if n < b.N {
+			eng.Immediate(again)
+		}
+	}
+	eng.Immediate(again)
+	b.ResetTimer()
+	eng.Run()
+}
+
+// BenchmarkProcSleep measures the coroutine yield/resume round trip through
+// the event queue (spawn/yield cost in the issue's terms).
+func BenchmarkProcSleep(b *testing.B) {
+	b.ReportAllocs()
+	eng := NewEngine(1)
+	defer eng.Stop()
+	eng.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	eng.Run()
+}
+
+// BenchmarkProcSpawn measures process creation + teardown.
+func BenchmarkProcSpawn(b *testing.B) {
+	b.ReportAllocs()
+	eng := NewEngine(1)
+	defer eng.Stop()
+	for i := 0; i < b.N; i++ {
+		eng.Spawn("p", func(p *Proc) {})
+		eng.Run()
+	}
+}

@@ -6,67 +6,85 @@
 // goroutine executes at any instant — the engine hands control to a process
 // and waits for it to yield — so simulations are fully deterministic for a
 // given seed and are safe to write without locks.
+//
+// The hot path is allocation-free at steady state: fired and canceled
+// events return to a per-engine free list, and the timer queue is a
+// hand-inlined indexed 4-ary min-heap ordered on (time, sequence) with no
+// interface boxing. Engines are single-threaded but independent — separate
+// Engine instances may run concurrently on different goroutines, which is
+// how the experiment runner shards sweep points across cores.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
 	"time"
 )
 
-// Event is a scheduled callback. It can be canceled before it fires.
+// event is a pooled timer-queue node. Model code never holds one directly:
+// At/After return a generation-checked Event handle, so a handle kept past
+// the callback's firing (or cancellation) can never reach into a recycled
+// node.
+type event struct {
+	eng   *Engine
+	fn    func()
+	index int // position in Engine.heap, -1 when not queued
+	gen   uint64
+}
+
+// Event is a cancelable handle to a scheduled callback. The zero value is
+// inert: Cancel on it is a no-op and Pending reports false.
 type Event struct {
-	at       time.Duration
-	seq      uint64
-	fn       func()
-	index    int // heap index, -1 when not queued
-	canceled bool
+	ev  *event
+	gen uint64
 }
 
-// Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled event is a no-op.
-func (ev *Event) Cancel() { ev.canceled = true }
-
-// eventHeap orders events by (time, insertion sequence).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Cancel removes the event from the queue immediately, releasing its
+// callback closure and returning the node to the engine's pool. Canceling
+// an already-fired, already-canceled or zero handle is a no-op.
+func (h Event) Cancel() {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.index < 0 {
+		return
 	}
-	return h[i].seq < h[j].seq
+	eng := ev.eng
+	eng.heapRemove(ev.index)
+	eng.release(ev)
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// Pending reports whether the event is still queued: not yet fired and not
+// canceled.
+func (h Event) Pending() bool {
+	return h.ev != nil && h.ev.gen == h.gen && h.ev.index >= 0
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+
+// heapEntry is one slot of the timer queue. The ordering key lives inline
+// in the heap slice so sift comparisons never dereference the node — the
+// four children of a 4-ary parent are adjacent in memory, so a whole
+// sibling comparison round usually costs one cache line.
+type heapEntry struct {
+	at  time.Duration
+	seq uint64
+	ev  *event
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+
+// entryLess orders entries by time, breaking ties by insertion sequence so
+// same-instant events fire FIFO.
+func entryLess(a, b heapEntry) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
 // Engine is a discrete-event simulator. Create one with NewEngine, schedule
 // work with At/After/Spawn, then call Run (or RunUntil / RunFor). Call Stop
 // when done to release any processes still blocked inside the simulation.
 type Engine struct {
-	now     time.Duration
-	queue   eventHeap
-	seq     uint64
-	rng     *rand.Rand
+	now  time.Duration
+	heap []heapEntry // indexed 4-ary min-heap on (at, seq)
+	free []*event    // recycled nodes; bounds steady-state allocation at zero
+	seq  uint64
+	rng  *rand.Rand
+
 	killed  chan struct{}
 	stopped bool
 	running bool
@@ -91,25 +109,32 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it would silently reorder causality.
-func (e *Engine) At(t time.Duration, fn func()) *Event {
+func (e *Engine) At(t time.Duration, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.queue, ev)
-	return ev
+	if e.seq == 0 {
+		// Sequence numbers are never reused, even for pooled nodes: a wrap
+		// would let two queued events compare equal on (at, seq) and break
+		// the deterministic FIFO tie-order.
+		panic("sim: event sequence overflow")
+	}
+	ev := e.alloc()
+	ev.fn = fn
+	e.heapPush(heapEntry{at: t, seq: e.seq, ev: ev})
+	return Event{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d from now. Negative d panics.
-func (e *Engine) After(d time.Duration, fn func()) *Event {
+func (e *Engine) After(d time.Duration, fn func()) Event {
 	return e.At(e.now+d, fn)
 }
 
 // Immediate schedules fn at the current virtual time, after any events
 // already queued for this instant. It is the ordering-safe way to wake
 // processes from within other processes.
-func (e *Engine) Immediate(fn func()) *Event { return e.At(e.now, fn) }
+func (e *Engine) Immediate(fn func()) Event { return e.At(e.now, fn) }
 
 // Run executes events until the queue is empty or the engine is stopped.
 func (e *Engine) Run() { e.RunUntil(1<<62 - 1) }
@@ -125,17 +150,18 @@ func (e *Engine) RunUntil(t time.Duration) {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for !e.stopped && len(e.queue) > 0 {
-		ev := e.queue[0]
-		if ev.at > t {
+	for !e.stopped && len(e.heap) > 0 {
+		top := e.heap[0]
+		if top.at > t {
 			break
 		}
-		heap.Pop(&e.queue)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.at
-		ev.fn()
+		e.heapPopMin()
+		e.now = top.at
+		// Recycle before running: the callback may schedule onto the node
+		// we just freed, and any stale handle is fenced by the gen bump.
+		fn := top.ev.fn
+		e.release(top.ev)
+		fn()
 	}
 	if !e.stopped && e.now < t && t < 1<<62-1 {
 		e.now = t
@@ -152,8 +178,121 @@ func (e *Engine) Stop() {
 	close(e.killed)
 }
 
-// Pending reports the number of queued (possibly canceled) events.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending reports the number of queued events. Canceled events are removed
+// eagerly and never counted.
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // Procs reports the number of live processes.
 func (e *Engine) Procs() int { return int(e.procs.Load()) }
+
+// ---- event pool ----
+
+func (e *Engine) alloc() *event {
+	if n := len(e.free) - 1; n >= 0 {
+		ev := e.free[n]
+		e.free[n] = nil
+		e.free = e.free[:n]
+		return ev
+	}
+	return &event{eng: e, index: -1}
+}
+
+// release returns a dequeued node to the pool. The gen bump invalidates
+// every outstanding handle; dropping fn releases the captured closure.
+func (e *Engine) release(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
+// ---- indexed 4-ary min-heap on (at, seq) ----
+//
+// A 4-ary layout halves the tree depth of the classic binary heap, and the
+// hand-inlined sift loops avoid container/heap's per-comparison interface
+// calls and per-push `any` boxing. The node's index field supports
+// O(log n) removal for Cancel.
+
+func (e *Engine) heapPush(x heapEntry) {
+	e.heap = append(e.heap, x)
+	e.siftUp(len(e.heap) - 1)
+}
+
+// heapPopMin removes the earliest entry; the caller reads it from heap[0]
+// beforehand.
+func (e *Engine) heapPopMin() {
+	h := e.heap
+	n := len(h) - 1
+	h[0].ev.index = -1
+	last := h[n]
+	h[n] = heapEntry{}
+	e.heap = h[:n]
+	if n > 0 {
+		e.heap[0] = last
+		last.ev.index = 0
+		e.siftDown(0)
+	}
+}
+
+// heapRemove deletes the entry at index i (Cancel's removal path).
+func (e *Engine) heapRemove(i int) {
+	h := e.heap
+	n := len(h) - 1
+	h[i].ev.index = -1
+	last := h[n]
+	h[n] = heapEntry{}
+	e.heap = h[:n]
+	if i < n {
+		e.heap[i] = last
+		last.ev.index = i
+		e.siftDown(i)
+		if last.ev.index == i {
+			e.siftUp(i)
+		}
+	}
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	x := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !entryLess(x, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].ev.index = i
+		i = parent
+	}
+	h[i] = x
+	x.ev.index = i
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	x := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if entryLess(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !entryLess(h[min], x) {
+			break
+		}
+		h[i] = h[min]
+		h[i].ev.index = i
+		i = min
+	}
+	h[i] = x
+	x.ev.index = i
+}

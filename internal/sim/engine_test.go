@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"math"
+	"math/rand"
+	"sort"
 	"testing"
 	"time"
 )
@@ -46,6 +49,180 @@ func TestCancel(t *testing.T) {
 	e.Run()
 	if fired {
 		t.Fatal("canceled event fired")
+	}
+}
+
+func TestCancelRemovesFromHeap(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Stop()
+	evs := make([]Event, 10)
+	for i := range evs {
+		evs[i] = e.After(time.Duration(i+1)*time.Millisecond, func() { t.Fatal("canceled event fired") })
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("pending = %d, want 10", e.Pending())
+	}
+	// Cancel out of order to exercise interior heap removal.
+	for _, i := range []int{5, 0, 9, 3, 7, 1, 8, 2, 6, 4} {
+		evs[i].Cancel()
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending after cancel = %d, want 0 (canceled events must leave the heap)", e.Pending())
+	}
+	if evs[0].Pending() {
+		t.Fatal("handle still pending after Cancel")
+	}
+	evs[0].Cancel() // double cancel is a no-op
+	e.Run()
+}
+
+func TestZeroEventHandleInert(t *testing.T) {
+	var ev Event
+	ev.Cancel()
+	if ev.Pending() {
+		t.Fatal("zero handle reports pending")
+	}
+}
+
+// TestStaleHandleCannotTouchReusedNode proves the generation fence: once an
+// event fires (or is canceled) its node returns to the pool, and a handle
+// kept from the old life must not cancel the node's next occupant.
+func TestStaleHandleCannotTouchReusedNode(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Stop()
+	stale := e.After(time.Millisecond, func() {})
+	e.Run() // fires; node goes back to the pool
+	fired := false
+	fresh := e.After(time.Millisecond, func() { fired = true })
+	stale.Cancel() // must be a no-op: different generation
+	if stale.Pending() {
+		t.Fatal("stale handle reports pending")
+	}
+	if !fresh.Pending() {
+		t.Fatal("fresh event lost its queue slot to a stale Cancel")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("stale Cancel killed the reused node's event")
+	}
+
+	// Same fence for cancel-then-reuse.
+	a := e.After(time.Millisecond, func() { t.Fatal("canceled event fired") })
+	a.Cancel()
+	ok := false
+	b := e.After(time.Millisecond, func() { ok = true })
+	a.Cancel()
+	e.Run()
+	if !ok {
+		t.Fatal("second Cancel on a recycled handle killed the new event")
+	}
+	_ = b
+}
+
+// TestSeqNeverReusedAcrossPooling checks that pooled nodes get fresh
+// sequence numbers: same-instant events scheduled through heavy pool churn
+// still fire in exact FIFO order.
+func TestSeqNeverReusedAcrossPooling(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Stop()
+	// Churn the pool: fire and recycle a batch of nodes.
+	for i := 0; i < 64; i++ {
+		e.After(time.Microsecond, func() {})
+	}
+	e.Run()
+	var got []int
+	base := e.Now() + time.Millisecond
+	for i := 0; i < 64; i++ {
+		i := i
+		e.At(base, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant FIFO violated after pooling: %v", got)
+		}
+	}
+}
+
+func TestSeqOverflowPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Stop()
+	e.seq = math.MaxUint64 // white-box: next At would wrap seq to 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("seq wrap did not panic")
+		}
+	}()
+	e.After(time.Millisecond, func() {})
+}
+
+func TestSeqOrderingNearOverflow(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Stop()
+	e.seq = math.MaxUint64 - 8 // room for exactly 8 more events
+	var got []int
+	for i := 0; i < 8; i++ {
+		i := i
+		e.At(time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated near seq ceiling: %v", got)
+		}
+	}
+}
+
+// TestHeapStress drives a randomized schedule/cancel mix and checks the
+// engine fires exactly the surviving events in (time, insertion) order.
+func TestHeapStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		e := NewEngine(1)
+		type rec struct {
+			id int
+			at time.Duration
+		}
+		var want []rec
+		var got []int
+		var handles []Event
+		id := 0
+		for i := 0; i < 400; i++ {
+			at := time.Duration(rng.Intn(500)) * time.Microsecond
+			myID := id
+			id++
+			ev := e.At(at, func() { got = append(got, myID) })
+			handles = append(handles, ev)
+			want = append(want, rec{id: myID, at: at})
+			// Randomly cancel ~1/3 of what's still queued.
+			if rng.Intn(3) == 0 && len(handles) > 0 {
+				k := rng.Intn(len(handles))
+				victim := handles[k]
+				if victim.Pending() {
+					victim.Cancel()
+					// Drop it from the expectation.
+					for j := range want {
+						if want[j].id == k {
+							want = append(want[:j], want[j+1:]...)
+							break
+						}
+					}
+				}
+			}
+		}
+		// Stable sort by time keeps insertion order for ties — exactly the
+		// engine's (at, seq) contract.
+		sort.SliceStable(want, func(a, b int) bool { return want[a].at < want[b].at })
+		e.Run()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: fired %d events, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i].id {
+				t.Fatalf("trial %d: fire order diverged at %d: got id %d, want %d", trial, i, got[i], want[i].id)
+			}
+		}
+		e.Stop()
 	}
 }
 

@@ -17,6 +17,9 @@ type Proc struct {
 	resume chan struct{}
 	yield  chan struct{}
 	done   bool
+	// wakeFn is p.wake bound once at Spawn; scheduling it repeatedly (every
+	// Sleep and queue wakeup) must not re-allocate a method value.
+	wakeFn func()
 }
 
 // Spawn starts body as a new process at the current virtual time. The body
@@ -28,6 +31,7 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 		resume: make(chan struct{}),
 		yield:  make(chan struct{}),
 	}
+	p.wakeFn = p.wake
 	e.procs.Add(1)
 	e.Immediate(func() { p.start(body) })
 	return p
@@ -106,11 +110,11 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d == 0 {
 		// Still yield through the event queue so same-instant ordering is
 		// consistent with a zero-length timer.
-		p.eng.Immediate(p.wake)
+		p.eng.Immediate(p.wakeFn)
 		p.block()
 		return
 	}
-	p.eng.After(d, p.wake)
+	p.eng.After(d, p.wakeFn)
 	p.block()
 }
 

@@ -27,7 +27,7 @@ func (w *WaitQueue) WakeOne() bool {
 	}
 	p := w.waiters[0]
 	w.waiters = w.waiters[1:]
-	w.eng.Immediate(p.wake)
+	w.eng.Immediate(p.wakeFn)
 	return true
 }
 
@@ -91,7 +91,7 @@ func (s *Semaphore) Release(n int) {
 		w := s.waiters[0]
 		s.waiters = s.waiters[1:]
 		s.avail -= w.n
-		s.eng.Immediate(w.p.wake)
+		s.eng.Immediate(w.p.wakeFn)
 	}
 }
 

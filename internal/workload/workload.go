@@ -89,14 +89,12 @@ func (cp *ClientPool) AddClient() {
 					Stamp:     start,
 					Reply:     func(ingress.Response) { doneQ.TryPut(true) },
 				})
-				var timer *sim.Event
+				var timer sim.Event
 				if cp.Timeout > 0 {
 					timer = cp.eng.After(cp.Timeout, func() { doneQ.TryPut(false) })
 				}
 				ok := doneQ.Get(pr)
-				if timer != nil {
-					timer.Cancel()
-				}
+				timer.Cancel()
 				if !ok {
 					// No response in time: this connection gives up.
 					cp.disconnected++
