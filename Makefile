@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench suite trace
+.PHONY: build test vet race check bench bench-res suite ci trace
 
 build:
 	$(GO) build ./...
@@ -32,10 +32,29 @@ check: vet race
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkProc' -benchmem ./internal/sim/ | $(GO) run ./cmd/benchjson > BENCH_sim.json
 
+# bench-res archives the resilience headline numbers (recovery ratio, worst
+# recovery time, DWRR vs FCFS retention) as BENCH_res.json. Each iteration
+# is a full quick-mode res-* experiment and deterministic for the fixed
+# seed, so -benchtime 1x is exact.
+bench-res:
+	$(GO) test -run '^$$' -bench 'BenchmarkRes' -benchtime 1x ./internal/experiments/ | $(GO) run ./cmd/benchjson > BENCH_res.json
+
 # suite regenerates every paper artifact at quick fidelity, sharded across
 # all cores (output is bitwise-identical to -parallel 1).
 suite:
 	$(GO) run ./cmd/nadino-bench -quick -parallel 0
+
+# ci is the one-command gate: build, vet, race-test the sim-critical
+# packages with -short (skips the ~15-min whole-suite parallel-determinism
+# sweep; the res-* determinism fence still runs — the full-suite `race`
+# target stays the deep pre-commit gate), then regenerate everything —
+# paper artifacts, ablations and the chaos res-* suite — at quick fidelity
+# across all cores.
+ci:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race -short -timeout 20m ./internal/sim/ ./internal/fabric/ ./internal/chaos/ ./internal/rdma/ ./internal/dne/ ./internal/metrics/ ./internal/core/ ./internal/experiments/
+	$(GO) run ./cmd/nadino-bench -quick -parallel 0 -run everything
 
 # trace reproduces the Fig. 6 per-stage latency attribution and writes a
 # Chrome trace-event file (load in chrome://tracing or ui.perfetto.dev).

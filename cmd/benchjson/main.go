@@ -16,15 +16,18 @@ import (
 	"strings"
 )
 
-// Result is one benchmark line, normalized.
+// Result is one benchmark line, normalized. Custom units reported via
+// b.ReportMetric (e.g. the resilience benchmarks' recovery_ratio) land in
+// Metrics keyed by their unit string.
 type Result struct {
-	Name        string  `json:"name"`
-	Procs       int     `json:"procs"` // the -N GOMAXPROCS suffix
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	OpsPerSec   float64 `json:"ops_per_sec"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs"` // the -N GOMAXPROCS suffix
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	OpsPerSec   float64            `json:"ops_per_sec"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the archived document.
@@ -69,6 +72,11 @@ func parseLine(line string) (Result, bool) {
 			r.BytesPerOp = int64(v)
 		case "allocs/op":
 			r.AllocsPerOp = int64(v)
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[fields[i+1]] = v
 		}
 	}
 	return r, r.NsPerOp > 0

@@ -7,6 +7,8 @@
 //	nadino-bench                 # run everything at full fidelity
 //	nadino-bench -run fig12      # one experiment
 //	nadino-bench -run fig13,fig14 -quick
+//	nadino-bench -run resilience # chaos-driven res-* suite
+//	nadino-bench -run res-storm,res-recovery,res-tenant
 //	nadino-bench -parallel 0     # shard sweep points across all cores
 //	nadino-bench -run fig06 -trace
 //	nadino-bench -list
@@ -29,7 +31,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment IDs, 'all' (paper artifacts), or 'everything' (incl. ablations)")
+	run := flag.String("run", "all", "comma-separated experiment IDs, 'all' (paper artifacts), 'ablations', 'resilience' (res-*), or 'everything'")
 	quick := flag.Bool("quick", false, "shrink measurement windows and sweeps")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", 1, "workers sharding each experiment's sweep points (0 = all cores, 1 = sequential); output is identical either way")
@@ -53,6 +55,8 @@ func main() {
 		selected = experiments.AllWithAblations()
 	case "ablations":
 		selected = experiments.Ablations()
+	case "resilience":
+		selected = experiments.Resilience()
 	default:
 		for _, id := range strings.Split(*run, ",") {
 			e, ok := experiments.Lookup(strings.TrimSpace(id))

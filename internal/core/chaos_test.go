@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"nadino/internal/chaos"
+	"nadino/internal/ingress"
+	"nadino/internal/sim"
+)
+
+// TestClusterChaosTargets drives the full NADINO stack through a mixed
+// fault schedule built from the standard cluster targets: a node blip, a
+// SoC DMA stall, a forced-QP-error round, and an ingress restart. The
+// cluster must keep completing chains after everything clears, and the
+// fault surfaces must each report they were hit.
+func TestClusterChaosTargets(t *testing.T) {
+	c := NewCluster(testConfig(NadinoDNE))
+	t.Cleanup(c.Eng.Stop)
+	in := c.NewChaos(1)
+
+	base := c.P.QPSetupTime
+	in.Install(chaos.Schedule{
+		{At: base + 5*time.Millisecond, For: 2 * time.Millisecond, Fault: chaos.NodeDown{Node: "node2"}},
+		{At: base + 20*time.Millisecond, For: 3 * time.Millisecond, Fault: chaos.DMAStall{Target: "dma@node1"}},
+		{At: base + 30*time.Millisecond, Fault: chaos.QPError{Target: "qp@node1", Count: 1}},
+		{At: base + 40*time.Millisecond, For: 2 * time.Millisecond, Fault: chaos.GatewayRestart{Target: "ingress"}},
+		{At: base + 60*time.Millisecond, For: 5 * time.Millisecond, Fault: chaos.SlowCores{Target: "cores@node2", Factor: 0.5}},
+	})
+
+	for i := 0; i < 4; i++ {
+		id := i
+		c.Eng.Spawn("client", func(pr *sim.Proc) {
+			c.WaitReady(pr)
+			respQ := sim.NewQueue[ingress.Response](c.Eng, 0)
+			for {
+				c.SubmitChain("mix", id, func(r ingress.Response) { respQ.TryPut(r) })
+				respQ.Get(pr)
+			}
+		})
+	}
+	c.Eng.RunUntil(300 * time.Millisecond)
+
+	if done := c.Completed.Total(); done < 100 {
+		t.Fatalf("completed only %d requests under faults", done)
+	}
+	if in.Applied() != 5 {
+		t.Fatalf("applied %d faults, want 5", in.Applied())
+	}
+	// NodeDown and SlowCores revert; the other three are apply-only.
+	if in.Reverted() != 2 {
+		t.Fatalf("reverted %d faults, want 2", in.Reverted())
+	}
+	if c.Net().Drops() == 0 {
+		t.Fatal("node blip dropped nothing")
+	}
+	_, _, drops := c.Net().LinkStats("node1")
+	if drops == 0 {
+		t.Fatal("node1 egress recorded no drops during the blip")
+	}
+	// The DMA stall only bites in on-path mode; the injector must still have
+	// reached the engine.
+	var stalled time.Duration
+	for _, n := range c.nodeSeq {
+		stalled += n.dpu.SoCDMA().StallTime()
+	}
+	if stalled != 3*time.Millisecond {
+		t.Fatalf("stall time %v, want 3ms", stalled)
+	}
+	if c.Gateway().InjectedRestarts() != 1 {
+		t.Fatalf("gateway restarts = %d, want 1", c.Gateway().InjectedRestarts())
+	}
+	// The forced QP error was repaired by the keeper loop.
+	var repairs uint64
+	for _, cp := range c.Engine("node1").ConnPools() {
+		repairs += cp.Repairs()
+	}
+	if repairs == 0 {
+		t.Fatal("forced QP error never repaired")
+	}
+	for _, cp := range c.Engine("node1").ConnPools() {
+		if cp.ErroredCount() != 0 {
+			t.Fatal("QP still errored at end of run")
+		}
+	}
+}

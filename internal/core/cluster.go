@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"nadino/internal/chaos"
 	"nadino/internal/dne"
 	"nadino/internal/dpu"
 	"nadino/internal/fabric"
@@ -406,6 +407,36 @@ func (c *Cluster) Gateway() *ingress.Gateway { return c.gw }
 
 // Engine returns node's network engine (NADINO systems).
 func (c *Cluster) Engine(node string) *dne.Engine { return c.nodes[node].engine }
+
+// Net returns the cluster fabric (chaos injection and stats).
+func (c *Cluster) Net() *fabric.Network { return c.net }
+
+// NewChaos builds a fault injector over the whole cluster with every
+// standard target registered: the gateway as "ingress", and per node the
+// SoC DMA as "dma@<node>", the DPU ARM cores as "cores@<node>", and the
+// node engine's RC connection pools as "qp@<node>" (a lazy provider —
+// pools only exist once setup completes). Non-NADINO systems register no
+// QP targets for nodes without an engine.
+func (c *Cluster) NewChaos(seed int64) *chaos.Injector {
+	in := chaos.NewInjector(c.Eng, c.net, seed)
+	in.RegisterGateway("ingress", c.gw)
+	for _, n := range c.nodeSeq {
+		node := n
+		in.RegisterStaller("dma@"+string(node.name), node.dpu.SoCDMA())
+		in.RegisterCores("cores@"+string(node.name), node.dpu.Cores()...)
+		if node.engine != nil {
+			in.RegisterQPs("qp@"+string(node.name), func() []chaos.QPErrorTarget {
+				pools := node.engine.ConnPools()
+				ts := make([]chaos.QPErrorTarget, len(pools))
+				for i, cp := range pools {
+					ts[i] = cp
+				}
+				return ts
+			})
+		}
+	}
+	return in
+}
 
 // setup establishes RC connections, starts engines, backends and function
 // runtimes, then signals readiness.

@@ -75,6 +75,11 @@ type tenantState struct {
 	pool   *mempool.Pool
 	mr     *rdma.MR
 	srq    *rdma.SRQ
+	// rqDebt is the replenishment shortfall carried across keeper rounds:
+	// consumed RQ slots the keeper could not repost because the tenant pool
+	// was squeezed. Without it, ConsumedReset's count is lost on pool
+	// pressure and the ring starves permanently once buffers come back.
+	rqDebt int
 	// meters drive the Fig. 15 per-tenant bandwidth plots.
 	TxMeter *metrics.Meter
 	RxMeter *metrics.Meter
@@ -256,6 +261,15 @@ func (e *Engine) AddConnPool(remote fabric.NodeID, tenant string, cp *rdma.ConnP
 	m[tenant] = cp
 	e.poolSeq = append(e.poolSeq, cp)
 }
+
+// ConnPool returns the pool toward remote for tenant (nil if absent).
+func (e *Engine) ConnPool(remote fabric.NodeID, tenant string) *rdma.ConnPool {
+	return e.pools[remote][tenant]
+}
+
+// ConnPools exposes every installed pool in insertion order (chaos hooks
+// and stats).
+func (e *Engine) ConnPools() []*rdma.ConnPool { return e.poolSeq }
 
 // AttachFunction creates the descriptor channel between a host function and
 // the engine: a Comch endpoint for the DPU-hosted engine, an SK_MSG socket
@@ -541,9 +555,9 @@ func (e *Engine) keeperLoop(pr *sim.Proc) {
 	for {
 		pr.Sleep(e.cfg.ReplenishEvery)
 		for _, ts := range e.tenantSeq {
-			n := int(ts.srq.ConsumedReset())
+			n := int(ts.srq.ConsumedReset()) + ts.rqDebt
 			if n > 0 {
-				e.replenish(pr, ts, n)
+				ts.rqDebt = n - e.replenish(pr, ts, n)
 			}
 		}
 		round++
@@ -559,8 +573,10 @@ func (e *Engine) keeperLoop(pr *sim.Proc) {
 	}
 }
 
-// replenish posts n receive buffers from the tenant pool to its SRQ.
-func (e *Engine) replenish(pr *sim.Proc, ts *tenantState, n int) {
+// replenish posts up to n receive buffers from the tenant pool to its SRQ
+// and returns how many it posted (the caller carries any shortfall forward
+// as rqDebt).
+func (e *Engine) replenish(pr *sim.Proc, ts *tenantState, n int) int {
 	owner := ownerRQ(e.cfg.Node)
 	posted := 0
 	for posted < n {
@@ -575,6 +591,7 @@ func (e *Engine) replenish(pr *sim.Proc, ts *tenantState, n int) {
 		// Batched posting cost on the core thread.
 		e.keeper.Exec(pr, time.Duration(posted)*e.p.VerbsPostCost/4)
 	}
+	return posted
 }
 
 // SchedPending reports descriptors queued in the tenant scheduler (TX

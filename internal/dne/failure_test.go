@@ -4,26 +4,20 @@ import (
 	"testing"
 	"time"
 
-	"nadino/internal/fabric"
+	"nadino/internal/chaos"
 	"nadino/internal/mempool"
 	"nadino/internal/params"
 	"nadino/internal/sim"
 )
 
-// blipRig extends the pair rig with fabric access for failure injection.
-func newBlipRig(t *testing.T, seed int64) (*pairRig, *fabric.Network) {
-	t.Helper()
-	p := params.Default()
-	r := newPairRig(t, seed, p)
-	return r, r.net
-}
-
 // TestEngineRecoversFromLinkBlip drives a closed-loop echo workload through
 // a mid-run link outage: the engines must retransmit at the transport
 // level, retry descriptors at the data-plane level, repair errored QPs, and
-// finish every request without leaking a buffer.
+// finish every request without leaking a buffer. The outage comes from a
+// chaos.Schedule — the same fault path the resilience experiments use.
 func TestEngineRecoversFromLinkBlip(t *testing.T) {
-	r, net := newBlipRig(t, 7)
+	r := newPairRig(t, 7, params.Default())
+	net := r.net
 	r.spawnEchoServer(t)
 
 	// Eight concurrent request streams keep traffic in flight in both
@@ -40,6 +34,10 @@ func TestEngineRecoversFromLinkBlip(t *testing.T) {
 			if w, ok := waiters[d.Seq]; ok {
 				delete(waiters, d.Seq)
 				w.TryPut(d)
+			} else if err := r.poolA.Put(d.Buf, "cli"); err != nil {
+				// Duplicate delivery (at-least-once retry): recycle it so
+				// the leak check stays exact.
+				t.Error(err)
 			}
 		}
 	})
@@ -78,8 +76,10 @@ func TestEngineRecoversFromLinkBlip(t *testing.T) {
 
 	// Outage: node B unreachable for 8ms, early in the workload.
 	blipStart := r.p.QPSetupTime + 500*time.Microsecond
-	r.eng.At(blipStart, func() { net.SetDown("nodeB", true) })
-	r.eng.At(blipStart+8*time.Millisecond, func() { net.SetDown("nodeB", false) })
+	in := chaos.NewInjector(r.eng, net, 7)
+	in.Install(chaos.Schedule{
+		{At: blipStart, For: 8 * time.Millisecond, Fault: chaos.NodeDown{Node: "nodeB"}},
+	})
 
 	r.eng.RunUntil(5 * time.Second)
 	if completed != requests {
@@ -106,5 +106,76 @@ func TestEngineRecoversFromLinkBlip(t *testing.T) {
 	}
 	if got, want := r.poolB.InUse(), r.eb.SRQ(rigTenant).Posted(); got != want {
 		t.Fatalf("pool B in use = %d, want %d", got, want)
+	}
+}
+
+// TestKeeperRepaysReplenishDebt pins the fix for a starvation bug the chaos
+// suite flushed out: the keeper reads the SRQ's ConsumedReset counter before
+// it knows whether the tenant pool can actually supply buffers, so any
+// replenish shortfall during a pool squeeze must be carried forward as debt.
+// Before the fix the count was simply lost and the RQ ring stayed starved
+// forever after the squeeze ended.
+func TestKeeperRepaysReplenishDebt(t *testing.T) {
+	r := newPairRig(t, 11, params.Default())
+	const sends = 64
+	finished := false
+	r.eng.Spawn("squeeze", func(pr *sim.Proc) {
+		r.ready.Get(pr)
+		r.ready.TryPut(struct{}{})
+		pr.Sleep(time.Millisecond) // let the keeper finish initial posting
+		posted0 := r.eb.SRQ(rigTenant).Posted()
+		if posted0 == 0 {
+			t.Error("RQ ring empty before the squeeze")
+			return
+		}
+		// Squeeze: hold every free buffer of pool B so the keeper cannot
+		// replenish.
+		var held []mempool.Buffer
+		for {
+			b, err := r.poolB.Get("hog")
+			if err != nil {
+				break
+			}
+			held = append(held, b)
+		}
+		// Consume RQ slots with one-way messages that land at the srv port
+		// (nobody drains it, so nothing flows back into the pool).
+		for i := 0; i < sends; i++ {
+			buf, err := r.poolA.Get("cli")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			d := mempool.Descriptor{
+				Tenant: rigTenant, Buf: buf, Len: 1024,
+				Src: "cli", Dst: "srv", Seq: uint64(i),
+			}
+			if err := r.portCli.Send(pr, r.coreA, d); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		// Several keeper rounds observe the consumed slots while the pool
+		// is empty: the ring must shrink and stay short.
+		pr.Sleep(2 * time.Millisecond)
+		if got := r.eb.SRQ(rigTenant).Posted(); got >= posted0 {
+			t.Errorf("squeeze did not bite: posted %d >= %d", got, posted0)
+		}
+		// Release the squeeze; the keeper must repay the full shortfall.
+		for _, b := range held {
+			if err := r.poolB.Put(b, "hog"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		pr.Sleep(2 * time.Millisecond)
+		if got := r.eb.SRQ(rigTenant).Posted(); got != posted0 {
+			t.Errorf("RQ ring not repaid after the squeeze: posted %d, want %d", got, posted0)
+		}
+		finished = true
+	})
+	r.eng.RunUntil(time.Second)
+	if !finished {
+		t.Fatal("squeeze scenario did not run to completion")
 	}
 }

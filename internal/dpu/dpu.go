@@ -64,6 +64,7 @@ type DMAEngine struct {
 	p         *params.Params
 	busyUntil time.Duration
 	busyTime  time.Duration
+	stallTime time.Duration
 	ops       uint64
 }
 
@@ -93,6 +94,25 @@ func (d *DMAEngine) TransferBlocking(pr *sim.Proc, n int) {
 	d.Transfer(n, func() { q.TryPut(struct{}{}) })
 	q.Get(pr)
 }
+
+// Stall blocks the DMA channel for dur: transfers already queued and any
+// issued during the stall complete only after it ends. Models a SoC DMA
+// hiccup (firmware housekeeping, PCIe backpressure); injection hook for
+// internal/chaos. Stall time is tracked separately from busy time.
+func (d *DMAEngine) Stall(dur time.Duration) {
+	if dur <= 0 {
+		return
+	}
+	now := d.eng.Now()
+	if d.busyUntil < now {
+		d.busyUntil = now
+	}
+	d.busyUntil += dur
+	d.stallTime += dur
+}
+
+// StallTime reports total injected stall time.
+func (d *DMAEngine) StallTime() time.Duration { return d.stallTime }
 
 // BusyTime reports accumulated DMA busy time.
 func (d *DMAEngine) BusyTime() time.Duration { return d.busyTime }

@@ -182,12 +182,13 @@ func All() []Experiment {
 }
 
 // AllWithAblations returns the paper experiments followed by the design
-// ablations.
+// ablations and the resilience suite.
 func AllWithAblations() []Experiment {
-	return append(All(), Ablations()...)
+	return append(append(All(), Ablations()...), Resilience()...)
 }
 
-// Lookup finds an experiment by ID (paper artifacts and ablations).
+// Lookup finds an experiment by ID (paper artifacts, ablations and
+// resilience runs).
 func Lookup(id string) (Experiment, bool) {
 	for _, e := range AllWithAblations() {
 		if e.ID == id {

@@ -109,8 +109,14 @@ func (r *dneRig) spawnEchoServer(tenant string, port *dne.FnPort) {
 		for {
 			d := port.Recv(pr, core)
 			reply, err := pool.Get(srv)
-			if err != nil {
-				panic(fmt.Sprintf("experiments: server pool exhausted: %v", err))
+			for err != nil {
+				// Pool squeeze: under a chaos storm the tenant's buffers can
+				// be transiently pinned in the engine's retry path. Block the
+				// handler until one comes home — a function backpressures on
+				// its pool, it doesn't crash. The stall propagates upstream as
+				// RNR once the RQ ring can't replenish either.
+				pr.Sleep(20 * time.Microsecond)
+				reply, err = pool.Get(srv)
 			}
 			if err := pool.Put(d.Buf, srv); err != nil {
 				panic(err)
@@ -151,6 +157,10 @@ func (r *dneRig) spawnEchoClients(tenant string, port *dne.FnPort, n, payload in
 			if w, ok := waiters[d.Seq]; ok {
 				delete(waiters, d.Seq)
 				w.TryPut(d)
+			} else if err := pool.Put(d.Buf, cli); err != nil {
+				// No waiter: a duplicate delivery from the engine's
+				// at-least-once retry path. Recycle it, or the buffer leaks.
+				panic(err)
 			}
 		}
 	})

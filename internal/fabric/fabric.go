@@ -2,6 +2,10 @@
 // into a single switch, FIFO serialization on each egress link, and fixed
 // propagation delay. The external Ethernet segment between clients and the
 // ingress node is modeled separately (see internal/ingress).
+//
+// Every directed link carries injectable fault state (outage, loss
+// probability, added latency with jitter) — the substrate internal/chaos
+// schedules its network faults on.
 package fabric
 
 import (
@@ -22,30 +26,134 @@ type Link struct {
 	busyUntil time.Duration
 	bytes     uint64
 	msgs      uint64
+	drops     uint64
+}
+
+// linkKey addresses one directed link.
+type linkKey struct {
+	from, to NodeID
+}
+
+// linkFault is the injectable state of one directed link. The zero value
+// means "healthy"; entries are removed from the fault map when they return
+// to zero so the Send fast path stays a single map-length check.
+type linkFault struct {
+	down   bool
+	loss   float64 // drop probability per message, 0..1
+	extra  time.Duration
+	jitter time.Duration // uniform extra delay in [0, jitter)
+}
+
+func (f *linkFault) clear() bool {
+	return !f.down && f.loss == 0 && f.extra == 0 && f.jitter == 0
 }
 
 // Network is the switch connecting all nodes.
 type Network struct {
-	eng   *sim.Engine
-	p     *params.Params
-	links map[NodeID]*Link
-	down  map[NodeID]bool
-	drops uint64
+	eng      *sim.Engine
+	p        *params.Params
+	links    map[NodeID]*Link
+	faults   map[linkKey]*linkFault
+	nodeDown map[NodeID]bool // SetDown bookkeeping, reported by Down
+	drops    uint64
 }
 
 // New returns an empty network.
 func New(eng *sim.Engine, p *params.Params) *Network {
-	return &Network{eng: eng, p: p, links: make(map[NodeID]*Link), down: make(map[NodeID]bool)}
+	return &Network{
+		eng:      eng,
+		p:        p,
+		links:    make(map[NodeID]*Link),
+		faults:   make(map[linkKey]*linkFault),
+		nodeDown: make(map[NodeID]bool),
+	}
 }
 
-// SetDown marks a node's link up or down. Packets to or from a down node
-// are silently dropped — the transport above must detect and retransmit.
-func (n *Network) SetDown(id NodeID, down bool) { n.down[id] = down }
+// edit returns the fault entry for a directed link, creating it if needed.
+// Callers must trim afterwards so healthy links carry no entry.
+func (n *Network) edit(from, to NodeID) *linkFault {
+	n.mustHave(from)
+	n.mustHave(to)
+	k := linkKey{from, to}
+	f := n.faults[k]
+	if f == nil {
+		f = &linkFault{}
+		n.faults[k] = f
+	}
+	return f
+}
 
-// Down reports whether a node's link is down.
-func (n *Network) Down(id NodeID) bool { return n.down[id] }
+func (n *Network) trim(from, to NodeID) {
+	k := linkKey{from, to}
+	if f := n.faults[k]; f != nil && f.clear() {
+		delete(n.faults, k)
+	}
+}
 
-// Drops reports packets lost to down links.
+func (n *Network) mustHave(id NodeID) {
+	if _, ok := n.links[id]; !ok {
+		panic(fmt.Sprintf("fabric: unknown node %q", id))
+	}
+}
+
+// SetLinkDown takes the directed link from->to down (or back up). Messages
+// on a down link are silently dropped — the transport above must detect and
+// retransmit.
+func (n *Network) SetLinkDown(from, to NodeID, down bool) {
+	n.edit(from, to).down = down
+	n.trim(from, to)
+}
+
+// LinkDown reports whether the directed link from->to is down.
+func (n *Network) LinkDown(from, to NodeID) bool {
+	f := n.faults[linkKey{from, to}]
+	return f != nil && f.down
+}
+
+// SetLinkLoss sets the per-message drop probability (0..1) on the directed
+// link from->to. Loss draws come from the engine's seeded RNG, so runs stay
+// deterministic for a fixed seed.
+func (n *Network) SetLinkLoss(from, to NodeID, prob float64) {
+	if prob < 0 || prob > 1 {
+		panic(fmt.Sprintf("fabric: loss probability %v outside [0,1]", prob))
+	}
+	n.edit(from, to).loss = prob
+	n.trim(from, to)
+}
+
+// SetLinkLatency adds a fixed extra delay plus uniform jitter in [0, jitter)
+// to every delivery on the directed link from->to. Zero both to clear.
+func (n *Network) SetLinkLatency(from, to NodeID, extra, jitter time.Duration) {
+	if extra < 0 || jitter < 0 {
+		panic("fabric: negative link latency")
+	}
+	f := n.edit(from, to)
+	f.extra, f.jitter = extra, jitter
+	n.trim(from, to)
+}
+
+// SetDown marks every directed link touching a node down (or up) — the
+// node-outage wrapper over the per-link state. Only links to nodes attached
+// at call time are affected, and SetDown(id, false) clears the down bit on
+// every link touching id, including bits set individually via SetLinkDown.
+func (n *Network) SetDown(id NodeID, down bool) {
+	n.mustHave(id)
+	n.nodeDown[id] = down
+	for other := range n.links {
+		if other == id {
+			continue
+		}
+		n.edit(id, other).down = down
+		n.trim(id, other)
+		n.edit(other, id).down = down
+		n.trim(other, id)
+	}
+}
+
+// Down reports whether a node was taken down via SetDown.
+func (n *Network) Down(id NodeID) bool { return n.nodeDown[id] }
+
+// Drops reports messages lost to down or lossy links.
 func (n *Network) Drops() uint64 { return n.drops }
 
 // AddNode attaches a node to the switch.
@@ -63,8 +171,9 @@ func (n *Network) Has(id NodeID) bool {
 }
 
 // Send serializes bytes on from's egress link and schedules deliver on the
-// receiving side after serialization + propagation. It returns the delivery
-// time. Send is called from engine context (event callbacks).
+// receiving side after serialization + propagation (+ any injected link
+// latency). It returns the delivery time. Send is called from engine context
+// (event callbacks).
 func (n *Network) Send(from, to NodeID, bytes int, deliver func()) time.Duration {
 	lnk, ok := n.links[from]
 	if !ok {
@@ -83,16 +192,35 @@ func (n *Network) Send(from, to NodeID, bytes int, deliver func()) time.Duration
 	lnk.bytes += uint64(bytes)
 	lnk.msgs++
 	at := lnk.busyUntil + n.p.FabricPropagation
-	if n.down[from] || n.down[to] {
-		// Lost on the wire; the sender's transport must recover. The
-		// egress serialization is still consumed (the NIC did transmit).
-		n.drops++
-		return at
+	if len(n.faults) > 0 {
+		if f := n.faults[linkKey{from, to}]; f != nil {
+			if f.down {
+				// Lost on the wire; the sender's transport must recover. The
+				// egress serialization is still consumed (the NIC did
+				// transmit).
+				n.drops++
+				lnk.drops++
+				return at
+			}
+			if f.loss > 0 && n.eng.Rand().Float64() < f.loss {
+				n.drops++
+				lnk.drops++
+				return at
+			}
+			if f.extra > 0 || f.jitter > 0 {
+				d := f.extra
+				if f.jitter > 0 {
+					d += time.Duration(n.eng.Rand().Int63n(int64(f.jitter)))
+				}
+				at += d
+			}
+		}
 	}
 	n.eng.At(at, func() {
 		// Receive-side check: the link may have gone down in flight.
-		if n.down[to] {
+		if f := n.faults[linkKey{from, to}]; f != nil && f.down {
 			n.drops++
+			lnk.drops++
 			return
 		}
 		deliver()
@@ -101,7 +229,8 @@ func (n *Network) Send(from, to NodeID, bytes int, deliver func()) time.Duration
 }
 
 // SendTraced is Send plus a detail span on r covering the wire segment
-// (egress queueing + serialization + propagation). A nil r is free.
+// (egress queueing + serialization + propagation + injected latency). A nil
+// r is free.
 func (n *Network) SendTraced(from, to NodeID, bytes int, r *trace.Req, deliver func()) time.Duration {
 	start := n.eng.Now()
 	at := n.Send(from, to, bytes, deliver)
@@ -109,11 +238,11 @@ func (n *Network) SendTraced(from, to NodeID, bytes int, r *trace.Req, deliver f
 	return at
 }
 
-// LinkStats reports bytes and messages sent from id.
-func (n *Network) LinkStats(id NodeID) (bytes, msgs uint64) {
+// LinkStats reports bytes, messages and drops sent from id.
+func (n *Network) LinkStats(id NodeID) (bytes, msgs, drops uint64) {
 	lnk, ok := n.links[id]
 	if !ok {
-		return 0, 0
+		return 0, 0, 0
 	}
-	return lnk.bytes, lnk.msgs
+	return lnk.bytes, lnk.msgs, lnk.drops
 }

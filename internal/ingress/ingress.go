@@ -129,7 +129,8 @@ type Gateway struct {
 	workers []*worker
 	nActive int
 
-	pausedUntil time.Duration
+	pausedUntil      time.Duration
+	injectedRestarts int
 
 	served  *metrics.Meter
 	dropped uint64
@@ -183,6 +184,21 @@ func (g *Gateway) ActiveWorkers() int { return g.nActive }
 
 // ScaleEvents reports how many scale-up/-down transitions happened.
 func (g *Gateway) ScaleEvents() int { return g.scaleEvents }
+
+// InjectRestart pauses every worker for pause from now, reusing the worker
+// restart window of §3.6 — the same stall a gateway redeploy causes.
+// Injection hook for internal/chaos; overlapping injections extend, never
+// shorten, the pause.
+func (g *Gateway) InjectRestart(pause time.Duration) {
+	until := g.eng.Now() + pause
+	if until > g.pausedUntil {
+		g.pausedUntil = until
+	}
+	g.injectedRestarts++
+}
+
+// InjectedRestarts reports how many restarts were injected.
+func (g *Gateway) InjectedRestarts() int { return g.injectedRestarts }
 
 // addWorker spawns a new worker process on a fresh core.
 func (g *Gateway) addWorker() {

@@ -291,3 +291,44 @@ func (s *Series) Sparkline(width int) string {
 	}
 	return string(out)
 }
+
+// RecoveryDetector measures how long a windowed-rate series takes to return
+// to its pre-fault baseline after a fault clears. Recovery is declared at
+// the first of Sustain consecutive samples at or above
+// Baseline*(1-Tolerance); requiring more than one sample rejects a single
+// lucky window during the retransmit storm.
+type RecoveryDetector struct {
+	Baseline  float64
+	Tolerance float64 // fraction below baseline still counted as recovered
+	Sustain   int     // consecutive samples required (min 1)
+}
+
+// Detect scans s from clearAt and returns the virtual time from fault-clear
+// to the start of the first sustained recovered run, and whether recovery
+// happened within the series at all.
+func (rd RecoveryDetector) Detect(s *Series, clearAt time.Duration) (time.Duration, bool) {
+	threshold := rd.Baseline * (1 - rd.Tolerance)
+	need := rd.Sustain
+	if need < 1 {
+		need = 1
+	}
+	run := 0
+	var runStart time.Duration
+	for _, p := range s.Points {
+		if p.T < clearAt {
+			continue
+		}
+		if p.V >= threshold {
+			if run == 0 {
+				runStart = p.T
+			}
+			run++
+			if run >= need {
+				return runStart - clearAt, true
+			}
+		} else {
+			run = 0
+		}
+	}
+	return 0, false
+}

@@ -204,3 +204,52 @@ func TestHistStringAndP95(t *testing.T) {
 		t.Fatalf("String = %q", s)
 	}
 }
+
+func TestRecoveryDetector(t *testing.T) {
+	s := NewSeries("rps")
+	// Baseline 100, fault at 5ms crushes the rate, clears at 10ms, rate
+	// climbs back: one bounce above threshold at 12ms, sustained from 16ms.
+	for _, p := range []struct {
+		at time.Duration
+		v  float64
+	}{
+		{1 * time.Millisecond, 100}, {3 * time.Millisecond, 101},
+		{5 * time.Millisecond, 20}, {7 * time.Millisecond, 5},
+		{9 * time.Millisecond, 10}, {11 * time.Millisecond, 60},
+		{12 * time.Millisecond, 97}, {14 * time.Millisecond, 80},
+		{16 * time.Millisecond, 96}, {18 * time.Millisecond, 99},
+		{20 * time.Millisecond, 100},
+	} {
+		s.Add(p.at, p.v)
+	}
+	rd := RecoveryDetector{Baseline: 100, Tolerance: 0.05, Sustain: 2}
+	d, ok := rd.Detect(s, 10*time.Millisecond)
+	if !ok {
+		t.Fatal("recovery not detected")
+	}
+	// The 12ms bounce is followed by a dip, so the sustained run starts at
+	// 16ms: 6ms after the fault cleared.
+	if d != 6*time.Millisecond {
+		t.Fatalf("recovery delay = %v, want 6ms", d)
+	}
+	// Sustain 1 accepts the lone bounce at 12ms.
+	d, ok = RecoveryDetector{Baseline: 100, Tolerance: 0.05, Sustain: 1}.Detect(s, 10*time.Millisecond)
+	if !ok || d != 2*time.Millisecond {
+		t.Fatalf("sustain=1 delay = %v ok=%v, want 2ms", d, ok)
+	}
+	// Samples before clearAt are ignored even though they meet the bar.
+	if _, ok := rd.Detect(s, 21*time.Millisecond); ok {
+		t.Fatal("detected recovery past the end of the series")
+	}
+}
+
+func TestRecoveryDetectorNeverRecovers(t *testing.T) {
+	s := NewSeries("rps")
+	for i := 0; i < 10; i++ {
+		s.Add(time.Duration(i)*time.Millisecond, 50)
+	}
+	rd := RecoveryDetector{Baseline: 100, Tolerance: 0.10, Sustain: 2}
+	if d, ok := rd.Detect(s, 0); ok || d != 0 {
+		t.Fatalf("Detect = %v, %v on a flatlined series", d, ok)
+	}
+}

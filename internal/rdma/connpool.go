@@ -147,6 +147,38 @@ func (cp *ConnPool) Repair() int {
 	return n
 }
 
+// ForceError drives up to n non-errored connections into the error state
+// (n <= 0 means all) and reports how many were errored. Injection hook for
+// internal/chaos; Repair recovers them on its normal cadence.
+func (cp *ConnPool) ForceError(n int) int {
+	if n <= 0 {
+		n = len(cp.conns)
+	}
+	hit := 0
+	for _, qp := range cp.conns {
+		if hit >= n {
+			break
+		}
+		if qp.errored {
+			continue
+		}
+		qp.ForceError()
+		hit++
+	}
+	return hit
+}
+
+// ErroredCount reports connections currently in the error state.
+func (cp *ConnPool) ErroredCount() int {
+	n := 0
+	for _, qp := range cp.conns {
+		if qp.errored {
+			n++
+		}
+	}
+	return n
+}
+
 // Repairs reports lifetime connection re-establishments.
 func (cp *ConnPool) Repairs() uint64 { return cp.repairs }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"nadino/internal/chaos"
 	"nadino/internal/mempool"
 	"nadino/internal/params"
 	"nadino/internal/sim"
@@ -15,8 +16,10 @@ func TestRetransmitRecoversFromLinkBlip(t *testing.T) {
 	postRecvs(t, r.poolB, r.srqB, 16)
 
 	// Link down for 1.2ms starting just before the send.
-	r.net.SetDown("nodeB", true)
-	r.eng.At(1200*time.Microsecond, func() { r.net.SetDown("nodeB", false) })
+	in := chaos.NewInjector(r.eng, r.net, 1)
+	in.Install(chaos.Schedule{
+		{At: 0, For: 1200 * time.Microsecond, Fault: chaos.NodeDown{Node: "nodeB"}},
+	})
 
 	var status Status = -1
 	var doneAt time.Duration
@@ -47,7 +50,9 @@ func TestPersistentOutageErrorsQP(t *testing.T) {
 	r := newRig(t, 1)
 	qa, _ := Connect(r.ra, r.rb, "t", r.srqA, r.srqB, r.cqA, r.cqB)
 	postRecvs(t, r.poolB, r.srqB, 4)
-	r.net.SetDown("nodeB", true) // never comes back
+	// Permanent outage: For == 0 means the fault never reverts.
+	in := chaos.NewInjector(r.eng, r.net, 1)
+	in.Install(chaos.Schedule{{At: 0, Fault: chaos.NodeDown{Node: "nodeB"}}})
 
 	var status Status = -1
 	r.eng.Spawn("sender", func(p *sim.Proc) {
@@ -79,12 +84,18 @@ func TestPersistentOutageErrorsQP(t *testing.T) {
 
 func TestConnPoolRepairsErroredQPs(t *testing.T) {
 	r := newRig(t, 1)
+	// Outage from pool establishment until t=50ms: long enough to error the
+	// first QP. The revert fires inside RunUntil (inclusive), so the link is
+	// back before Repair runs — same sequencing as the manual SetDown rig.
+	in := chaos.NewInjector(r.eng, r.net, 1)
+	in.Install(chaos.Schedule{{
+		At: r.p.QPSetupTime, For: 50*time.Millisecond - r.p.QPSetupTime,
+		Fault: chaos.NodeDown{Node: "nodeB"},
+	}})
 	var pa *ConnPool
 	r.eng.Spawn("setup", func(p *sim.Proc) {
 		pa, _ = EstablishPair(p, r.p, "t", r.ra, r.rb, 4, r.srqA, r.srqB, r.cqA, r.cqB)
 		postRecvs(t, r.poolB, r.srqB, 64)
-		// Outage long enough to error the first QP.
-		r.net.SetDown("nodeB", true)
 		src, _ := r.poolA.Get("cli")
 		pa.Pick().PostSend(mempool.Descriptor{Tenant: "t", Buf: src, Len: 64})
 	})
@@ -98,7 +109,6 @@ func TestConnPoolRepairsErroredQPs(t *testing.T) {
 	if errored == 0 {
 		t.Fatal("no QP errored during the outage")
 	}
-	r.net.SetDown("nodeB", false)
 	if n := pa.Repair(); n == 0 {
 		t.Fatal("Repair found nothing to fix")
 	}

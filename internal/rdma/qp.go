@@ -77,6 +77,19 @@ func (qp *QP) Retransmits() uint64 { return qp.retransmits }
 // PSN check.
 func (qp *QP) DupsDropped() uint64 { return qp.dupsDropped }
 
+// ForceError drives the QP into the error state immediately, as an RNIC
+// firmware fault or peer reboot would: the cache slot is evicted and new
+// posts flush with StatusQPError until Reset (ConnPool.Repair recovers it).
+// Injection hook for internal/chaos. In-flight sends keep retransmitting
+// until their own retry budgets expire.
+func (qp *QP) ForceError() {
+	if qp.errored {
+		return
+	}
+	qp.errored = true
+	qp.rnic.cache.evict(qp.id)
+}
+
 // Reset returns an errored QP to the ready state after the out-of-band
 // re-handshake (the caller models the setup delay, see ConnPool.Repair).
 func (qp *QP) Reset() {

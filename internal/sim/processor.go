@@ -89,6 +89,17 @@ func (c *Processor) Name() string { return c.name }
 // Speed returns the core's relative speed factor.
 func (c *Processor) Speed() float64 { return c.speed }
 
+// SetSpeed changes the core's relative speed. Work already accepted keeps
+// its completion instant (busyUntil is untouched); only subsequent
+// Exec/Charge calls scale by the new factor. This is the degraded-core
+// injection hook used by internal/chaos.
+func (c *Processor) SetSpeed(speed float64) {
+	if speed <= 0 {
+		panic(fmt.Sprintf("sim: processor %q set to non-positive speed", c.name))
+	}
+	c.speed = speed
+}
+
 // QueueDelay reports how long a request issued now would wait before
 // starting service.
 func (c *Processor) QueueDelay() time.Duration {
