@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-res suite ci trace
+.PHONY: build test vet fmt race check bench bench-res suite ci trace telemetry
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,11 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# fmt fails if any file needs gofmt.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # race runs the full suite under the race detector. The simulation engine is
 # single-threaded by design, but the coroutine lockstep (sim.Proc), the
@@ -33,30 +38,47 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkProc' -benchmem ./internal/sim/ | $(GO) run ./cmd/benchjson > BENCH_sim.json
 
 # bench-res archives the resilience headline numbers (recovery ratio, worst
-# recovery time, DWRR vs FCFS retention) as BENCH_res.json. Each iteration
-# is a full quick-mode res-* experiment and deterministic for the fixed
-# seed, so -benchtime 1x is exact.
-bench-res:
-	$(GO) test -run '^$$' -bench 'BenchmarkRes' -benchtime 1x ./internal/experiments/ | $(GO) run ./cmd/benchjson > BENCH_res.json
+# recovery time, DWRR vs FCFS retention) as BENCH_res.json, with the
+# telemetry summary gauges of a scraped res-* run embedded alongside. Each
+# iteration is a full quick-mode res-* experiment and deterministic for the
+# fixed seed, so -benchtime 1x is exact.
+bench-res: telemetry
+	$(GO) test -run '^$$' -bench 'BenchmarkRes' -benchtime 1x ./internal/experiments/ | $(GO) run ./cmd/benchjson -telemetry telemetry/summary.json > BENCH_res.json
 
 # suite regenerates every paper artifact at quick fidelity, sharded across
 # all cores (output is bitwise-identical to -parallel 1).
 suite:
 	$(GO) run ./cmd/nadino-bench -quick -parallel 0
 
-# ci is the one-command gate: build, vet, race-test the sim-critical
+# ci is the one-command gate: gofmt, build, vet, race-test the sim-critical
 # packages with -short (skips the ~15-min whole-suite parallel-determinism
 # sweep; the res-* determinism fence still runs — the full-suite `race`
-# target stays the deep pre-commit gate), then regenerate everything —
-# paper artifacts, ablations and the chaos res-* suite — at quick fidelity
-# across all cores.
-ci:
+# target stays the deep pre-commit gate), regenerate everything — paper
+# artifacts, ablations and the chaos res-* suite — at quick fidelity across
+# all cores, then smoke-check the telemetry export pipeline.
+ci: fmt
 	$(GO) build ./...
 	$(GO) vet ./...
-	$(GO) test -race -short -timeout 20m ./internal/sim/ ./internal/fabric/ ./internal/chaos/ ./internal/rdma/ ./internal/dne/ ./internal/metrics/ ./internal/core/ ./internal/experiments/
+	$(GO) test -race -short -timeout 20m ./internal/sim/ ./internal/fabric/ ./internal/chaos/ ./internal/rdma/ ./internal/dne/ ./internal/metrics/ ./internal/core/ ./internal/experiments/ ./internal/telemetry/
 	$(GO) run ./cmd/nadino-bench -quick -parallel 0 -run everything
+	$(MAKE) telemetry
 
 # trace reproduces the Fig. 6 per-stage latency attribution and writes a
 # Chrome trace-event file (load in chrome://tracing or ui.perfetto.dev).
 trace:
 	$(GO) run ./cmd/nadino-bench -run fig06 -quick -trace
+
+# telemetry runs the res-storm experiment with the virtual-time scraper on,
+# sharded across all cores (exports are identical to a sequential run), and
+# smoke-checks the exported artifacts: non-empty series in every format plus
+# the static dashboard.
+telemetry:
+	$(GO) run ./cmd/nadino-bench -run res-storm -quick -parallel 0 -telemetry telemetry
+	@grep -q '^series,t_us,value' telemetry/res-storm-storm.series.csv
+	@test $$(wc -l < telemetry/res-storm-storm.series.csv) -gt 1
+	@grep -q '"key"' telemetry/res-storm-storm.series.json
+	@grep -q '^# TYPE nadino_tenant_goodput gauge' telemetry/res-storm-storm.prom
+	@grep -q '"profile"' telemetry/summary.json
+	@grep -q '"ph":"C"' telemetry/counters.trace.json
+	@grep -q '<svg' telemetry/dashboard.html
+	@echo "telemetry: exports OK -> telemetry/dashboard.html"

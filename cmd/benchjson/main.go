@@ -5,11 +5,17 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./internal/sim/ | benchjson > BENCH_sim.json
+//	... | benchjson -telemetry telemetry/summary.json > BENCH_res.json
+//
+// -telemetry embeds a scraper summary document (the summary.json written by
+// `nadino-bench -telemetry <dir>`) into the report, so the archived numbers
+// carry the end-of-run gauge snapshot of the run that produced them.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -30,13 +36,15 @@ type Result struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Report is the archived document.
+// Report is the archived document. Telemetry, when present, is the verbatim
+// summary.json from a telemetry export (per-profile end-of-run gauges).
 type Report struct {
-	Goos    string   `json:"goos,omitempty"`
-	Goarch  string   `json:"goarch,omitempty"`
-	Pkg     string   `json:"pkg,omitempty"`
-	CPU     string   `json:"cpu,omitempty"`
-	Results []Result `json:"results"`
+	Goos      string          `json:"goos,omitempty"`
+	Goarch    string          `json:"goarch,omitempty"`
+	Pkg       string          `json:"pkg,omitempty"`
+	CPU       string          `json:"cpu,omitempty"`
+	Results   []Result        `json:"results"`
+	Telemetry json.RawMessage `json:"telemetry,omitempty"`
 }
 
 // parseLine parses one "BenchmarkX-N  iters  ns/op [B/op allocs/op]" line.
@@ -83,7 +91,22 @@ func parseLine(line string) (Result, bool) {
 }
 
 func main() {
+	telemetryPath := flag.String("telemetry", "", "telemetry summary.json to embed in the report")
+	flag.Parse()
+
 	rep := Report{Results: []Result{}}
+	if *telemetryPath != "" {
+		raw, err := os.ReadFile(*telemetryPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if !json.Valid(raw) {
+			fmt.Fprintf(os.Stderr, "benchjson: %s is not valid JSON\n", *telemetryPath)
+			os.Exit(1)
+		}
+		rep.Telemetry = json.RawMessage(raw)
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {

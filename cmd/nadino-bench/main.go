@@ -11,6 +11,7 @@
 //	nadino-bench -run res-storm,res-recovery,res-tenant
 //	nadino-bench -parallel 0     # shard sweep points across all cores
 //	nadino-bench -run fig06 -trace
+//	nadino-bench -run resilience -telemetry telemetry/
 //	nadino-bench -list
 //
 // Each sweep point is an independent simulation engine, so -parallel N
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"nadino/internal/experiments"
+	"nadino/internal/telemetry"
 	"nadino/internal/trace"
 )
 
@@ -38,6 +40,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	doTrace := flag.Bool("trace", false, "record per-stage latency attribution (experiments that support it) and export a Chrome trace")
 	traceOut := flag.String("trace-out", "nadino-trace.json", "Chrome trace-event output path (with -trace)")
+	telemetryDir := flag.String("telemetry", "", "scrape labeled metrics during runs (experiments that support it) and export CSV/JSON/Prometheus/dashboard into this directory")
 	flag.Parse()
 
 	if *list {
@@ -76,6 +79,13 @@ func main() {
 			profiles = append(profiles, trace.Profile{Name: name, Tracer: tr})
 		}
 	}
+	var telemProfiles []telemetry.Profile
+	if *telemetryDir != "" {
+		opts.Telemetry = true
+		opts.TelemetrySink = func(name string, sc *telemetry.Scraper) {
+			telemProfiles = append(telemProfiles, telemetry.Profile{Name: name, Scraper: sc})
+		}
+	}
 	for _, e := range selected {
 		fmt.Printf("\n######## %s ########\n", e.Title)
 		start := time.Now()
@@ -91,22 +101,43 @@ func main() {
 	if *doTrace {
 		if len(profiles) == 0 {
 			fmt.Fprintln(os.Stderr, "nadino-bench: -trace set but no selected experiment records traces (try -run fig06)")
+		} else {
+			// When telemetry is also on, its series ride along in the same
+			// trace file as Chrome counter timelines.
+			var counters []trace.CounterTrack
+			for _, tp := range telemProfiles {
+				counters = append(counters, telemetry.CounterTracks(tp.Name+"/", tp.Scraper)...)
+			}
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "nadino-bench:", err)
+				os.Exit(1)
+			}
+			if err := trace.WriteChromeWithCounters(f, profiles, counters); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "nadino-bench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nChrome trace (load in chrome://tracing or https://ui.perfetto.dev): %s\n", *traceOut)
+		}
+	}
+	if *telemetryDir != "" {
+		if len(telemProfiles) == 0 {
+			fmt.Fprintln(os.Stderr, "nadino-bench: -telemetry set but no selected experiment records telemetry (try -run resilience)")
 			return
 		}
-		f, err := os.Create(*traceOut)
+		written, err := telemetry.ExportDir(*telemetryDir, telemProfiles)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "nadino-bench:", err)
 			os.Exit(1)
 		}
-		if err := trace.WriteChrome(f, profiles); err == nil {
-			err = f.Close()
-		} else {
-			f.Close()
+		fmt.Printf("\nTelemetry (%d profiles) exported to %s:\n", len(telemProfiles), *telemetryDir)
+		for _, p := range written {
+			fmt.Printf("  %s\n", p)
 		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "nadino-bench:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("\nChrome trace (load in chrome://tracing or https://ui.perfetto.dev): %s\n", *traceOut)
 	}
 }

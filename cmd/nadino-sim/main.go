@@ -28,6 +28,7 @@ import (
 	"nadino/internal/experiments"
 	"nadino/internal/ingress"
 	"nadino/internal/sim"
+	"nadino/internal/telemetry"
 	"nadino/internal/trace"
 	"nadino/internal/workload"
 )
@@ -55,24 +56,34 @@ const template = `{
 
 // runOpts carries the per-run knobs from flags into runCluster.
 type runOpts struct {
-	chain    string
-	clients  int
-	dur      time.Duration
-	traceRPS float64
-	zipf     float64
-	diurnal  float64
-	period   time.Duration
-	traceOut string
+	chain     string
+	clients   int
+	dur       time.Duration
+	traceRPS  float64
+	zipf      float64
+	diurnal   float64
+	period    time.Duration
+	traceOut  string
+	telemetry bool
 }
 
 // runCluster builds one cluster from cfg, drives it, and writes the report
-// to w. It is safe to call concurrently for independent configs.
-func runCluster(cfg core.Config, r runOpts, w io.Writer) error {
+// to w. It is safe to call concurrently for independent configs. When
+// r.telemetry is set it returns the run's scraper for export.
+func runCluster(cfg core.Config, r runOpts, w io.Writer) (*telemetry.Scraper, error) {
 	c := core.NewCluster(cfg)
 	defer c.Eng.Stop()
 	hist, ok := c.ChainLatency[r.chain]
 	if !ok {
-		return fmt.Errorf("unknown chain %q", r.chain)
+		return nil, fmt.Errorf("unknown chain %q", r.chain)
+	}
+	var sc *telemetry.Scraper
+	if r.telemetry {
+		// Scrape the whole run (setup, warmup and the measured window) so
+		// the dashboard shows the ramp; ~100 samples across the window.
+		reg := telemetry.NewRegistry()
+		c.Instrument(reg)
+		sc = reg.Scrape(c.Eng, r.dur/100)
 	}
 	if r.traceRPS > 0 {
 		// Trace mode: Poisson arrivals with diurnal modulation, spread
@@ -155,18 +166,24 @@ func runCluster(cfg core.Config, r runOpts, w io.Writer) error {
 		experiments.TraceTable(fmt.Sprintf("%v chain %s", cfg.System, r.chain), tracer.Report()).Print(w)
 		f, err := os.Create(r.traceOut)
 		if err != nil {
-			return err
+			return sc, err
 		}
 		name := fmt.Sprintf("%v", cfg.System)
-		if err := trace.WriteChrome(f, []trace.Profile{{Name: name, Tracer: tracer}}); err == nil {
+		// Telemetry counters ride along in the same trace file when both
+		// flags are set.
+		var counters []trace.CounterTrack
+		if sc != nil {
+			counters = telemetry.CounterTracks(name+"/", sc)
+		}
+		if err := trace.WriteChromeWithCounters(f, []trace.Profile{{Name: name, Tracer: tracer}}, counters); err == nil {
 			err = f.Close()
 		} else {
 			f.Close()
-			return err
+			return sc, err
 		}
 		fmt.Fprintf(w, "trace     : %s (chrome://tracing / ui.perfetto.dev)\n", r.traceOut)
 	}
-	return nil
+	return sc, nil
 }
 
 func main() {
@@ -178,6 +195,7 @@ func main() {
 	parallel := flag.Int("parallel", 1, "workers running replicas concurrently (0 = all cores)")
 	traceRPS := flag.Float64("trace-rps", 0, "drive ALL chains open-loop at this aggregate rate instead of closed-loop clients")
 	traceOut := flag.String("trace", "", "record per-stage latency attribution after warmup and write a Chrome trace to this file")
+	telemetryDir := flag.String("telemetry", "", "scrape labeled metrics during the run and export CSV/JSON/Prometheus/dashboard into this directory")
 	zipf := flag.Float64("zipf", 1.0, "trace mode: chain popularity skew")
 	diurnal := flag.Float64("diurnal", 0.5, "trace mode: diurnal amplitude [0,1)")
 	period := flag.Duration("period", 200*time.Millisecond, "trace mode: diurnal period")
@@ -220,24 +238,26 @@ func main() {
 	}
 
 	r := runOpts{
-		chain:    *chain,
-		clients:  *clients,
-		dur:      *dur,
-		traceRPS: *traceRPS,
-		zipf:     *zipf,
-		diurnal:  *diurnal,
-		period:   *period,
-		traceOut: *traceOut,
+		chain:     *chain,
+		clients:   *clients,
+		dur:       *dur,
+		traceRPS:  *traceRPS,
+		zipf:      *zipf,
+		diurnal:   *diurnal,
+		period:    *period,
+		traceOut:  *traceOut,
+		telemetry: *telemetryDir != "",
 	}
 	// Each replica is an independent cluster with its own seed; reports are
 	// buffered and printed in replica order so concurrent runs read the
 	// same as sequential ones.
 	outs := make([]bytes.Buffer, *replicas)
 	errs := make([]error, *replicas)
+	scs := make([]*telemetry.Scraper, *replicas)
 	experiments.ForEach(experiments.Parallelism(*parallel), *replicas, func(i int) {
 		rcfg := cfg
 		rcfg.Seed = cfg.Seed + int64(i)
-		errs[i] = runCluster(rcfg, r, &outs[i])
+		scs[i], errs[i] = runCluster(rcfg, r, &outs[i])
 	})
 	for i := range outs {
 		if *replicas > 1 {
@@ -248,5 +268,26 @@ func main() {
 			fmt.Fprintln(os.Stderr, "nadino-sim:", errs[i])
 			os.Exit(1)
 		}
+	}
+	if *telemetryDir != "" {
+		// Profiles are exported in replica order (index-addressed slots), so
+		// the directory contents are identical for any -parallel setting.
+		var profiles []telemetry.Profile
+		for i, sc := range scs {
+			if sc == nil {
+				continue
+			}
+			name := fmt.Sprintf("%v", cfg.System)
+			if *replicas > 1 {
+				name = fmt.Sprintf("%v-replica%d", cfg.System, i)
+			}
+			profiles = append(profiles, telemetry.Profile{Name: name, Scraper: sc})
+		}
+		written, err := telemetry.ExportDir(*telemetryDir, profiles)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nadino-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry : %d profile(s) exported to %s (%d files)\n", len(profiles), *telemetryDir, len(written))
 	}
 }

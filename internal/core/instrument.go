@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+
+	"nadino/internal/telemetry"
+)
+
+// Instrument registers the cluster-wide standard telemetry probe set on reg,
+// mirroring NewChaos's target registry: one call wires every layer with
+// stable, labeled series names. Per node it covers the DPU ARM cores and SoC
+// DMA, the RNIC (ICM cache, pipeline, RNR retries), the DNE worker/keeper
+// cores, scheduler and keeper-debt gauges, and the fabric egress link;
+// cluster-wide it covers the ingress gateway, per-chain latency and goodput,
+// and the engine's event backlog. All sources are pull-based accessors, so
+// instrumenting adds no cost to the simulation's hot paths — only the
+// scraper touches them, once per period.
+func (c *Cluster) Instrument(reg *telemetry.Registry) {
+	eng := c.Eng
+	reg.Gauge("sim.pending", func() float64 { return float64(eng.Pending()) })
+
+	gw := c.gw
+	reg.Rate("ingress.served", func() float64 { return float64(gw.Served()) })
+	reg.Gauge("ingress.queue_depth", func() float64 { return float64(gw.QueueDepth()) })
+	reg.Gauge("ingress.workers", func() float64 { return float64(gw.ActiveWorkers()) })
+	reg.Rate("ingress.dropped", func() float64 { return float64(gw.Dropped()) })
+
+	reg.Rate("cluster.goodput", func() float64 { return float64(c.Completed.Total()) })
+	for i := range c.cfg.Chains {
+		name := c.cfg.Chains[i].Name
+		reg.HistFrom("chain.latency", c.ChainLatency[name], "chain", name)
+	}
+
+	net := c.net
+	for _, n := range c.nodeSeq {
+		node := n
+		ns := string(node.name)
+
+		for i, core := range node.dpu.Cores() {
+			core := core
+			reg.Rate("dpu.core_util", func() float64 { return core.BusyTime().Seconds() },
+				"node", ns, "core", fmt.Sprintf("%d", i))
+		}
+		soc := node.dpu.SoCDMA()
+		reg.Rate("dpu.dma_util", func() float64 { return soc.BusyTime().Seconds() }, "node", ns)
+		reg.Rate("dpu.dma_ops", func() float64 { return float64(soc.Ops()) }, "node", ns)
+
+		rnic := node.dpu.RNIC()
+		reg.Gauge("rdma.icm_hit_rate", func() float64 {
+			h, m := float64(rnic.CacheHits()), float64(rnic.CacheMisses())
+			if h+m == 0 {
+				return 1
+			}
+			return h / (h + m)
+		}, "node", ns)
+		reg.Gauge("rdma.active_qps", func() float64 { return float64(rnic.ActiveQPs()) }, "node", ns)
+		reg.Rate("rdma.rnr_retries", func() float64 {
+			_, _, _, _, rnr := rnic.Stats()
+			return float64(rnr)
+		}, "node", ns)
+		reg.Rate("rdma.pipe_util", func() float64 { return rnic.PipeBusyTime().Seconds() }, "node", ns)
+
+		if node.engine != nil {
+			de := node.engine
+			worker, keeper := de.WorkerCore(), de.KeeperCore()
+			reg.Rate("dne.worker_util", func() float64 { return worker.BusyTime().Seconds() }, "node", ns)
+			reg.Rate("dne.keeper_util", func() float64 { return keeper.BusyTime().Seconds() }, "node", ns)
+			reg.Gauge("dne.sched_pending", func() float64 { return float64(de.SchedPending()) }, "node", ns)
+			reg.Gauge("dne.keeper_debt", func() float64 { return float64(de.RQDebt()) }, "node", ns)
+			for _, ts := range c.tenants {
+				tenant := ts.Name
+				srq := de.SRQ(tenant)
+				reg.Gauge("dne.srq_posted", func() float64 { return float64(srq.Posted()) },
+					"node", ns, "tenant", tenant)
+			}
+		}
+
+		id := node.name
+		reg.Rate("fabric.bytes", func() float64 {
+			bytes, _, _ := net.LinkStats(id)
+			return float64(bytes)
+		}, "node", ns)
+		reg.Rate("fabric.drops", func() float64 {
+			_, _, drops := net.LinkStats(id)
+			return float64(drops)
+		}, "node", ns)
+		reg.Gauge("fabric.backlog_bytes", func() float64 { return net.LinkBacklogBytes(id) }, "node", ns)
+	}
+}

@@ -302,6 +302,17 @@ func (e *Engine) RetryStats() (retried, dropped uint64) {
 	return e.retriedSends, e.dropRetryBudget
 }
 
+// RQDebt reports the total replenishment shortfall across tenants: consumed
+// RQ slots the keeper has not yet been able to repost. Nonzero sustained
+// debt means tenant pools are squeezed (telemetry's keeper-debt gauge).
+func (e *Engine) RQDebt() int {
+	total := 0
+	for _, ts := range e.tenantSeq {
+		total += ts.rqDebt
+	}
+	return total
+}
+
 // Start launches the worker loop and the core thread. Call once, before
 // Engine.Run on the simulation.
 func (e *Engine) Start() {

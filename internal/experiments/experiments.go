@@ -15,6 +15,7 @@ import (
 	"time"
 	"unicode/utf8"
 
+	"nadino/internal/telemetry"
 	"nadino/internal/trace"
 )
 
@@ -38,6 +39,16 @@ type Opts struct {
 	// sequential sweeps (sink callback order is part of the output).
 	Trace     bool
 	TraceSink func(name string, tr *trace.Tracer)
+
+	// Telemetry enables the virtual-time metric scraper in the experiments
+	// that support it (currently the resilience suite). Each instrumented
+	// run hands its scraper to TelemetrySink under a profile name like
+	// "res-storm/storm". Unlike tracing, telemetry does NOT force
+	// sequential sweeps: scrapers ride each point's own engine and sinks
+	// are invoked after the sweep completes, in input order, so exports
+	// stay bitwise-identical between sequential and parallel runs.
+	Telemetry     bool
+	TelemetrySink func(name string, sc *telemetry.Scraper)
 }
 
 // scale returns quick or full depending on the mode.

@@ -11,6 +11,7 @@ import (
 	"nadino/internal/metrics"
 	"nadino/internal/params"
 	"nadino/internal/sim"
+	"nadino/internal/telemetry"
 )
 
 // This file holds the resilience experiment family (res-storm, res-recovery,
@@ -109,16 +110,26 @@ type StormResult struct {
 	Recovery float64 // RPS at end of run, after faults clear
 	Ratio    float64 // Recovery / Baseline
 
-	Drops       uint64 // fabric messages lost to outages
-	SendErrors  uint64 // engine-visible transport errors
-	Retried     uint64 // descriptors re-queued by the engines
-	RetryDrops  uint64 // descriptors that exhausted the retry budget
-	Repairs     uint64 // QP re-handshakes
-	Applied     int    // chaos events applied
-	LeakA, LeakB int   // buffers unaccounted for after drain (want 0)
+	Drops        uint64 // fabric messages lost to outages
+	SendErrors   uint64 // engine-visible transport errors
+	Retried      uint64 // descriptors re-queued by the engines
+	RetryDrops   uint64 // descriptors that exhausted the retry budget
+	Repairs      uint64 // QP re-handshakes
+	Applied      int    // chaos events applied
+	LeakA, LeakB int    // buffers unaccounted for after drain (want 0)
 
 	Series *metrics.Series
 	Total  time.Duration
+
+	// Violations holds the SLO watchdog verdict for this point: the
+	// goodput-recovery contract evaluated declaratively over the sampled
+	// series (empty = all rules held).
+	Violations []telemetry.Violation
+	// Telem is the run's metric scraper (nil unless Opts.Telemetry).
+	Telem *telemetry.Scraper
+	// RTT is the run's echo RTT distribution (nil unless Opts.Telemetry);
+	// sweep points merge exactly via metrics.Hist.Merge.
+	RTT *metrics.Hist
 }
 
 // runResStorm drives a single-tenant echo workload through a seeded storm
@@ -142,6 +153,7 @@ func runResStorm(o Opts, faulted bool) *StormResult {
 		tenant: r.spawnEchoClients(tenant, cliPort, 16, 1024, active),
 	}
 	series := sampleRate(r, []string{tenant}, stats, total/48)
+	sc := rigTelemetry(o, r, []string{tenant}, stats, total/48)
 
 	in := rigInjector(r, o.Seed, []string{tenant})
 	if faulted {
@@ -178,6 +190,25 @@ func runResStorm(o Opts, faulted bool) *StormResult {
 	if res.Baseline > 0 {
 		res.Ratio = res.Recovery / res.Baseline
 	}
+	// The recovery contract, stated declaratively: after the storm window
+	// closes, goodput must make a sustained (2-window) return to within 5%
+	// of its own pre-storm baseline inside the remaining quarter of the
+	// run. This SLO rule replaces the hand-rolled ratio assertion the
+	// resilience test used to carry.
+	wd := telemetry.NewWatchdog()
+	wd.AddRecovery(telemetry.RecoveryRule{
+		Name:         "goodput-recovers",
+		Series:       tenant,
+		BaselineFrom: base + total/24,
+		BaselineTo:   base + stormLo,
+		ClearAt:      base + stormHi,
+		Within:       total / 4,
+		Tolerance:    0.05,
+		Sustain:      2,
+	})
+	res.Violations = wd.Evaluate(func(key string) *metrics.Series { return series[key] })
+	res.Telem = sc
+	res.RTT = stats[tenant].rtt.Snapshot()
 	_, _, _, _, serrA := r.ea.Stats()
 	_, _, _, _, serrB := r.eb.Stats()
 	res.SendErrors = serrA + serrB
@@ -207,16 +238,26 @@ func RunResStorm(o Opts) []*Table {
 	res := ResStorm(o)
 	t := &Table{
 		Title:   "res-storm — goodput under a seeded fault storm (16 clients, 1 KB echo)",
-		Columns: []string{"run", "baseline", "storm", "recovered", "rec/base", "drops", "retries", "repairs", "leaks", "spark"},
+		Columns: []string{"run", "baseline", "storm", "recovered", "rec/base", "SLO", "drops", "retries", "repairs", "leaks", "spark"},
 	}
-	for _, r := range res {
+	names := make([]string, len(res))
+	scs := make([]*telemetry.Scraper, len(res))
+	merged := metrics.NewHist()
+	for i, r := range res {
 		name := "control"
 		if r.Faulted {
 			name = "storm"
 		}
+		names[i] = "res-storm/" + name
+		scs[i] = r.Telem
+		merged.Merge(r.RTT)
+		slo := "ok"
+		if len(r.Violations) > 0 {
+			slo = fmt.Sprintf("%d violated", len(r.Violations))
+		}
 		t.Rows = append(t.Rows, []string{
 			name,
-			fRPS(r.Baseline), fRPS(r.Storm), fRPS(r.Recovery), fRatio(r.Ratio),
+			fRPS(r.Baseline), fRPS(r.Storm), fRPS(r.Recovery), fRatio(r.Ratio), slo,
 			fmt.Sprintf("%d", r.Drops),
 			fmt.Sprintf("%d", r.Retried),
 			fmt.Sprintf("%d", r.Repairs),
@@ -224,7 +265,12 @@ func RunResStorm(o Opts) []*Table {
 			r.Series.Sparkline(24),
 		})
 	}
-	t.Note = "storm window spans the middle half of the run; goodput must return to >=95% of baseline after faults clear, with zero leaked buffers"
+	t.Note = "storm window spans the middle half of the run; SLO = watchdog verdict on the declarative goodput-recovery rule (sustained return to within 5% of baseline inside the final quarter), with zero leaked buffers"
+	if merged.Count() > 0 {
+		t.Note += fmt.Sprintf("; echo RTT merged across runs: p50 %s p99 %s (n=%d)",
+			fLat(merged.P50()), fLat(merged.P99()), merged.Count())
+	}
+	sinkScrapers(o, names, scs)
 	return []*Table{t}
 }
 
@@ -258,6 +304,9 @@ type RecoveryResult struct {
 	Drops        uint64
 	Repairs      uint64
 	LeakA, LeakB int
+
+	// Telem is the run's metric scraper (nil unless Opts.Telemetry).
+	Telem *telemetry.Scraper
 }
 
 // runResRecovery partitions the two nodes mid-run and measures, with
@@ -282,6 +331,7 @@ func runResRecovery(o Opts, cfg recoveryConfig) *RecoveryResult {
 		tenant: r.spawnEchoClients(tenant, cliPort, 16, 1024, active),
 	}
 	series := sampleRate(r, []string{tenant}, stats, total/96)
+	sc := rigTelemetry(o, r, []string{tenant}, stats, total/96)
 
 	in := rigInjector(r, o.Seed, []string{tenant})
 	in.Install(chaos.Schedule{{
@@ -308,6 +358,7 @@ func runResRecovery(o Opts, cfg recoveryConfig) *RecoveryResult {
 		}
 	}
 	res.LeakA, res.LeakB = leakCheck(r, tenant)
+	res.Telem = sc
 	return res
 }
 
@@ -328,7 +379,11 @@ func RunResRecovery(o Opts) []*Table {
 		Title:   "res-recovery — time to recover goodput after a partition heals",
 		Columns: []string{"partition", "baseline", "recovery time", "post-heal", "drops", "repairs", "leaks"},
 	}
-	for _, r := range res {
+	names := make([]string, len(res))
+	scs := make([]*telemetry.Scraper, len(res))
+	for i, r := range res {
+		names[i] = "res-recovery/" + r.Label
+		scs[i] = r.Telem
 		rec := "never"
 		if r.Recovered {
 			rec = fLat(r.RecoveryTime)
@@ -340,6 +395,7 @@ func RunResRecovery(o Opts) []*Table {
 			fmt.Sprintf("%d", r.LeakA+r.LeakB),
 		})
 	}
+	sinkScrapers(o, names, scs)
 	t.Note = "recovery = first sustained (2 windows) return to within 5% of the pre-fault baseline; errored QPs repair in the background (one QPSetupTime each) while surviving QPs carry traffic"
 	return []*Table{t}
 }
@@ -359,12 +415,15 @@ type TenantIsolationResult struct {
 	// fault storm did not touch the healthy tenant's share.
 	Retention float64
 
-	Repairs                  uint64
+	Repairs                    uint64
 	LeakHealthyA, LeakHealthyB int
 	LeakNoisyA, LeakNoisyB     int
-	Total                    time.Duration
+	Total                      time.Duration
 
 	Healthy, Noisy *metrics.Series
+
+	// Telem is the run's metric scraper (nil unless Opts.Telemetry).
+	Telem *telemetry.Scraper
 }
 
 // runResTenant runs a healthy closed-loop tenant (weight 3) against a noisy
@@ -399,6 +458,7 @@ func runResTenant(o Opts, sched dne.SchedulerKind) *TenantIsolationResult {
 		}
 	}
 	series := sampleRate(r, names, stats, total/48)
+	sc := rigTelemetry(o, r, names, stats, total/48)
 
 	in := rigInjector(r, o.Seed, names)
 	// Fault storm on the noisy tenant only: error its entire conn pools on
@@ -436,6 +496,7 @@ func runResTenant(o Opts, sched dne.SchedulerKind) *TenantIsolationResult {
 	}
 	res.LeakHealthyA, res.LeakHealthyB = leakCheck(r, healthy)
 	res.LeakNoisyA, res.LeakNoisyB = leakCheck(r, noisy)
+	res.Telem = sc
 	return res
 }
 
@@ -456,11 +517,15 @@ func RunResTenant(o Opts) []*Table {
 		Title:   "res-tenant — healthy tenant (w=3) vs fault-stormed co-tenant (w=1)",
 		Columns: []string{"sched", "healthy pre", "healthy storm", "retention", "healthy post", "noisy pre", "noisy storm", "repairs", "leaks", "healthy spark"},
 	}
-	for _, r := range res {
+	names := make([]string, len(res))
+	scs := make([]*telemetry.Scraper, len(res))
+	for i, r := range res {
 		name := "FCFS"
 		if r.Sched == dne.SchedDWRR {
 			name = "DWRR"
 		}
+		names[i] = "res-tenant/" + name
+		scs[i] = r.Telem
 		t.Rows = append(t.Rows, []string{
 			name,
 			fRPS(r.HealthyPre), fRPS(r.HealthyStorm), fRatio(r.Retention), fRPS(r.HealthyPost),
@@ -470,6 +535,7 @@ func RunResTenant(o Opts) []*Table {
 			r.Healthy.Sparkline(24),
 		})
 	}
+	sinkScrapers(o, names, scs)
 	t.Note = "under DWRR the healthy tenant keeps >=90% of its pre-storm rate while the co-tenant's QPs are error-flushed; FCFS lets the retry amplification bleed through"
 	return []*Table{t}
 }
@@ -486,6 +552,7 @@ func (r *dneRig) spawnOpenLoopSender(tenant string, port *dne.FnPort, payload in
 		for {
 			d := port.Recv(pr, core)
 			stats.count++
+			stats.rtt.Observe(pr.Now() - d.Stamp)
 			if err := pool.Put(d.Buf, cli); err != nil {
 				panic(err)
 			}

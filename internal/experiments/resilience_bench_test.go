@@ -22,6 +22,19 @@ func BenchmarkResStorm(b *testing.B) {
 	}
 }
 
+// BenchmarkResStormTelemetry is BenchmarkResStorm with the virtual-time
+// scraper attached to both runs; the ns/op delta against BenchmarkResStorm
+// is the scraper-on overhead (recorded in bench_results.txt).
+func BenchmarkResStormTelemetry(b *testing.B) {
+	o := resOpts
+	o.Telemetry = true
+	for i := 0; i < b.N; i++ {
+		res := ResStorm(o)
+		b.ReportMetric(res[1].Ratio, "recovery_ratio")
+		b.ReportMetric(float64(len(res[1].Telem.Series())), "series")
+	}
+}
+
 func BenchmarkResRecovery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var worst time.Duration

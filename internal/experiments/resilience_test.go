@@ -31,8 +31,13 @@ func TestResStormShape(t *testing.T) {
 	if storm.Storm >= storm.Baseline {
 		t.Fatalf("no goodput dip during the storm: %.0f >= %.0f", storm.Storm, storm.Baseline)
 	}
-	if storm.Ratio < 0.95 {
-		t.Fatalf("goodput recovered to only %.2fx of baseline, want >= 0.95", storm.Ratio)
+	// The recovery contract is the declarative SLO watchdog rule evaluated
+	// inside runResStorm (sustained return to within 5% of baseline in the
+	// final quarter) — the verdict replaces the old hand-rolled Ratio check.
+	for _, r := range res {
+		if len(r.Violations) != 0 {
+			t.Fatalf("SLO violations (faulted=%v): %v", r.Faulted, r.Violations)
+		}
 	}
 	if storm.RetryDrops != 0 {
 		t.Fatalf("%d descriptors exhausted the retry budget under sub-horizon outages", storm.RetryDrops)

@@ -11,6 +11,7 @@ import (
 	"nadino/internal/params"
 	"nadino/internal/rdma"
 	"nadino/internal/sim"
+	"nadino/internal/telemetry"
 	"nadino/internal/trace"
 )
 
@@ -137,6 +138,10 @@ func (r *dneRig) spawnEchoServer(tenant string, port *dne.FnPort) {
 type echoClientStats struct {
 	count  uint64
 	rttSum time.Duration
+	// rtt is the optional telemetry histogram handle (set by rigTelemetry);
+	// Observe on the nil default is a no-op, so the client loop carries the
+	// instrumentation unconditionally at zero cost when telemetry is off.
+	rtt *telemetry.Hist
 }
 
 // spawnEchoClients runs n concurrent closed-loop echo clients for tenant
@@ -201,6 +206,7 @@ func (r *dneRig) spawnEchoClients(tenant string, port *dne.FnPort, n, payload in
 				req.Finish()
 				stats.count++
 				stats.rttSum += pr.Now() - start
+				stats.rtt.Observe(pr.Now() - start)
 				if err := pool.Put(resp.Buf, cli); err != nil {
 					panic(err)
 				}

@@ -53,6 +53,7 @@ type Network struct {
 	eng      *sim.Engine
 	p        *params.Params
 	links    map[NodeID]*Link
+	nodeSeq  []NodeID // attachment order, for deterministic iteration
 	faults   map[linkKey]*linkFault
 	nodeDown map[NodeID]bool // SetDown bookkeeping, reported by Down
 	drops    uint64
@@ -162,7 +163,13 @@ func (n *Network) AddNode(id NodeID) {
 		panic(fmt.Sprintf("fabric: node %q already attached", id))
 	}
 	n.links[id] = &Link{bandwidth: n.p.FabricBandwidth}
+	n.nodeSeq = append(n.nodeSeq, id)
 }
+
+// Nodes returns the attached nodes in attachment order — the deterministic
+// iteration surface for consumers (telemetry) that must not range over the
+// link map.
+func (n *Network) Nodes() []NodeID { return n.nodeSeq }
 
 // Has reports whether id is attached.
 func (n *Network) Has(id NodeID) bool {
@@ -236,6 +243,21 @@ func (n *Network) SendTraced(from, to NodeID, bytes int, r *trace.Req, deliver f
 	at := n.Send(from, to, bytes, deliver)
 	r.RecordDetail(trace.StageFabric, string(from)+">"+string(to), start, at)
 	return at
+}
+
+// LinkBacklogBytes reports the bytes still queued for serialization on id's
+// egress link right now: the unexpired portion of busyUntil converted back
+// through the link bandwidth. Zero when the link is idle.
+func (n *Network) LinkBacklogBytes(id NodeID) float64 {
+	lnk, ok := n.links[id]
+	if !ok {
+		return 0
+	}
+	pending := lnk.busyUntil - n.eng.Now()
+	if pending <= 0 {
+		return 0
+	}
+	return pending.Seconds() * lnk.bandwidth
 }
 
 // LinkStats reports bytes, messages and drops sent from id.

@@ -182,6 +182,16 @@ func (g *Gateway) Meter() *metrics.Meter { return g.served }
 // ActiveWorkers reports the current worker count.
 func (g *Gateway) ActiveWorkers() int { return g.nActive }
 
+// QueueDepth reports events queued across all workers right now — the
+// admission backlog telemetry samples.
+func (g *Gateway) QueueDepth() int {
+	depth := 0
+	for _, w := range g.workers {
+		depth += len(w.q)
+	}
+	return depth
+}
+
 // ScaleEvents reports how many scale-up/-down transitions happened.
 func (g *Gateway) ScaleEvents() int { return g.scaleEvents }
 

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistMergeEmpty(t *testing.T) {
+	a := NewHist()
+	a.Observe(time.Millisecond)
+	a.Observe(2 * time.Millisecond)
+
+	a.Merge(NewHist()) // empty other: no-op
+	if a.Count() != 2 || a.Min() != time.Millisecond || a.Max() != 2*time.Millisecond {
+		t.Fatalf("merge of empty hist changed stats: %v", a)
+	}
+	a.Merge(nil) // nil other: no-op
+	if a.Count() != 2 {
+		t.Fatalf("merge of nil hist changed stats: %v", a)
+	}
+
+	b := NewHist()
+	b.Merge(a) // into empty: adopts everything
+	if b.Count() != 2 || b.Min() != time.Millisecond || b.Max() != 2*time.Millisecond {
+		t.Fatalf("merge into empty hist lost stats: %v", b)
+	}
+	if b.Mean() != a.Mean() || b.P50() != a.P50() {
+		t.Fatalf("merged stats differ: %v vs %v", b, a)
+	}
+}
+
+func TestHistMergeDisjointRanges(t *testing.T) {
+	// Shard 1 sees microsecond latencies, shard 2 millisecond latencies —
+	// the sharded-run shape where per-shard quantiles are useless and only
+	// the merged distribution is meaningful.
+	a, b, want := NewHist(), NewHist(), NewHist()
+	for i := 1; i <= 100; i++ {
+		d := time.Duration(i) * time.Microsecond
+		a.Observe(d)
+		want.Observe(d)
+	}
+	for i := 1; i <= 100; i++ {
+		d := time.Duration(i) * time.Millisecond
+		b.Observe(d)
+		want.Observe(d)
+	}
+	a.Merge(b)
+	if a.Count() != want.Count() || a.Min() != want.Min() || a.Max() != want.Max() || a.Mean() != want.Mean() {
+		t.Fatalf("merged moments differ: %v vs %v", a, want)
+	}
+	// Identical bucket spacing makes the merge exact at bucket resolution:
+	// every quantile must equal the directly combined histogram's.
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.95, 0.99, 1} {
+		if a.Quantile(q) != want.Quantile(q) {
+			t.Fatalf("q%.2f: merged %v, combined %v", q, a.Quantile(q), want.Quantile(q))
+		}
+	}
+}
+
+func TestMeterMerge(t *testing.T) {
+	a, b := NewMeter(), NewMeter()
+	a.Inc(10)
+	b.Inc(32)
+	a.Merge(b)
+	if a.Total() != 42 {
+		t.Fatalf("merged total %d, want 42", a.Total())
+	}
+	a.Merge(nil)
+	if a.Total() != 42 {
+		t.Fatalf("nil merge changed total: %d", a.Total())
+	}
+}
+
+// ramp builds a goodput-shaped series: baseline until faultAt, depressed
+// until healAt, then back to baseline; one sample per ms.
+func ramp(n int, baseline, dip float64, faultAt, healAt int) *Series {
+	s := NewSeries("goodput")
+	for i := 0; i < n; i++ {
+		v := baseline
+		if i >= faultAt && i < healAt {
+			v = dip
+		}
+		s.Add(time.Duration(i)*time.Millisecond, v)
+	}
+	return s
+}
+
+func TestRecoveryDetectorRecoveryBeforeClear(t *testing.T) {
+	// The series returns to baseline at t=6ms, but the fault formally
+	// clears at t=8ms: samples before clearAt must be ignored, so the
+	// detector reports recovery at the first sustained run at/after 8ms —
+	// zero recovery time, not a negative one.
+	s := ramp(20, 100, 20, 3, 6)
+	rd := RecoveryDetector{Baseline: 100, Tolerance: 0.05, Sustain: 2}
+	rt, ok := rd.Detect(s, 8*time.Millisecond)
+	if !ok {
+		t.Fatal("recovery not detected")
+	}
+	if rt != 0 {
+		t.Fatalf("recovery time %v, want 0 (already recovered when fault cleared)", rt)
+	}
+}
+
+func TestRecoveryDetectorNeverRecoversAfterClear(t *testing.T) {
+	// Goodput collapses and stays collapsed past the end of the series.
+	s := ramp(20, 100, 20, 3, 20)
+	rd := RecoveryDetector{Baseline: 100, Tolerance: 0.05, Sustain: 2}
+	if _, ok := rd.Detect(s, 5*time.Millisecond); ok {
+		t.Fatal("detected recovery in a series that never recovers")
+	}
+}
+
+func TestRecoveryDetectorMultipleCycles(t *testing.T) {
+	// Two fault/heal cycles: dip at [3,6), brief heal at [6,8), second dip
+	// at [8,12), final heal from 12. With Sustain 3 the two-sample heal at
+	// [6,8) must NOT count — recovery is the sustained run starting at 12ms.
+	s := NewSeries("goodput")
+	for i := 0; i < 20; i++ {
+		v := 100.0
+		if (i >= 3 && i < 6) || (i >= 8 && i < 12) {
+			v = 20
+		}
+		s.Add(time.Duration(i)*time.Millisecond, v)
+	}
+	rd := RecoveryDetector{Baseline: 100, Tolerance: 0.05, Sustain: 3}
+	rt, ok := rd.Detect(s, 6*time.Millisecond)
+	if !ok {
+		t.Fatal("recovery not detected after second heal")
+	}
+	if rt != 6*time.Millisecond {
+		t.Fatalf("recovery time %v, want 6ms (12ms run start - 6ms clear)", rt)
+	}
+	// With Sustain 2 the first heal window [6,8) does qualify.
+	rd2 := RecoveryDetector{Baseline: 100, Tolerance: 0.05, Sustain: 2}
+	rt2, ok2 := rd2.Detect(s, 6*time.Millisecond)
+	if !ok2 || rt2 != 0 {
+		t.Fatalf("sustain=2: got (%v,%v), want recovery at clear instant", rt2, ok2)
+	}
+}

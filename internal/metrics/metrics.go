@@ -120,6 +120,28 @@ func (h *Hist) P50() time.Duration { return h.Quantile(0.50) }
 func (h *Hist) P95() time.Duration { return h.Quantile(0.95) }
 func (h *Hist) P99() time.Duration { return h.Quantile(0.99) }
 
+// Merge folds other's samples into h. Buckets are identically spaced in
+// every Hist, so the merge is exact at bucket resolution and min/max/sum
+// stay exact — sharded experiment runs merge their per-shard histograms
+// into one distribution without losing quantile fidelity. A nil or empty
+// other is a no-op.
+func (h *Hist) Merge(other *Hist) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
 // Reset discards all samples.
 func (h *Hist) Reset() {
 	for i := range h.buckets {
@@ -150,6 +172,16 @@ func (m *Meter) Inc(n uint64) { m.total += n }
 
 // Total reports the lifetime event count.
 func (m *Meter) Total() uint64 { return m.total }
+
+// Merge folds other's lifetime count into m. Window marks are left alone:
+// merged meters are for end-of-run totals across shards, not for windowed
+// rates mid-merge. A nil other is a no-op.
+func (m *Meter) Merge(other *Meter) {
+	if other == nil {
+		return
+	}
+	m.total += other.total
+}
 
 // MarkWindow starts a measurement window at virtual time now.
 func (m *Meter) MarkWindow(now time.Duration) {

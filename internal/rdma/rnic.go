@@ -358,6 +358,13 @@ func (r *RNIC) cachePenalty(qpID int) time.Duration {
 // CacheMisses reports lifetime QP cache misses.
 func (r *RNIC) CacheMisses() uint64 { return r.cache.misses }
 
+// CacheHits reports lifetime QP cache hits.
+func (r *RNIC) CacheHits() uint64 { return r.cache.hits }
+
+// ActiveQPs reports QPs currently resident in the connection context cache —
+// the ICM occupancy the telemetry scraper samples.
+func (r *RNIC) ActiveQPs() int { return r.cache.lru.Len() }
+
 // PipeBusyTime reports accumulated RNIC pipeline busy time.
 func (r *RNIC) PipeBusyTime() time.Duration { return r.pipeTime }
 

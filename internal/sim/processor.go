@@ -20,6 +20,18 @@ type Processor struct {
 	busyUntil time.Duration
 	busyTime  time.Duration
 	ops       uint64
+	// waiters tracks processes blocked in Exec with their completion events,
+	// so SetSpeed can reschedule in-service work at the new speed. The slice
+	// stays tiny (one entry per concurrently blocked process) and is
+	// swap-removed on wake, so steady state allocates nothing.
+	waiters []procWaiter
+}
+
+// procWaiter is one process blocked in Exec until its completion instant.
+type procWaiter struct {
+	proc *Proc
+	done time.Duration
+	ev   Event
 }
 
 // NewProcessor returns a core with the given relative speed (1.0 = reference).
@@ -50,7 +62,30 @@ func (c *Processor) Exec(p *Proc, cost time.Duration) {
 	c.busyUntil = start + d
 	c.busyTime += d
 	c.ops++
-	p.Sleep(c.busyUntil - now)
+	if c.busyUntil <= now {
+		p.Sleep(0)
+		return
+	}
+	// Block on an explicit completion event (rather than a fixed-length
+	// sleep) so SetSpeed can cancel and reschedule it when the core's speed
+	// changes mid-service.
+	ev := c.eng.At(c.busyUntil, p.wakeFn)
+	c.waiters = append(c.waiters, procWaiter{proc: p, done: c.busyUntil, ev: ev})
+	p.block()
+	c.dropWaiter(p)
+}
+
+// dropWaiter removes p's entry after its completion event fired.
+func (c *Processor) dropWaiter(p *Proc) {
+	for i := range c.waiters {
+		if c.waiters[i].proc == p {
+			last := len(c.waiters) - 1
+			c.waiters[i] = c.waiters[last]
+			c.waiters[last] = procWaiter{}
+			c.waiters = c.waiters[:last]
+			return
+		}
+	}
 }
 
 // Charge accounts cost of busy time without blocking anyone. Use it for
@@ -89,15 +124,41 @@ func (c *Processor) Name() string { return c.name }
 // Speed returns the core's relative speed factor.
 func (c *Processor) Speed() float64 { return c.speed }
 
-// SetSpeed changes the core's relative speed. Work already accepted keeps
-// its completion instant (busyUntil is untouched); only subsequent
-// Exec/Charge calls scale by the new factor. This is the degraded-core
-// injection hook used by internal/chaos.
+// SetSpeed changes the core's relative speed, rescaling the in-service
+// backlog so busy time is charged at the speed in effect while the work
+// actually runs: the remaining portion of every accepted request stretches
+// (slow-down) or shrinks (speed-up) by oldSpeed/newSpeed, blocked Exec
+// callers are rescheduled to their new completion instants, and busyTime is
+// adjusted by the backlog delta so BusyTime() stays continuous through the
+// transition and ends equal to realized occupied time. This is the
+// degraded-core injection hook used by internal/chaos.
 func (c *Processor) SetSpeed(speed float64) {
 	if speed <= 0 {
 		panic(fmt.Sprintf("sim: processor %q set to non-positive speed", c.name))
 	}
+	if speed == c.speed {
+		return
+	}
+	ratio := c.speed / speed
 	c.speed = speed
+	now := c.eng.now
+	pending := c.busyUntil - now
+	if pending <= 0 {
+		return
+	}
+	newUntil := now + time.Duration(float64(pending)*ratio)
+	c.busyTime += newUntil - c.busyUntil
+	c.busyUntil = newUntil
+	for i := range c.waiters {
+		w := &c.waiters[i]
+		if w.done <= now {
+			// Completion event already due this instant; leave it be.
+			continue
+		}
+		w.ev.Cancel()
+		w.done = now + time.Duration(float64(w.done-now)*ratio)
+		w.ev = c.eng.At(w.done, w.proc.wakeFn)
+	}
 }
 
 // QueueDelay reports how long a request issued now would wait before

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"html"
+	"io"
+
+	"nadino/internal/metrics"
+)
+
+// Chart geometry. Fixed numbers keep the generated file byte-stable.
+const (
+	chartW   = 640
+	chartH   = 110
+	chartPad = 6
+)
+
+// WriteDashboard renders a self-contained static HTML dashboard: one inline
+// SVG line chart per scraped series, grouped by profile. No external
+// assets, scripts or fonts — the file opens anywhere a browser does.
+func WriteDashboard(w io.Writer, profiles []Profile) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, `<!doctype html>
+<html lang="en"><head><meta charset="utf-8">
+<title>NADINO telemetry</title>
+<style>
+body{font:14px/1.4 system-ui,sans-serif;margin:24px;background:#fafafa;color:#222}
+h1{font-size:20px} h2{font-size:16px;margin:28px 0 8px;border-bottom:1px solid #ddd;padding-bottom:4px}
+figure{display:inline-block;margin:8px 12px 8px 0;padding:8px;background:#fff;border:1px solid #e2e2e2;border-radius:6px}
+figcaption{font-size:12px;color:#444;margin-bottom:4px;max-width:640px;overflow-wrap:anywhere}
+.stat{color:#888}
+svg{display:block}
+</style></head><body>
+<h1>NADINO telemetry — virtual-time series</h1>
+`)
+	for _, p := range profiles {
+		fmt.Fprintf(bw, "<h2>%s</h2>\n", html.EscapeString(p.Name))
+		for _, t := range p.Scraper.tracks {
+			writeChart(bw, t.meta.Key(), t.series)
+		}
+	}
+	fmt.Fprint(bw, "</body></html>\n")
+	return bw.Flush()
+}
+
+// writeChart renders one series as a figure with an inline SVG polyline.
+func writeChart(w io.Writer, key string, s *metrics.Series) {
+	pts := s.Points
+	var last float64
+	if len(pts) > 0 {
+		last = pts[len(pts)-1].V
+	}
+	lo, hi := rangeOf(pts)
+	fmt.Fprintf(w, `<figure><figcaption>%s <span class="stat">last %s · max %s</span></figcaption>`,
+		html.EscapeString(key), fnum(last), fnum(hi))
+	fmt.Fprintf(w, `<svg width="%d" height="%d" viewBox="0 0 %d %d">`, chartW, chartH, chartW, chartH)
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="#fff"/>`, chartW, chartH)
+	if len(pts) > 1 {
+		t0, t1 := pts[0].T, pts[len(pts)-1].T
+		span := float64(t1 - t0)
+		if span <= 0 {
+			span = 1
+		}
+		vspan := hi - lo
+		if vspan <= 0 {
+			vspan = 1
+		}
+		fmt.Fprint(w, `<polyline fill="none" stroke="#2a6fdb" stroke-width="1.5" points="`)
+		for i, p := range pts {
+			x := chartPad + (float64(chartW-2*chartPad) * float64(p.T-t0) / span)
+			y := float64(chartH-chartPad) - (float64(chartH-2*chartPad) * (p.V - lo) / vspan)
+			if i > 0 {
+				fmt.Fprint(w, " ")
+			}
+			fmt.Fprintf(w, "%.1f,%.1f", x, y)
+		}
+		fmt.Fprint(w, `"/>`)
+	}
+	// Axis annotations: min and max of the value range.
+	fmt.Fprintf(w, `<text x="%d" y="12" font-size="9" fill="#999">%s</text>`, chartPad, fnum(hi))
+	fmt.Fprintf(w, `<text x="%d" y="%d" font-size="9" fill="#999">%s</text>`, chartPad, chartH-2, fnum(lo))
+	fmt.Fprint(w, "</svg></figure>\n")
+}
+
+// rangeOf returns the min and max sample values (0,0 when empty).
+func rangeOf(pts []metrics.Point) (lo, hi float64) {
+	if len(pts) == 0 {
+		return 0, 0
+	}
+	lo, hi = pts[0].V, pts[0].V
+	for _, p := range pts {
+		if p.V < lo {
+			lo = p.V
+		}
+		if p.V > hi {
+			hi = p.V
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"nadino/internal/trace"
+)
+
+// Profile names one scraper for export; a run that instruments several
+// sweep points exports one profile per point.
+type Profile struct {
+	Name    string
+	Scraper *Scraper
+}
+
+// fnum renders a float the same way on every platform (shortest
+// round-trippable form), keeping exported files byte-stable.
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteCSV renders the scraped series in long form: one `series,t_us,value`
+// row per sample, series in registration order.
+func WriteCSV(w io.Writer, sc *Scraper) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "series,t_us,value")
+	for _, t := range sc.tracks {
+		key := t.meta.Key()
+		for _, p := range t.series.Points {
+			fmt.Fprintf(bw, "%s,%s,%s\n", key, fnum(float64(p.T.Nanoseconds())/1e3), fnum(p.V))
+		}
+	}
+	return bw.Flush()
+}
+
+// jsonSeries is the JSON export shape of one series.
+type jsonSeries struct {
+	Key    string       `json:"key"`
+	Name   string       `json:"name"`
+	Labels []Label      `json:"labels,omitempty"`
+	Points [][2]float64 `json:"points"` // [t_us, value]
+}
+
+// WriteJSON renders the scraped series as a JSON array in registration
+// order, points as [t_us, value] pairs.
+func WriteJSON(w io.Writer, sc *Scraper) error {
+	out := make([]jsonSeries, 0, len(sc.tracks))
+	for _, t := range sc.tracks {
+		js := jsonSeries{Key: t.meta.Key(), Name: t.meta.Name, Labels: t.meta.Labels, Points: [][2]float64{}}
+		for _, p := range t.series.Points {
+			js.Points = append(js.Points, [2]float64{float64(p.T.Nanoseconds()) / 1e3, p.V})
+		}
+		out = append(out, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// promName maps a metric name onto the Prometheus exposition charset,
+// prefixed with the repository namespace.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("nadino_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders an end-of-run snapshot in the Prometheus text
+// exposition format: every series' final sample as a gauge with its labels.
+func WritePrometheus(w io.Writer, sc *Scraper) error {
+	bw := bufio.NewWriter(w)
+	seen := make(map[string]bool)
+	for _, t := range sc.tracks {
+		name := promName(t.meta.Name)
+		if !seen[name] {
+			seen[name] = true
+			fmt.Fprintf(bw, "# TYPE %s gauge\n", name)
+		}
+		var last float64
+		if n := len(t.series.Points); n > 0 {
+			last = t.series.Points[n-1].V
+		}
+		if len(t.meta.Labels) == 0 {
+			fmt.Fprintf(bw, "%s %s\n", name, fnum(last))
+			continue
+		}
+		parts := make([]string, len(t.meta.Labels))
+		for i, l := range t.meta.Labels {
+			parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
+		}
+		fmt.Fprintf(bw, "%s{%s} %s\n", name, strings.Join(parts, ","), fnum(last))
+	}
+	return bw.Flush()
+}
+
+// CounterTracks converts the scraped series into Chrome counter timelines
+// for trace.WriteChromeWithCounters, prefixing each with the profile name
+// so several runs coexist in one trace file.
+func CounterTracks(prefix string, sc *Scraper) []trace.CounterTrack {
+	out := make([]trace.CounterTrack, 0, len(sc.tracks))
+	for _, t := range sc.tracks {
+		ct := trace.CounterTrack{Name: prefix + t.meta.Key()}
+		for _, p := range t.series.Points {
+			ct.Points = append(ct.Points, trace.CounterPoint{T: p.T, V: p.V})
+		}
+		out = append(out, ct)
+	}
+	return out
+}
+
+// profileSummary is the summary.json shape for one profile.
+type profileSummary struct {
+	Profile string         `json:"profile"`
+	Period  float64        `json:"period_us"`
+	Series  []SummaryEntry `json:"series"`
+}
+
+// WriteSummary renders every profile's end-of-run gauge summary as JSON —
+// the document cmd/benchjson archives alongside benchmark numbers.
+func WriteSummary(w io.Writer, profiles []Profile) error {
+	out := make([]profileSummary, 0, len(profiles))
+	for _, p := range profiles {
+		out = append(out, profileSummary{
+			Profile: p.Name,
+			Period:  float64(p.Scraper.Period().Nanoseconds()) / 1e3,
+			Series:  p.Scraper.Summary(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// fileSafe maps a profile name onto a filesystem-safe stem.
+func fileSafe(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// ExportDir writes the full export set for profiles into dir (created if
+// missing): per profile `<name>.series.csv`, `<name>.series.json` and
+// `<name>.prom`, plus the cross-profile `summary.json`, a standalone
+// Chrome counter trace `counters.trace.json`, and the static
+// `dashboard.html`. It returns the written paths in a fixed order.
+func ExportDir(dir string, profiles []Profile) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var written []string
+	emit := func(name string, render func(io.Writer) error) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+	var counters []trace.CounterTrack
+	for _, p := range profiles {
+		p := p
+		stem := fileSafe(p.Name)
+		if err := emit(stem+".series.csv", func(w io.Writer) error { return WriteCSV(w, p.Scraper) }); err != nil {
+			return written, err
+		}
+		if err := emit(stem+".series.json", func(w io.Writer) error { return WriteJSON(w, p.Scraper) }); err != nil {
+			return written, err
+		}
+		if err := emit(stem+".prom", func(w io.Writer) error { return WritePrometheus(w, p.Scraper) }); err != nil {
+			return written, err
+		}
+		counters = append(counters, CounterTracks(p.Name+"/", p.Scraper)...)
+	}
+	if err := emit("summary.json", func(w io.Writer) error { return WriteSummary(w, profiles) }); err != nil {
+		return written, err
+	}
+	if err := emit("counters.trace.json", func(w io.Writer) error {
+		return trace.WriteChromeWithCounters(w, nil, counters)
+	}); err != nil {
+		return written, err
+	}
+	if err := emit("dashboard.html", func(w io.Writer) error { return WriteDashboard(w, profiles) }); err != nil {
+		return written, err
+	}
+	return written, nil
+}

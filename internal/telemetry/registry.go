@@ -1,0 +1,207 @@
+// Package telemetry is the simulation's unified observability layer: a
+// labeled metric registry, a virtual-time scraper that snapshots live
+// gauges across the stack into append-only time series, exporters (CSV,
+// JSON, Prometheus text format, Chrome-trace counter events, a static HTML
+// dashboard), and an SLO watchdog that evaluates declarative rules over
+// the series in virtual time.
+//
+// The design follows the repository's two instrumentation idioms:
+//
+//   - Zero cost when off. Hot-path handles (Counter, Hist) are nil-safe
+//     no-ops, exactly like trace.Req: model code holds a possibly-nil
+//     pointer and pays one branch when telemetry is disabled. Gauges are
+//     pull-based callbacks over accessors the layers already expose, so an
+//     uninstrumented run executes no telemetry code at all.
+//
+//   - Deterministic output. Probes are registered into insertion-order
+//     slices (never iterated from maps), the scraper rides the engine's
+//     virtual-time Ticker, and every exporter formats floats with
+//     strconv — for a fixed seed the exported bytes are identical
+//     run-to-run and identical between sequential and parallel sharded
+//     experiment execution.
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nadino/internal/metrics"
+)
+
+// Label is one key=value dimension of a metric (tenant, node, link, ...).
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Meta identifies one metric: a name plus ordered labels. Label order is
+// the registration order and is part of the series identity.
+type Meta struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+}
+
+// Key renders the canonical series key, e.g. `dne.keeper_debt{node=nodeA}`.
+func (m Meta) Key() string {
+	if len(m.Labels) == 0 {
+		return m.Name
+	}
+	var b strings.Builder
+	b.WriteString(m.Name)
+	b.WriteByte('{')
+	for i, l := range m.Labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// labels converts variadic "k1, v1, k2, v2" pairs into ordered Labels.
+func labels(kv []string) []Label {
+	if len(kv)%2 != 0 {
+		panic("telemetry: labels must come in key/value pairs")
+	}
+	ls := make([]Label, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		ls = append(ls, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	return ls
+}
+
+// probeKind discriminates how a probe is sampled.
+type probeKind int
+
+const (
+	kindCounter probeKind = iota // push counter -> windowed rate series
+	kindGauge                    // callback -> instantaneous value series
+	kindRate                     // cumulative callback -> windowed derivative
+	kindHist                     // histogram handle -> p50/p99 series
+)
+
+// probe is one registered metric source. A single insertion-order slice
+// holds every kind so the scraper's series order is the registration order.
+type probe struct {
+	meta    Meta
+	kind    probeKind
+	counter *Counter
+	fn      func() float64
+	hist    *metrics.Hist
+}
+
+// Counter is a monotonically increasing event count with an allocation-free
+// hot path. Model code holds a possibly-nil *Counter; Add on nil is a no-op,
+// so instrumented paths cost one branch when telemetry is off (the
+// trace.Req idiom). The scraper converts counters into windowed rate
+// series (events/second per scrape period).
+type Counter struct {
+	meta Meta
+	v    uint64
+}
+
+// Add records n events. Safe (and free) on a nil Counter.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Value reports the lifetime count; 0 on a nil Counter.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Hist is a labeled histogram handle. Observe on nil is a no-op, so
+// instrumentation can be wired unconditionally and enabled by registration.
+// The scraper snapshots cumulative p50/p99 series from it.
+type Hist struct {
+	meta Meta
+	h    *metrics.Hist
+}
+
+// Observe records one latency sample. Safe (and free) on a nil Hist.
+func (h *Hist) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.h.Observe(d)
+}
+
+// Snapshot exposes the underlying histogram (nil-safe, may return nil).
+func (h *Hist) Snapshot() *metrics.Hist {
+	if h == nil {
+		return nil
+	}
+	return h.h
+}
+
+// Registry holds every registered probe in insertion order. It is bound to
+// a single simulation engine's lifetime and is not safe for concurrent use
+// (the simulation is single-threaded; independent engines get independent
+// registries).
+type Registry struct {
+	probes []probe
+	keys   map[string]struct{}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{keys: make(map[string]struct{})}
+}
+
+func (r *Registry) add(p probe) {
+	key := p.meta.Key()
+	if _, dup := r.keys[key]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", key))
+	}
+	r.keys[key] = struct{}{}
+	r.probes = append(r.probes, p)
+}
+
+// Counter registers and returns a labeled counter handle. The scraper
+// reports it as a windowed rate (events/second).
+func (r *Registry) Counter(name string, kv ...string) *Counter {
+	c := &Counter{meta: Meta{Name: name, Labels: labels(kv)}}
+	r.add(probe{meta: c.meta, kind: kindCounter, counter: c})
+	return c
+}
+
+// Gauge registers a pull-based gauge: fn is invoked at each scrape and its
+// value recorded as-is. fn runs in engine context and must not block.
+func (r *Registry) Gauge(name string, fn func() float64, kv ...string) {
+	r.add(probe{meta: Meta{Name: name, Labels: labels(kv)}, kind: kindGauge, fn: fn})
+}
+
+// Rate registers a derivative gauge over a cumulative quantity: fn returns
+// a monotone total (e.g. busy seconds, bytes sent) and the scraper records
+// its per-second derivative over each scrape window. Registering a core's
+// cumulative BusyTime().Seconds() yields its utilization directly.
+func (r *Registry) Rate(name string, fn func() float64, kv ...string) {
+	r.add(probe{meta: Meta{Name: name, Labels: labels(kv)}, kind: kindRate, fn: fn})
+}
+
+// Hist registers and returns a labeled histogram handle. The scraper
+// snapshots cumulative `<name>.p50` and `<name>.p99` series from it.
+func (r *Registry) Hist(name string, kv ...string) *Hist {
+	h := &Hist{meta: Meta{Name: name, Labels: labels(kv)}, h: metrics.NewHist()}
+	r.add(probe{meta: h.meta, kind: kindHist, hist: h.h})
+	return h
+}
+
+// HistFrom registers an existing histogram (e.g. a cluster's per-chain
+// latency hist) for scraping without changing who owns or feeds it.
+func (r *Registry) HistFrom(name string, h *metrics.Hist, kv ...string) {
+	r.add(probe{meta: Meta{Name: name, Labels: labels(kv)}, kind: kindHist, hist: h})
+}
+
+// Len reports registered probes.
+func (r *Registry) Len() int { return len(r.probes) }

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"time"
+
+	"nadino/internal/metrics"
+	"nadino/internal/sim"
+)
+
+// track is one exported time series plus the metadata it was derived from.
+type track struct {
+	meta   Meta
+	series *metrics.Series
+}
+
+// Scraper samples every probe of a Registry on a fixed virtual-time period
+// into append-only series. It is driven by the engine's Ticker, so samples
+// land at deterministic instants and the whole output is a pure function of
+// the seed. One registry feeds at most one scraper.
+type Scraper struct {
+	reg    *Registry
+	period time.Duration
+
+	tracks []track
+	// lastV holds the previous cumulative reading for counter and rate
+	// probes, indexed by probe position.
+	lastV []float64
+	stop  func()
+}
+
+// Scrape starts sampling the registry every period of virtual time,
+// beginning one period from now. Call Stop to detach; stopping is optional
+// when the engine simply halts.
+func (r *Registry) Scrape(eng *sim.Engine, period time.Duration) *Scraper {
+	sc := &Scraper{reg: r, period: period, lastV: make([]float64, len(r.probes))}
+	for _, p := range r.probes {
+		switch p.kind {
+		case kindHist:
+			for _, q := range []string{".p50", ".p99"} {
+				m := Meta{Name: p.meta.Name + q, Labels: p.meta.Labels}
+				sc.tracks = append(sc.tracks, track{meta: m, series: metrics.NewSeries(m.Key())})
+			}
+		default:
+			sc.tracks = append(sc.tracks, track{meta: p.meta, series: metrics.NewSeries(p.meta.Key())})
+		}
+	}
+	// Seed the cumulative baselines at start so the first window's rates
+	// cover (start, start+period] rather than (0, start+period].
+	for i, p := range r.probes {
+		switch p.kind {
+		case kindCounter:
+			sc.lastV[i] = float64(p.counter.v)
+		case kindRate:
+			sc.lastV[i] = p.fn()
+		}
+	}
+	sc.stop = eng.Ticker(period, sc.sample)
+	return sc
+}
+
+// sample appends one reading per track. Engine context.
+func (sc *Scraper) sample(now time.Duration) {
+	secs := sc.period.Seconds()
+	ti := 0
+	for i, p := range sc.reg.probes {
+		switch p.kind {
+		case kindCounter:
+			v := float64(p.counter.v)
+			sc.tracks[ti].series.Add(now, (v-sc.lastV[i])/secs)
+			sc.lastV[i] = v
+			ti++
+		case kindGauge:
+			sc.tracks[ti].series.Add(now, p.fn())
+			ti++
+		case kindRate:
+			v := p.fn()
+			sc.tracks[ti].series.Add(now, (v-sc.lastV[i])/secs)
+			sc.lastV[i] = v
+			ti++
+		case kindHist:
+			sc.tracks[ti].series.Add(now, float64(p.hist.P50())/float64(time.Second))
+			sc.tracks[ti+1].series.Add(now, float64(p.hist.P99())/float64(time.Second))
+			ti += 2
+		}
+	}
+}
+
+// Stop detaches the scraper from the engine clock.
+func (sc *Scraper) Stop() { sc.stop() }
+
+// Period reports the scrape period.
+func (sc *Scraper) Period() time.Duration { return sc.period }
+
+// Series returns the collected series in registration order.
+func (sc *Scraper) Series() []*metrics.Series {
+	out := make([]*metrics.Series, len(sc.tracks))
+	for i, t := range sc.tracks {
+		out[i] = t.series
+	}
+	return out
+}
+
+// Lookup finds a series by its canonical key (Meta.Key), or nil.
+func (sc *Scraper) Lookup(key string) *metrics.Series {
+	for _, t := range sc.tracks {
+		if t.meta.Key() == key {
+			return t.series
+		}
+	}
+	return nil
+}
+
+// SummaryEntry condenses one series for end-of-run archiving.
+type SummaryEntry struct {
+	Key  string  `json:"key"`
+	Last float64 `json:"last"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// Summary returns the end-of-run gauge summary in registration order: the
+// final sample, the whole-run mean, and the peak of every series.
+func (sc *Scraper) Summary() []SummaryEntry {
+	out := make([]SummaryEntry, 0, len(sc.tracks))
+	for _, t := range sc.tracks {
+		e := SummaryEntry{Key: t.meta.Key()}
+		pts := t.series.Points
+		if n := len(pts); n > 0 {
+			e.Last = pts[n-1].V
+			e.Mean = t.series.MeanBetween(0, pts[n-1].T)
+			e.Max = t.series.Max()
+		}
+		out = append(out, e)
+	}
+	return out
+}

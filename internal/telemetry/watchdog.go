@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"fmt"
+	"time"
+
+	"nadino/internal/metrics"
+)
+
+// Op is a threshold-rule comparison: the assertion every sample must
+// satisfy against the rule's Bound.
+type Op int
+
+// Threshold operators.
+const (
+	OpLT Op = iota // value <  Bound
+	OpLE           // value <= Bound
+	OpGT           // value >  Bound
+	OpGE           // value >= Bound
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpLT:
+		return "<"
+	case OpLE:
+		return "<="
+	case OpGT:
+		return ">"
+	case OpGE:
+		return ">="
+	}
+	return "?"
+}
+
+func (o Op) holds(v, bound float64) bool {
+	switch o {
+	case OpLT:
+		return v < bound
+	case OpLE:
+		return v <= bound
+	case OpGT:
+		return v > bound
+	case OpGE:
+		return v >= bound
+	}
+	return false
+}
+
+// Rule is a declarative threshold SLO over one series: every sample inside
+// [From, To] must satisfy `value Op Bound`. Sustain tolerates short
+// excursions — a violation is emitted only after Sustain consecutive
+// breaching samples (default 1), one violation per breach episode.
+type Rule struct {
+	Name   string
+	Series string // canonical series key (Meta.Key)
+	From   time.Duration
+	To     time.Duration // 0 = end of series
+	Op     Op
+	Bound  float64
+	// Sustain is how many consecutive samples must breach before a
+	// violation fires; values < 1 mean 1.
+	Sustain int
+}
+
+// RecoveryRule is a declarative recovery SLO: after the fault clears at
+// ClearAt, the series must make a sustained return to within Tolerance of
+// its own baseline (measured over [BaselineFrom, BaselineTo]) in at most
+// Within of virtual time. It wraps metrics.RecoveryDetector, replacing the
+// hand-rolled recovery assertions in the resilience experiments.
+type RecoveryRule struct {
+	Name         string
+	Series       string
+	BaselineFrom time.Duration
+	BaselineTo   time.Duration
+	ClearAt      time.Duration
+	Within       time.Duration
+	Tolerance    float64 // fraction below baseline still counted recovered
+	Sustain      int     // consecutive recovered samples required (min 1)
+}
+
+// Violation is one structured SLO breach record.
+type Violation struct {
+	Rule   string        `json:"rule"`
+	Series string        `json:"series"`
+	At     time.Duration `json:"at_ns"`
+	Value  float64       `json:"value"`
+	Detail string        `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s at %v (value %g): %s", v.Rule, v.Series, v.At, v.Value, v.Detail)
+}
+
+// Watchdog evaluates a set of declarative rules over collected series.
+// Rules are checked in the order added; evaluation is a pure function of
+// the series, so watchdog verdicts inherit the simulation's determinism.
+type Watchdog struct {
+	rules    []Rule
+	recovery []RecoveryRule
+}
+
+// NewWatchdog returns an empty watchdog.
+func NewWatchdog() *Watchdog { return &Watchdog{} }
+
+// Add registers a threshold rule.
+func (w *Watchdog) Add(r Rule) { w.rules = append(w.rules, r) }
+
+// AddRecovery registers a recovery rule.
+func (w *Watchdog) AddRecovery(r RecoveryRule) { w.recovery = append(w.recovery, r) }
+
+// Evaluate runs every rule against the series returned by lookup (a
+// Scraper's Lookup, or any map over metrics.Series) and returns the
+// violations in rule order. A rule whose series is missing is itself a
+// violation — a silently absent SLO is worse than a failing one.
+func (w *Watchdog) Evaluate(lookup func(key string) *metrics.Series) []Violation {
+	var out []Violation
+	for _, r := range w.rules {
+		out = append(out, evalThreshold(r, lookup(r.Series))...)
+	}
+	for _, r := range w.recovery {
+		out = append(out, evalRecovery(r, lookup(r.Series))...)
+	}
+	return out
+}
+
+func evalThreshold(r Rule, s *metrics.Series) []Violation {
+	if s == nil {
+		return []Violation{{Rule: r.Name, Series: r.Series, Detail: "series not found"}}
+	}
+	need := r.Sustain
+	if need < 1 {
+		need = 1
+	}
+	var out []Violation
+	run := 0
+	var runStart time.Duration
+	var runValue float64
+	fired := false
+	for _, p := range s.Points {
+		if p.T < r.From || (r.To > 0 && p.T > r.To) {
+			continue
+		}
+		if r.Op.holds(p.V, r.Bound) {
+			run, fired = 0, false
+			continue
+		}
+		if run == 0 {
+			runStart, runValue = p.T, p.V
+		}
+		run++
+		if run >= need && !fired {
+			out = append(out, Violation{
+				Rule: r.Name, Series: r.Series, At: runStart, Value: runValue,
+				Detail: fmt.Sprintf("want %s %g, got %g for %d consecutive samples", r.Op, r.Bound, runValue, run),
+			})
+			fired = true // one violation per breach episode
+		}
+	}
+	return out
+}
+
+func evalRecovery(r RecoveryRule, s *metrics.Series) []Violation {
+	if s == nil {
+		return []Violation{{Rule: r.Name, Series: r.Series, Detail: "series not found"}}
+	}
+	baseline := s.MeanBetween(r.BaselineFrom, r.BaselineTo)
+	det := metrics.RecoveryDetector{Baseline: baseline, Tolerance: r.Tolerance, Sustain: r.Sustain}
+	rt, ok := det.Detect(s, r.ClearAt)
+	if !ok {
+		return []Violation{{
+			Rule: r.Name, Series: r.Series, At: r.ClearAt, Value: baseline,
+			Detail: fmt.Sprintf("no sustained return to within %.0f%% of baseline %g after fault clear", 100*r.Tolerance, baseline),
+		}}
+	}
+	if r.Within > 0 && rt > r.Within {
+		return []Violation{{
+			Rule: r.Name, Series: r.Series, At: r.ClearAt + rt, Value: rt.Seconds(),
+			Detail: fmt.Sprintf("recovered in %v, budget %v", rt, r.Within),
+		}}
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package trace
 import (
 	"encoding/json"
 	"io"
+	"time"
 )
 
 // Profile names one tracer for export; each profile becomes one Chrome
@@ -35,10 +36,31 @@ type chromeFile struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
+// CounterPoint is one sample of a Chrome counter timeline.
+type CounterPoint struct {
+	T time.Duration
+	V float64
+}
+
+// CounterTrack is one named counter timeline, rendered as Chrome counter
+// events (`"ph":"C"`) so telemetry series plot alongside the span
+// timelines. internal/telemetry produces these from its scraped series.
+type CounterTrack struct {
+	Name   string
+	Points []CounterPoint
+}
+
 // WriteChrome renders the profiles as a Chrome trace-event JSON file
 // (load it in chrome://tracing or https://ui.perfetto.dev). Virtual time
 // maps directly onto the trace clock; open spans are skipped.
 func WriteChrome(w io.Writer, profiles []Profile) error {
+	return WriteChromeWithCounters(w, profiles, nil)
+}
+
+// WriteChromeWithCounters is WriteChrome plus counter timelines: each track
+// becomes a `"ph":"C"` series under a dedicated "telemetry" process, so
+// scraped gauges render as strip charts above the span rows.
+func WriteChromeWithCounters(w io.Writer, profiles []Profile, counters []CounterTrack) error {
 	file := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
 	for pid, p := range profiles {
 		file.TraceEvents = append(file.TraceEvents, chromeEvent{
@@ -84,6 +106,24 @@ func WriteChrome(w io.Writer, profiles []Profile) error {
 					ev.Scope = "t"
 				}
 				file.TraceEvents = append(file.TraceEvents, ev)
+			}
+		}
+	}
+	if len(counters) > 0 {
+		pid := len(profiles)
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "process_name", Phase: "M", PID: pid,
+			Args: map[string]any{"name": "telemetry"},
+		})
+		for _, tr := range counters {
+			for _, p := range tr.Points {
+				file.TraceEvents = append(file.TraceEvents, chromeEvent{
+					Name:  tr.Name,
+					Phase: "C",
+					TS:    float64(p.T.Nanoseconds()) / 1e3,
+					PID:   pid,
+					Args:  map[string]any{"value": p.V},
+				})
 			}
 		}
 	}
