@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt race check bench bench-res suite ci trace telemetry
+.PHONY: build test vet fmt race check bench bench-res suite ci trace telemetry fuzz fuzz-smoke cover
 
 build:
 	$(GO) build ./...
@@ -50,18 +50,59 @@ bench-res: telemetry
 suite:
 	$(GO) run ./cmd/nadino-bench -quick -parallel 0
 
-# ci is the one-command gate: gofmt, build, vet, race-test the sim-critical
-# packages with -short (skips the ~15-min whole-suite parallel-determinism
-# sweep; the res-* determinism fence still runs — the full-suite `race`
-# target stays the deep pre-commit gate), regenerate everything — paper
-# artifacts, ablations and the chaos res-* suite — at quick fidelity across
-# all cores, then smoke-check the telemetry export pipeline.
+# ci is the one-command gate: gofmt, build, vet, race-test the whole module
+# with -short (skips the ~15-min whole-suite parallel-determinism sweep; the
+# res-* determinism fence still runs — the full-suite `race` target stays
+# the deep pre-commit gate), enforce per-package coverage floors, regenerate
+# everything — paper artifacts, ablations and the chaos res-* suite — at
+# quick fidelity across all cores, then smoke-check the telemetry export
+# pipeline and the simulation fuzzer.
 ci: fmt
 	$(GO) build ./...
 	$(GO) vet ./...
-	$(GO) test -race -short -timeout 20m ./internal/sim/ ./internal/fabric/ ./internal/chaos/ ./internal/rdma/ ./internal/dne/ ./internal/metrics/ ./internal/core/ ./internal/experiments/ ./internal/telemetry/
+	$(GO) test -race -short -timeout 20m ./...
+	$(MAKE) cover
 	$(GO) run ./cmd/nadino-bench -quick -parallel 0 -run everything
 	$(MAKE) telemetry
+	$(MAKE) fuzz-smoke
+
+# Coverage floors for the correctness-critical packages: the simulation
+# engine, the ownership-checked mempool, the RDMA transport and the DNE.
+COVER_FLOOR := 70
+COVER_PKGS  := ./internal/sim/ ./internal/mempool/ ./internal/rdma/ ./internal/dne/
+
+# cover runs the floor packages with -cover and fails if any falls below
+# $(COVER_FLOOR)% statement coverage.
+cover:
+	@$(GO) test -short -count=1 -cover $(COVER_PKGS) | tee cover.out
+	@awk -v floor=$(COVER_FLOOR) ' \
+		/coverage:/ { \
+			for (i = 1; i <= NF; i++) if ($$i == "coverage:") pct = substr($$(i+1), 1, length($$(i+1))-1); \
+			if (pct + 0 < floor) { printf "cover: %s at %s%% is below the %d%% floor\n", $$2, pct, floor; bad = 1 } \
+		} \
+		END { exit bad }' cover.out
+	@rm -f cover.out
+	@echo "cover: all floor packages >= $(COVER_FLOOR)%"
+
+# fuzz-smoke is the CI slice of the simulation fuzzer: 50 generated
+# scenarios (random topology, tenants, workloads and chaos schedules) run
+# under the full invariant registry, sharded across all cores. The grep
+# fails the target on any invariant violation; failing seeds are printed
+# with standalone repro commands.
+fuzz-smoke:
+	$(GO) run ./cmd/nadino-bench -run fuzz -quick -parallel 0 -fuzz-seeds 50 | tee fuzz-smoke.out
+	@grep -q 'verdict: CLEAN' fuzz-smoke.out
+	@rm -f fuzz-smoke.out
+
+# fuzz is the deep sweep: 500 scenarios at full fidelity. Reproduce any
+# failing seed with `go run ./cmd/nadino-bench -run fuzz -seed <s> -fuzz-seeds 1`
+# (byte-identical output), or demo the pipeline end-to-end with
+# `-fuzz-defect leak-buffer`, which plants a buffer leak in the harness and
+# shows it caught and shrunk to a minimal counterexample.
+fuzz:
+	$(GO) run ./cmd/nadino-bench -run fuzz -parallel 0 -fuzz-seeds 500 | tee fuzz.out
+	@grep -q 'verdict: CLEAN' fuzz.out
+	@rm -f fuzz.out
 
 # trace reproduces the Fig. 6 per-stage latency attribution and writes a
 # Chrome trace-event file (load in chrome://tracing or ui.perfetto.dev).

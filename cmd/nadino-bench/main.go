@@ -12,6 +12,8 @@
 //	nadino-bench -parallel 0     # shard sweep points across all cores
 //	nadino-bench -run fig06 -trace
 //	nadino-bench -run resilience -telemetry telemetry/
+//	nadino-bench -run fuzz -fuzz-seeds 200 -parallel 0   # simulation fuzz sweep
+//	nadino-bench -run fuzz -seed 1234 -fuzz-seeds 1      # reproduce one scenario
 //	nadino-bench -list
 //
 // Each sweep point is an independent simulation engine, so -parallel N
@@ -41,10 +43,12 @@ func main() {
 	doTrace := flag.Bool("trace", false, "record per-stage latency attribution (experiments that support it) and export a Chrome trace")
 	traceOut := flag.String("trace-out", "nadino-trace.json", "Chrome trace-event output path (with -trace)")
 	telemetryDir := flag.String("telemetry", "", "scrape labeled metrics during runs (experiments that support it) and export CSV/JSON/Prometheus/dashboard into this directory")
+	fuzzSeeds := flag.Int("fuzz-seeds", 0, "scenarios for -run fuzz, generated from seeds seed..seed+n-1 (0 = mode default)")
+	fuzzDefect := flag.String("fuzz-defect", "", "plant a named harness defect in every fuzz scenario (e.g. leak-buffer) to demo detection and shrinking")
 	flag.Parse()
 
 	if *list {
-		for _, e := range experiments.AllWithAblations() {
+		for _, e := range append(experiments.AllWithAblations(), experiments.Fuzz()...) {
 			fmt.Printf("  %-15s %s\n", e.ID, e.Title)
 		}
 		return
@@ -71,7 +75,8 @@ func main() {
 		}
 	}
 
-	opts := experiments.Opts{Quick: *quick, Seed: *seed, Parallel: experiments.Parallelism(*parallel)}
+	opts := experiments.Opts{Quick: *quick, Seed: *seed, Parallel: experiments.Parallelism(*parallel),
+		FuzzSeeds: *fuzzSeeds, FuzzDefect: *fuzzDefect}
 	var profiles []trace.Profile
 	if *doTrace {
 		opts.Trace = true

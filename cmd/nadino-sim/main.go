@@ -7,6 +7,7 @@
 //
 //	nadino-sim -config configs/sample-cluster.json -chain main -clients 40
 //	nadino-sim -config cluster.json -replicas 8 -parallel 0
+//	nadino-sim -config cluster.json -trace-file arrivals.txt   # replay a recorded trace
 //	nadino-sim -template        # print a starter config
 //
 // -replicas N runs N independent copies of the cluster with seeds
@@ -63,6 +64,7 @@ type runOpts struct {
 	zipf      float64
 	diurnal   float64
 	period    time.Duration
+	replay    *workload.Replay
 	traceOut  string
 	telemetry bool
 }
@@ -85,7 +87,22 @@ func runCluster(cfg core.Config, r runOpts, w io.Writer) (*telemetry.Scraper, er
 		c.Instrument(reg)
 		sc = reg.Scrape(c.Eng, r.dur/100)
 	}
-	if r.traceRPS > 0 {
+	warm := c.P.QPSetupTime + 10*time.Millisecond
+	if r.replay != nil {
+		// Replay mode: drive the recorded arrival schedule verbatim, shifted
+		// to begin at the start of the measured window (the trace's t=0 would
+		// otherwise land in warmup and never be measured). The replay is
+		// read-only and each replica's Start spawns its own process, so
+		// replicas can share one parsed trace.
+		_, hook := r.replay.Shifted(warm).Start(c.Eng)
+		n := 0
+		hook(func(ch string) {
+			n++
+			c.SubmitChain(ch, n, nil)
+		})
+		fmt.Fprintf(w, "workload  : replay of %d arrivals (%d requests over %v)\n",
+			len(r.replay.Arrivals), r.replay.Total(), r.replay.Duration())
+	} else if r.traceRPS > 0 {
 		// Trace mode: Poisson arrivals with diurnal modulation, spread
 		// over every chain by Zipf popularity.
 		var names []string
@@ -120,7 +137,6 @@ func runCluster(cfg core.Config, r runOpts, w io.Writer) (*telemetry.Scraper, er
 		}
 	}
 	var tracer *trace.Tracer
-	warm := c.P.QPSetupTime + 10*time.Millisecond
 	c.Eng.RunUntil(warm)
 	c.Completed.MarkWindow(c.Eng.Now())
 	hist.Reset()
@@ -139,7 +155,9 @@ func runCluster(cfg core.Config, r runOpts, w io.Writer) (*telemetry.Scraper, er
 		kind = "DPU"
 	}
 	fmt.Fprintf(w, "system    : %v\n", cfg.System)
-	if r.traceRPS > 0 {
+	if r.replay != nil {
+		fmt.Fprintf(w, "chain     : %s (measured; replayed trace drives all its chains), %v window\n", r.chain, r.dur)
+	} else if r.traceRPS > 0 {
 		fmt.Fprintf(w, "chain     : %s (measured; all chains driven), %v window\n", r.chain, r.dur)
 	} else {
 		fmt.Fprintf(w, "chain     : %s, %d clients, %v window\n", r.chain, r.clients, r.dur)
@@ -194,6 +212,7 @@ func main() {
 	replicas := flag.Int("replicas", 1, "independent replica runs with seeds seed..seed+N-1")
 	parallel := flag.Int("parallel", 1, "workers running replicas concurrently (0 = all cores)")
 	traceRPS := flag.Float64("trace-rps", 0, "drive ALL chains open-loop at this aggregate rate instead of closed-loop clients")
+	traceFile := flag.String("trace-file", "", "replay a recorded arrival trace (one `t_us,chain[,count]` line per arrival) instead of synthetic load")
 	traceOut := flag.String("trace", "", "record per-stage latency attribution after warmup and write a Chrome trace to this file")
 	telemetryDir := flag.String("telemetry", "", "scrape labeled metrics during the run and export CSV/JSON/Prometheus/dashboard into this directory")
 	zipf := flag.Float64("zipf", 1.0, "trace mode: chain popularity skew")
@@ -236,6 +255,34 @@ func main() {
 		}
 		*chain = cfg.Chains[0].Name
 	}
+	var replay *workload.Replay
+	if *traceFile != "" {
+		if *traceRPS > 0 {
+			fmt.Fprintln(os.Stderr, "nadino-sim: -trace-file and -trace-rps are mutually exclusive")
+			os.Exit(2)
+		}
+		tf, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nadino-sim:", err)
+			os.Exit(1)
+		}
+		replay, err = workload.ParseTrace(tf)
+		tf.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nadino-sim:", err)
+			os.Exit(1)
+		}
+		known := make(map[string]bool, len(cfg.Chains))
+		for _, ch := range cfg.Chains {
+			known[ch.Name] = true
+		}
+		for _, name := range replay.Chains() {
+			if !known[name] {
+				fmt.Fprintf(os.Stderr, "nadino-sim: trace drives chain %q, not in the config\n", name)
+				os.Exit(1)
+			}
+		}
+	}
 
 	r := runOpts{
 		chain:     *chain,
@@ -245,6 +292,7 @@ func main() {
 		zipf:      *zipf,
 		diurnal:   *diurnal,
 		period:    *period,
+		replay:    replay,
 		traceOut:  *traceOut,
 		telemetry: *telemetryDir != "",
 	}

@@ -49,6 +49,13 @@ type Opts struct {
 	// stay bitwise-identical between sequential and parallel runs.
 	Telemetry     bool
 	TelemetrySink func(name string, sc *telemetry.Scraper)
+
+	// FuzzSeeds sizes the fuzz sweep (-run fuzz): scenarios are generated
+	// from seeds Seed..Seed+FuzzSeeds-1. <= 0 picks a mode default.
+	// FuzzDefect plants a named harness defect (see simtest.DefectLeakBuffer)
+	// in every scenario, to demonstrate detection and shrinking.
+	FuzzSeeds  int
+	FuzzDefect string
 }
 
 // scale returns quick or full depending on the mode.
@@ -198,10 +205,11 @@ func AllWithAblations() []Experiment {
 	return append(append(All(), Ablations()...), Resilience()...)
 }
 
-// Lookup finds an experiment by ID (paper artifacts, ablations and
-// resilience runs).
+// Lookup finds an experiment by ID (paper artifacts, ablations, resilience
+// runs, and the fuzz sweep — the latter addressable but not part of
+// "everything").
 func Lookup(id string) (Experiment, bool) {
-	for _, e := range AllWithAblations() {
+	for _, e := range append(AllWithAblations(), Fuzz()...) {
 		if e.ID == id {
 			return e, true
 		}

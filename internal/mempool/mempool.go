@@ -174,6 +174,46 @@ func (p *Pool) Access(b Buffer, owner Owner) error {
 	return nil
 }
 
+// Audit cross-checks the pool's internal accounting: the free list and the
+// ownership table must partition the buffers exactly (no buffer both free
+// and owned, no owned count drifting from InUse, no duplicate free-list
+// entries). The simulation fuzzer calls this at event boundaries — a
+// failure here means the pool itself corrupted its invariants, not that a
+// caller misused a handle.
+func (p *Pool) Audit() error {
+	if p.inUse < 0 || p.inUse > p.n {
+		return fmt.Errorf("mempool: inUse %d outside [0,%d]", p.inUse, p.n)
+	}
+	if len(p.free)+p.inUse != p.n {
+		return fmt.Errorf("mempool: free %d + inUse %d != size %d", len(p.free), p.inUse, p.n)
+	}
+	onFree := make([]bool, p.n)
+	for _, id := range p.free {
+		if id < 0 || int(id) >= p.n {
+			return fmt.Errorf("mempool: free-list entry %d out of range", id)
+		}
+		if onFree[id] {
+			return fmt.Errorf("mempool: buffer %d on free list twice", id)
+		}
+		onFree[id] = true
+	}
+	owned := 0
+	for id, o := range p.owner {
+		if o != NoOwner {
+			owned++
+			if onFree[id] {
+				return fmt.Errorf("mempool: buffer %d owned by %q but on free list", id, o)
+			}
+		} else if !onFree[id] {
+			return fmt.Errorf("mempool: buffer %d unowned but not free", id)
+		}
+	}
+	if owned != p.inUse {
+		return fmt.Errorf("mempool: %d owned buffers but inUse %d", owned, p.inUse)
+	}
+	return nil
+}
+
 // InUse reports currently allocated buffers.
 func (p *Pool) InUse() int { return p.inUse }
 

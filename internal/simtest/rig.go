@@ -1,0 +1,560 @@
+package simtest
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nadino/internal/chaos"
+	"nadino/internal/dne"
+	"nadino/internal/dpu"
+	"nadino/internal/fabric"
+	"nadino/internal/mempool"
+	"nadino/internal/params"
+	"nadino/internal/rdma"
+	"nadino/internal/sim"
+	"nadino/internal/telemetry"
+	"nadino/internal/trace"
+	"nadino/internal/workload"
+)
+
+// nodeNames map scenario node indices onto the repository's conventional
+// fabric IDs.
+var nodeNames = []fabric.NodeID{"nodeA", "nodeB", "nodeC"}
+
+// nodeRig is one worker node: a DPU (cores, SoC DMA, RNIC) plus its DNE.
+type nodeRig struct {
+	name   fabric.NodeID
+	dpu    *dpu.DPU
+	eng    *dne.Engine
+	rqInit int // receive-ring target the keeper pre-posts per tenant
+}
+
+// tenantRig is one tenant's runtime state: pools on its two nodes, function
+// ports, and the request-conservation ledger.
+type tenantRig struct {
+	sc               TenantScenario
+	cliPool, srvPool *mempool.Pool
+	cliPort, srvPort *dne.FnPort
+	cliCore          *sim.Processor
+
+	// Ledger: issued counts requests handed to the engine, completed
+	// counts responses received, shed counts open-loop sends skipped on
+	// pool exhaustion. waiters holds the in-flight requests by sequence
+	// number; a nil queue marks an open-loop request nobody blocks on.
+	issued, completed, shed uint64
+	waiters                 map[uint64]*sim.Queue[mempool.Descriptor]
+	seq                     uint64
+
+	// windowCompleted is the completion count inside the measured load
+	// window (captured for the fairness invariant).
+	windowBase, windowCompleted uint64
+
+	// compCounter feeds the telemetry-consistency invariant.
+	compCounter *telemetry.Counter
+}
+
+// inFlight reports requests issued but not yet completed.
+func (tr *tenantRig) inFlight() int { return len(tr.waiters) }
+
+// coreRef names a processor for the busy-time invariant.
+type coreRef struct {
+	label string
+	proc  *sim.Processor
+}
+
+// Rig is one built scenario world. It owns every component the invariant
+// registry inspects.
+type Rig struct {
+	sc  Scenario
+	eng *sim.Engine
+	p   *params.Params
+	net *fabric.Network
+
+	nodes   []*nodeRig
+	tenants []*tenantRig
+	inj     *chaos.Injector
+	ready   *sim.Queue[struct{}]
+
+	tracer  *trace.Tracer
+	reg     *telemetry.Registry
+	scraper *telemetry.Scraper
+
+	cores []coreRef
+
+	warm, loadEnd, endAt time.Duration
+
+	// Ownership-auditor results (Transfers > 0).
+	auditOps  int
+	auditErrs []string
+
+	// Planted-defect bookkeeping.
+	leaked int
+
+	// Invariant checker state.
+	lastNow    time.Duration
+	lastBusy   []time.Duration
+	violations []Violation
+	tripped    map[string]bool
+}
+
+// scrapePeriod samples telemetry often enough for ~100 points per run.
+const scrapePeriod = 2 * time.Millisecond
+
+// NewRig builds the scenario's world on a fresh engine. Nothing runs until
+// Run (or a caller-driven RunUntil) advances the clock.
+func NewRig(sc Scenario) *Rig {
+	p := params.Default()
+	if sc.ExtraPerMsg > 0 {
+		p.DNEExtraPerMsg = sc.ExtraPerMsg
+	}
+	eng := sim.NewEngine(sc.Seed)
+	r := &Rig{
+		sc:      sc,
+		eng:     eng,
+		p:       p,
+		net:     fabric.New(eng, p),
+		ready:   sim.NewQueue[struct{}](eng, 0),
+		tracer:  trace.New(eng.Now),
+		reg:     telemetry.NewRegistry(),
+		tripped: make(map[string]bool),
+	}
+	r.tracer.SetLimit(0)
+	r.warm = p.QPSetupTime + 2*time.Millisecond
+	r.loadEnd = r.warm + sc.Load
+	r.endAt = r.loadEnd + sc.Drain
+
+	// Nodes: the engine's receive ring is the smallest ring any resident
+	// tenant asked for, so no tenant pool is undersized for its ring.
+	for i := 0; i < sc.Nodes; i++ {
+		rqInit := 0
+		for _, ts := range sc.Tenants {
+			if ts.CliNode == i || ts.SrvNode == i {
+				if rqInit == 0 || ts.InitialRQ < rqInit {
+					rqInit = ts.InitialRQ
+				}
+			}
+		}
+		if rqInit == 0 {
+			rqInit = 64 // node hosts no tenant; keep the engine well-formed
+		}
+		name := nodeNames[i]
+		d := dpu.New(eng, p, name, r.net, 2)
+		cfg := dne.Config{Node: name, Mode: sc.Mode, Sched: sc.Sched,
+			Channel: dpu.ComchE, InitialRQ: rqInit}
+		nr := &nodeRig{name: name, dpu: d, eng: dne.New(eng, p, cfg, d, nil, nil), rqInit: rqInit}
+		r.nodes = append(r.nodes, nr)
+		r.cores = append(r.cores,
+			coreRef{string(name) + "/dne-worker", nr.eng.WorkerCore()},
+			coreRef{string(name) + "/dne-keeper", nr.eng.KeeperCore()})
+		for ci, c := range d.Cores() {
+			r.cores = append(r.cores, coreRef{fmt.Sprintf("%s/dpu-core%d", name, ci), c})
+		}
+	}
+
+	// Tenants: pool + SRQ on both resident nodes, routes, function ports.
+	for _, ts := range sc.Tenants {
+		ts := ts
+		cli, srv := r.nodes[ts.CliNode], r.nodes[ts.SrvNode]
+		tr := &tenantRig{
+			sc:      ts,
+			cliPool: mempool.NewPool(ts.Name, ts.BufSize, ts.PoolBufs, p.HugepageSize),
+			srvPool: mempool.NewPool(ts.Name, ts.BufSize, ts.PoolBufs, p.HugepageSize),
+			waiters: make(map[uint64]*sim.Queue[mempool.Descriptor]),
+		}
+		cli.eng.AddTenant(ts.Name, tr.cliPool, ts.Weight)
+		srv.eng.AddTenant(ts.Name, tr.srvPool, ts.Weight)
+		cli.eng.SetRoute("srv-"+ts.Name, srv.name)
+		srv.eng.SetRoute("cli-"+ts.Name, cli.name)
+		tr.cliPort = cli.eng.AttachFunction("cli-"+ts.Name, ts.Name)
+		tr.srvPort = srv.eng.AttachFunction("srv-"+ts.Name, ts.Name)
+		tr.compCounter = r.reg.Counter("fuzz.completed", "tenant", ts.Name)
+		r.reg.Gauge("fuzz.pool_in_use",
+			func() float64 { return float64(tr.cliPool.InUse()) },
+			"tenant", ts.Name, "node", string(cli.name))
+		r.tenants = append(r.tenants, tr)
+	}
+	for _, nr := range r.nodes {
+		nr := nr
+		r.reg.Rate("fuzz.worker_busy",
+			func() float64 { return nr.eng.WorkerCore().BusyTime().Seconds() },
+			"node", string(nr.name))
+	}
+
+	// Connection pools are established concurrently per tenant (one pooled
+	// QPSetupTime handshake each); engines start once every pool is in.
+	eng.Spawn("simtest-setup", func(pr *sim.Proc) {
+		done := sim.NewQueue[struct{}](eng, 0)
+		for _, tr := range r.tenants {
+			tr := tr
+			eng.Spawn("simtest-setup-"+tr.sc.Name, func(spr *sim.Proc) {
+				cli, srv := r.nodes[tr.sc.CliNode], r.nodes[tr.sc.SrvNode]
+				cpC, cpS := rdma.EstablishPair(spr, p, tr.sc.Name,
+					cli.dpu.RNIC(), srv.dpu.RNIC(), sc.QPs,
+					cli.eng.SRQ(tr.sc.Name), srv.eng.SRQ(tr.sc.Name),
+					cli.eng.CQ(), srv.eng.CQ())
+				cli.eng.AddConnPool(srv.name, tr.sc.Name, cpC)
+				srv.eng.AddConnPool(cli.name, tr.sc.Name, cpS)
+				done.TryPut(struct{}{})
+			})
+		}
+		for range r.tenants {
+			done.Get(pr)
+		}
+		for _, nr := range r.nodes {
+			nr.eng.Start()
+		}
+		r.ready.TryPut(struct{}{})
+	})
+
+	r.inj = r.buildInjector()
+	r.installFaults()
+	r.spawnWorkloads()
+	if sc.Transfers > 0 {
+		r.spawnAuditor()
+	}
+	r.scraper = r.reg.Scrape(eng, scrapePeriod)
+
+	// Fairness window bounds.
+	eng.At(r.warm, func() {
+		for _, tr := range r.tenants {
+			tr.windowBase = tr.completed
+		}
+	})
+	eng.At(r.loadEnd, func() {
+		for _, tr := range r.tenants {
+			tr.windowCompleted = tr.completed - tr.windowBase
+		}
+	})
+	return r
+}
+
+// buildInjector registers the standard chaos targets: per node the SoC DMA
+// ("dma@<node>"), the DPU cores ("cores@<node>"), the node's own conn pools
+// ("qp@<node>") and the crash set ("crash@<node>": the node's pools plus
+// every peer pool pointing at it — a rebooted node loses all QP state on
+// both ends).
+func (r *Rig) buildInjector() *chaos.Injector {
+	in := chaos.NewInjector(r.eng, r.net, r.sc.Seed)
+	for _, nr := range r.nodes {
+		nr := nr
+		in.RegisterStaller("dma@"+string(nr.name), nr.dpu.SoCDMA())
+		in.RegisterCores("cores@"+string(nr.name), nr.dpu.Cores()...)
+		in.RegisterQPs("qp@"+string(nr.name), func() []chaos.QPErrorTarget {
+			pools := nr.eng.ConnPools()
+			ts := make([]chaos.QPErrorTarget, len(pools))
+			for i, cp := range pools {
+				ts[i] = cp
+			}
+			return ts
+		})
+		in.RegisterQPs("crash@"+string(nr.name), func() []chaos.QPErrorTarget {
+			var ts []chaos.QPErrorTarget
+			for _, cp := range nr.eng.ConnPools() {
+				ts = append(ts, cp)
+			}
+			for _, other := range r.nodes {
+				if other == nr {
+					continue
+				}
+				for _, tr := range r.tenants {
+					if cp := other.eng.ConnPool(nr.name, tr.sc.Name); cp != nil {
+						ts = append(ts, cp)
+					}
+				}
+			}
+			return ts
+		})
+	}
+	return in
+}
+
+// installFaults maps the scenario's FaultSpecs onto chaos events. Spec
+// times are relative to the start of the load window.
+func (r *Rig) installFaults() {
+	var sched chaos.Schedule
+	nodeIDs := make([]fabric.NodeID, r.sc.Nodes)
+	for i := range nodeIDs {
+		nodeIDs[i] = nodeNames[i]
+	}
+	for _, f := range r.sc.Faults {
+		at := r.warm + f.At
+		node := nodeNames[f.Node%r.sc.Nodes]
+		switch f.Kind {
+		case FaultLinkStorm:
+			// Outages are capped well inside the transport-retry horizon
+			// so a storm degrades but never strands traffic.
+			sched = append(sched, r.inj.LinkStorm(nodeIDs, at, f.For, f.Count, 2*time.Millisecond)...)
+		case FaultQPError:
+			sched = append(sched, chaos.Event{At: at,
+				Fault: chaos.QPError{Target: "qp@" + string(node), Count: f.Count}})
+		case FaultNodeCrash:
+			sched = append(sched, chaos.Event{At: at, For: f.For,
+				Fault: chaos.NodeCrash{Node: node, QPs: "crash@" + string(node)}})
+		case FaultDMAStall:
+			sched = append(sched, chaos.Event{At: at, For: f.For,
+				Fault: chaos.DMAStall{Target: "dma@" + string(node)}})
+		case FaultSlowCores:
+			sched = append(sched, chaos.Event{At: at, For: f.For,
+				Fault: chaos.SlowCores{Target: "cores@" + string(node), Factor: f.Factor}})
+		case FaultPartition:
+			var rest []fabric.NodeID
+			for _, id := range nodeIDs {
+				if id != node {
+					rest = append(rest, id)
+				}
+			}
+			sched = append(sched, chaos.Event{At: at, For: f.For,
+				Fault: chaos.Partition{A: []fabric.NodeID{node}, B: rest}})
+		default:
+			panic(fmt.Sprintf("simtest: unknown fault kind %q", f.Kind))
+		}
+	}
+	r.inj.Install(sched)
+}
+
+// waitReady parks pr until QP establishment completes.
+func (r *Rig) waitReady(pr *sim.Proc) {
+	r.ready.Get(pr)
+	r.ready.TryPut(struct{}{})
+}
+
+// takeLeak consumes the planted leak-buffer defect: the first caller that
+// would recycle a completed response keeps it instead.
+func (r *Rig) takeLeak() bool {
+	if r.sc.Defect == DefectLeakBuffer && r.leaked == 0 {
+		r.leaked++
+		return true
+	}
+	return false
+}
+
+// spawnWorkloads starts the echo server and the tenant's driver (closed
+// loop, open loop or Poisson trace).
+func (r *Rig) spawnWorkloads() {
+	for _, tr := range r.tenants {
+		r.spawnServer(tr)
+		r.spawnDemux(tr)
+		switch tr.sc.Load {
+		case LoadClosed:
+			r.spawnClosedClients(tr)
+		case LoadOpen:
+			r.spawnOpenLoop(tr)
+		case LoadPoisson:
+			r.spawnPoisson(tr)
+		default:
+			panic(fmt.Sprintf("simtest: unknown load kind %q", tr.sc.Load))
+		}
+	}
+}
+
+// spawnServer answers every request with a same-size reply, backpressuring
+// on pool exhaustion exactly like the benchmark rigs.
+func (r *Rig) spawnServer(tr *tenantRig) {
+	core := sim.NewProcessor(r.eng, "srv-core-"+tr.sc.Name, r.p.HostCoreSpeed)
+	r.cores = append(r.cores, coreRef{"srv-core-" + tr.sc.Name, core})
+	srv := mempool.Owner("srv-" + tr.sc.Name)
+	r.eng.Spawn("srv-"+tr.sc.Name, func(pr *sim.Proc) {
+		for {
+			d := tr.srvPort.Recv(pr, core)
+			reply, err := tr.srvPool.Get(srv)
+			for err != nil {
+				pr.Sleep(20 * time.Microsecond)
+				reply, err = tr.srvPool.Get(srv)
+			}
+			if err := tr.srvPool.Put(d.Buf, srv); err != nil {
+				panic(err)
+			}
+			out := mempool.Descriptor{
+				Tenant: tr.sc.Name, Buf: reply, Len: d.Len,
+				Src: "srv-" + tr.sc.Name, Dst: d.Src, Seq: d.Seq, Stamp: d.Stamp,
+				Trace: d.Trace,
+			}
+			if err := tr.srvPort.Send(pr, core, out); err != nil {
+				panic(err)
+			}
+		}
+	})
+}
+
+// spawnDemux routes responses back to waiters. Open-loop requests (nil
+// waiter queue) are counted complete and recycled here; deliveries with no
+// ledger entry are at-least-once duplicates and recycled.
+func (r *Rig) spawnDemux(tr *tenantRig) {
+	core := sim.NewProcessor(r.eng, "cli-core-"+tr.sc.Name, r.p.HostCoreSpeed)
+	r.cores = append(r.cores, coreRef{"cli-core-" + tr.sc.Name, core})
+	tr.cliCore = core
+	cli := mempool.Owner("cli-" + tr.sc.Name)
+	r.eng.Spawn("cli-demux-"+tr.sc.Name, func(pr *sim.Proc) {
+		for {
+			d := tr.cliPort.Recv(pr, core)
+			q, ok := tr.waiters[d.Seq]
+			if !ok {
+				// Duplicate delivery from the retry path: recycle or leak.
+				if err := tr.cliPool.Put(d.Buf, cli); err != nil {
+					panic(err)
+				}
+				continue
+			}
+			delete(tr.waiters, d.Seq)
+			if q == nil {
+				// Open-loop completion.
+				tr.completed++
+				tr.compCounter.Add(1)
+				d.Trace.Finish()
+				if !r.takeLeak() {
+					if err := tr.cliPool.Put(d.Buf, cli); err != nil {
+						panic(err)
+					}
+				}
+				continue
+			}
+			q.TryPut(d)
+		}
+	})
+}
+
+// sendReq issues one request for tr (proc context). Returns false when the
+// tenant pool is exhausted (the caller sheds or retries).
+func (r *Rig) sendReq(tr *tenantRig, pr *sim.Proc, q *sim.Queue[mempool.Descriptor]) bool {
+	cli := mempool.Owner("cli-" + tr.sc.Name)
+	buf, err := tr.cliPool.Get(cli)
+	if err != nil {
+		if errors.Is(err, mempool.ErrExhausted) {
+			tr.shed++
+			return false
+		}
+		panic(err)
+	}
+	tr.seq++
+	id := tr.seq
+	tr.waiters[id] = q
+	tr.issued++
+	req := r.tracer.StartRequest("echo/" + tr.sc.Name)
+	d := mempool.Descriptor{
+		Tenant: tr.sc.Name, Buf: buf, Len: tr.sc.Payload,
+		Src: "cli-" + tr.sc.Name, Dst: "srv-" + tr.sc.Name, Seq: id, Stamp: pr.Now(),
+		Trace: req,
+	}
+	if err := tr.cliPort.Send(pr, tr.cliCore, d); err != nil {
+		panic(err)
+	}
+	return true
+}
+
+// spawnClosedClients runs the tenant's closed-loop echo clients.
+func (r *Rig) spawnClosedClients(tr *tenantRig) {
+	cli := mempool.Owner("cli-" + tr.sc.Name)
+	for i := 0; i < tr.sc.Clients; i++ {
+		r.eng.Spawn(fmt.Sprintf("cli-%s-%d", tr.sc.Name, i), func(pr *sim.Proc) {
+			r.waitReady(pr)
+			respQ := sim.NewQueue[mempool.Descriptor](r.eng, 0)
+			for pr.Now() < r.loadEnd {
+				// Think-time jitter decorrelates the lockstep clients.
+				pr.Sleep(time.Duration(r.eng.Rand().Intn(3000)) * time.Nanosecond)
+				if !r.sendReq(tr, pr, respQ) {
+					pr.Sleep(50 * time.Microsecond)
+					continue
+				}
+				resp := respQ.Get(pr)
+				resp.Trace.Finish()
+				tr.completed++
+				tr.compCounter.Add(1)
+				if r.takeLeak() {
+					continue
+				}
+				if err := tr.cliPool.Put(resp.Buf, cli); err != nil {
+					panic(err)
+				}
+			}
+		})
+	}
+}
+
+// spawnOpenLoop issues one request every Every until the load window ends.
+func (r *Rig) spawnOpenLoop(tr *tenantRig) {
+	r.eng.Spawn("open-"+tr.sc.Name, func(pr *sim.Proc) {
+		r.waitReady(pr)
+		for pr.Now() < r.loadEnd {
+			pr.Sleep(tr.sc.Every)
+			if pr.Now() >= r.loadEnd {
+				break
+			}
+			r.sendReq(tr, pr, nil)
+		}
+	})
+}
+
+// spawnPoisson drives the tenant from a workload.TraceGen arrival process
+// (Poisson with a mild diurnal swing) through a relay queue, since the
+// generator's submit hook runs in the generator's own process.
+func (r *Rig) spawnPoisson(tr *tenantRig) {
+	gen := &workload.TraceGen{
+		Chains:           []string{tr.sc.Name},
+		ZipfS:            1.0,
+		BaseRPS:          tr.sc.RPS,
+		DiurnalAmplitude: 0.3,
+		Period:           r.sc.Load,
+	}
+	_, hook := gen.Start(r.eng)
+	arrivals := sim.NewQueue[struct{}](r.eng, 0)
+	hook(func(string) { arrivals.TryPut(struct{}{}) })
+	r.eng.Spawn("poisson-"+tr.sc.Name, func(pr *sim.Proc) {
+		r.waitReady(pr)
+		for {
+			arrivals.Get(pr)
+			if pr.Now() >= r.loadEnd {
+				continue // generator never stops; discard post-window arrivals
+			}
+			r.sendReq(tr, pr, nil)
+		}
+	})
+}
+
+// spawnAuditor interleaves cross-tenant ownership transfers with the load:
+// each chain moves a buffer from the first tenant's client actor to a
+// foreign tenant's actor and back, checking every access rule along the
+// way. Unexpected outcomes are recorded as ownership-audit findings.
+func (r *Rig) spawnAuditor() {
+	tr := r.tenants[0]
+	ownerA := mempool.Owner("aud-" + tr.sc.Name)
+	foreign := "ghost"
+	if len(r.tenants) > 1 {
+		foreign = r.tenants[1].sc.Name
+	}
+	ownerB := mempool.Owner("aud-x-" + foreign)
+	fail := func(format string, args ...any) {
+		if len(r.auditErrs) < 8 {
+			r.auditErrs = append(r.auditErrs, fmt.Sprintf(format, args...))
+		}
+	}
+	r.eng.Spawn("auditor", func(pr *sim.Proc) {
+		r.waitReady(pr)
+		for i := 0; i < r.sc.Transfers && pr.Now() < r.loadEnd; i++ {
+			pr.Sleep(time.Duration(50+r.eng.Rand().Intn(200)) * time.Microsecond)
+			b, err := tr.cliPool.Get(ownerA)
+			if err != nil {
+				continue // pool squeezed by the data plane; not a finding
+			}
+			if err := tr.cliPool.Transfer(b, ownerA, ownerB); err != nil {
+				fail("transfer %v->%v: %v", ownerA, ownerB, err)
+			}
+			if err := tr.cliPool.Access(b, ownerB); err != nil {
+				fail("new owner denied access: %v", err)
+			}
+			if err := tr.cliPool.Access(b, ownerA); !errors.Is(err, mempool.ErrNotOwner) {
+				fail("stale owner retained access: err=%v", err)
+			}
+			if err := tr.cliPool.Transfer(b, ownerB, ownerA); err != nil {
+				fail("transfer back: %v", err)
+			}
+			if err := tr.cliPool.Put(b, ownerA); err != nil {
+				fail("put: %v", err)
+			}
+			if err := tr.cliPool.Access(b, ownerA); !errors.Is(err, mempool.ErrStaleBuffer) {
+				fail("use after free not detected: err=%v", err)
+			}
+			r.auditOps++
+		}
+	})
+}

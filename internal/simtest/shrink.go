@@ -1,0 +1,121 @@
+package simtest
+
+import (
+	"fmt"
+	"time"
+)
+
+// ShrinkResult is the outcome of minimizing a failing scenario.
+type ShrinkResult struct {
+	Original, Minimal             Scenario
+	OriginalResult, MinimalResult *Result
+	// Attempts counts candidate runs spent; Steps logs each accepted
+	// reduction in order.
+	Attempts int
+	Steps    []string
+}
+
+// minLoad floors load-window bisection; shorter windows don't complete a
+// single QP round trip under every profile.
+const minLoad = 2 * time.Millisecond
+
+// Shrink minimizes a failing scenario, ddmin-style: drop the fault schedule
+// (all, then halves, then singles), bisect the load window, drop tenants,
+// thin client fan-out, and drop the auditor — accepting a candidate only if
+// it still trips at least one of the originally-violated invariants. Each
+// candidate costs one full simulation; maxAttempts caps the spend. The
+// returned Minimal scenario re-runs byte-identically via Run.
+func Shrink(sc Scenario, res *Result, maxAttempts int) ShrinkResult {
+	sr := ShrinkResult{Original: sc, Minimal: sc, OriginalResult: res, MinimalResult: res}
+	if !res.Failed() {
+		return sr
+	}
+	want := res.violatedNames()
+	try := func(cand Scenario, step string) bool {
+		if sr.Attempts >= maxAttempts {
+			return false
+		}
+		sr.Attempts++
+		cres := Run(cand)
+		for name := range cres.violatedNames() {
+			if want[name] {
+				sr.Minimal, sr.MinimalResult = cand, cres
+				sr.Steps = append(sr.Steps, step)
+				return true
+			}
+		}
+		return false
+	}
+
+	// Fault schedule: all gone, then ddmin down to single events.
+	if len(sr.Minimal.Faults) > 0 {
+		cand := sr.Minimal
+		cand.Faults = nil
+		try(cand, "drop all faults")
+	}
+	for chunk := len(sr.Minimal.Faults) / 2; chunk >= 1; chunk /= 2 {
+		for lo := 0; lo < len(sr.Minimal.Faults); {
+			hi := lo + chunk
+			if hi > len(sr.Minimal.Faults) {
+				hi = len(sr.Minimal.Faults)
+			}
+			cand := sr.Minimal
+			cand.Faults = append(append([]FaultSpec(nil), sr.Minimal.Faults[:lo]...),
+				sr.Minimal.Faults[hi:]...)
+			if try(cand, fmt.Sprintf("drop faults [%d,%d)", lo, hi)) {
+				continue // same lo now addresses the next chunk
+			}
+			lo = hi
+		}
+	}
+
+	// Load window: halve while the failure persists.
+	for sr.Minimal.Load/2 >= minLoad {
+		cand := sr.Minimal
+		cand.Load = sr.Minimal.Load / 2
+		// Keep faults inside the shrunken window.
+		for i := range cand.Faults {
+			if cand.Faults[i].At >= cand.Load {
+				cand.Faults[i].At = cand.Load / 2
+			}
+		}
+		if !try(cand, fmt.Sprintf("halve load to %v", cand.Load)) {
+			break
+		}
+	}
+
+	// Tenants: drop one at a time, keeping at least one.
+	for i := 0; i < len(sr.Minimal.Tenants) && len(sr.Minimal.Tenants) > 1; {
+		cand := sr.Minimal
+		cand.Tenants = append(append([]TenantScenario(nil), sr.Minimal.Tenants[:i]...),
+			sr.Minimal.Tenants[i+1:]...)
+		if try(cand, "drop tenant "+sr.Minimal.Tenants[i].Name) {
+			continue
+		}
+		i++
+	}
+
+	// Client fan-out: halve closed-loop client counts.
+	for {
+		cand := sr.Minimal
+		cand.Tenants = append([]TenantScenario(nil), sr.Minimal.Tenants...)
+		reduced := false
+		for i := range cand.Tenants {
+			if cand.Tenants[i].Load == LoadClosed && cand.Tenants[i].Clients > 1 {
+				cand.Tenants[i].Clients /= 2
+				reduced = true
+			}
+		}
+		if !reduced || !try(cand, "halve clients") {
+			break
+		}
+	}
+
+	// Auditor: irrelevant unless the audit itself failed.
+	if sr.Minimal.Transfers > 0 {
+		cand := sr.Minimal
+		cand.Transfers = 0
+		try(cand, "drop ownership auditor")
+	}
+	return sr
+}

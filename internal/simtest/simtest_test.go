@@ -1,0 +1,160 @@
+package simtest
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGenerateDeterministic pins the generator as a pure function of seed.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: scenarios differ:\n%s\n%s", seed, a, b)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: descriptions differ", seed)
+		}
+	}
+}
+
+// TestGenerateShape sanity-checks generated scenarios: indices in range,
+// pools big enough for their rings, loads fully specified.
+func TestGenerateShape(t *testing.T) {
+	for seed := int64(0); seed < 500; seed++ {
+		sc := Generate(seed)
+		if sc.Nodes < 2 || sc.Nodes > len(nodeNames) {
+			t.Fatalf("seed %d: %d nodes", seed, sc.Nodes)
+		}
+		if len(sc.Tenants) == 0 {
+			t.Fatalf("seed %d: no tenants", seed)
+		}
+		for _, ts := range sc.Tenants {
+			if ts.CliNode >= sc.Nodes || ts.SrvNode >= sc.Nodes || ts.CliNode == ts.SrvNode {
+				t.Fatalf("seed %d tenant %s: nodes %d->%d of %d", seed, ts.Name, ts.CliNode, ts.SrvNode, sc.Nodes)
+			}
+			if ts.PoolBufs < ts.InitialRQ {
+				t.Fatalf("seed %d tenant %s: pool %d < ring %d", seed, ts.Name, ts.PoolBufs, ts.InitialRQ)
+			}
+			if ts.Payload > ts.BufSize {
+				t.Fatalf("seed %d tenant %s: payload %d > buf %d", seed, ts.Name, ts.Payload, ts.BufSize)
+			}
+			switch ts.Load {
+			case LoadClosed:
+				if ts.Clients < 1 {
+					t.Fatalf("seed %d tenant %s: closed loop with %d clients", seed, ts.Name, ts.Clients)
+				}
+			case LoadOpen:
+				if ts.Every <= 0 {
+					t.Fatalf("seed %d tenant %s: open loop with period %v", seed, ts.Name, ts.Every)
+				}
+			case LoadPoisson:
+				if ts.RPS <= 0 {
+					t.Fatalf("seed %d tenant %s: poisson with %f rps", seed, ts.Name, ts.RPS)
+				}
+			default:
+				t.Fatalf("seed %d tenant %s: load %q", seed, ts.Name, ts.Load)
+			}
+		}
+		for _, f := range sc.Faults {
+			if f.At < 0 || f.At >= sc.Load {
+				t.Fatalf("seed %d: fault %s outside load window %v", seed, f, sc.Load)
+			}
+		}
+	}
+}
+
+// TestRunDeterministic requires byte-identical reports for repeated runs of
+// the same seed — the contract behind every printed repro command.
+func TestRunDeterministic(t *testing.T) {
+	seeds := []int64{1, 7}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		a := Run(Generate(seed))
+		b := Run(Generate(seed))
+		if a.Report != b.Report {
+			t.Fatalf("seed %d: reports differ:\n--- first\n%s--- second\n%s", seed, a.Report, b.Report)
+		}
+		if a.Fingerprint != b.Fingerprint {
+			t.Fatalf("seed %d: fingerprints differ: %x vs %x", seed, a.Fingerprint, b.Fingerprint)
+		}
+	}
+}
+
+// TestSweepClean is the in-repo smoke sweep: a block of generated scenarios
+// must pass every invariant.
+func TestSweepClean(t *testing.T) {
+	n := int64(20)
+	if testing.Short() {
+		n = 6
+	}
+	for seed := int64(0); seed < n; seed++ {
+		res := Run(Generate(seed))
+		if res.Failed() {
+			t.Errorf("seed %d failed:\n%s", seed, res.Report)
+		}
+	}
+}
+
+// TestPlantedLeakCaught proves the registry catches a deliberately-broken
+// invariant: a harness double that keeps one response buffer trips
+// buffer-conservation, and the shrinker reduces the scenario while the
+// minimal case still reproduces byte-identically.
+func TestPlantedLeakCaught(t *testing.T) {
+	sc := Generate(3)
+	sc.Defect = DefectLeakBuffer
+	res := Run(sc)
+	if !res.Failed() {
+		t.Fatalf("planted leak not caught:\n%s", res.Report)
+	}
+	if !res.violatedNames()["buffer-conservation"] {
+		t.Fatalf("leak blamed on the wrong invariant:\n%s", res.Report)
+	}
+
+	sr := Shrink(sc, res, 30)
+	if !sr.MinimalResult.Failed() {
+		t.Fatalf("shrinker lost the failure")
+	}
+	if !sr.MinimalResult.violatedNames()["buffer-conservation"] {
+		t.Fatalf("shrinker drifted to a different failure:\n%s", sr.MinimalResult.Report)
+	}
+	if sr.Minimal.Load > sc.Load/2 && len(sr.Steps) == 0 {
+		t.Fatalf("shrinker made no progress: %v", sr.Steps)
+	}
+	again := Run(sr.Minimal)
+	if again.Report != sr.MinimalResult.Report || again.Fingerprint != sr.MinimalResult.Fingerprint {
+		t.Fatalf("minimal scenario does not reproduce byte-identically:\n--- shrink\n%s--- rerun\n%s",
+			sr.MinimalResult.Report, again.Report)
+	}
+}
+
+// TestShrinkDropsIrrelevantFaults checks the ddmin pass: a defect that has
+// nothing to do with the chaos schedule shrinks to a fault-free scenario.
+func TestShrinkDropsIrrelevantFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple full simulations")
+	}
+	var sc Scenario
+	found := false
+	for seed := int64(0); seed < 100; seed++ {
+		sc = Generate(seed)
+		if len(sc.Faults) > 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no faulty scenario in the first 100 seeds")
+	}
+	sc.Defect = DefectLeakBuffer
+	res := Run(sc)
+	if !res.Failed() {
+		t.Fatalf("planted leak not caught:\n%s", res.Report)
+	}
+	sr := Shrink(sc, res, 40)
+	if len(sr.Minimal.Faults) != 0 {
+		t.Fatalf("irrelevant faults survived shrinking: %v", sr.Minimal.Faults)
+	}
+}

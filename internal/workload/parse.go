@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+	"unicode"
+
+	"nadino/internal/sim"
+)
+
+// Arrival is one recorded request arrival: Count requests for Chain at At.
+type Arrival struct {
+	At    time.Duration
+	Chain string
+	Count int
+}
+
+// Replay is a parsed arrival trace — the recorded-production counterpart of
+// TraceGen's synthetic Poisson/Zipf process. Arrivals are non-decreasing in
+// time.
+type Replay struct {
+	Arrivals []Arrival
+}
+
+// Parser limits: they bound hostile inputs (the parser is fuzzed) without
+// constraining any realistic trace.
+const (
+	maxTraceLines = 1 << 20   // one million arrivals per file
+	maxTraceTus   = 1e15      // ~31 years in µs, far under Duration overflow
+	maxTraceCount = 1_000_000 // requests folded into one line
+	maxChainName  = 256
+)
+
+// ParseTrace reads a replay trace: one `t_us,chain[,count]` arrival per
+// line, `#` comments and blank lines ignored. Timestamps are microseconds
+// (fractions allowed), must be finite, non-negative and non-decreasing;
+// count defaults to 1. Errors carry 1-based line numbers.
+func ParseTrace(r io.Reader) (*Replay, error) {
+	rp := &Replay{}
+	scan := bufio.NewScanner(r)
+	scan.Buffer(make([]byte, 0, 64*1024), 64*1024)
+	lineNo := 0
+	last := time.Duration(-1)
+	for scan.Scan() {
+		lineNo++
+		if lineNo > maxTraceLines {
+			return nil, fmt.Errorf("workload: trace exceeds %d lines", maxTraceLines)
+		}
+		line := strings.TrimSpace(scan.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("workload: line %d: want t_us,chain[,count], got %d fields", lineNo, len(fields))
+		}
+		tus, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad timestamp: %v", lineNo, err)
+		}
+		if math.IsNaN(tus) || math.IsInf(tus, 0) || tus < 0 || tus > maxTraceTus {
+			return nil, fmt.Errorf("workload: line %d: timestamp %v outside [0,%g]µs", lineNo, tus, float64(maxTraceTus))
+		}
+		at := time.Duration(tus * float64(time.Microsecond))
+		if at < last {
+			return nil, fmt.Errorf("workload: line %d: timestamp %v before previous arrival", lineNo, at)
+		}
+		chain := strings.TrimSpace(fields[1])
+		if err := checkChainName(chain); err != nil {
+			return nil, fmt.Errorf("workload: line %d: %v", lineNo, err)
+		}
+		count := 1
+		if len(fields) == 3 {
+			count, err = strconv.Atoi(strings.TrimSpace(fields[2]))
+			if err != nil {
+				return nil, fmt.Errorf("workload: line %d: bad count: %v", lineNo, err)
+			}
+			if count < 1 || count > maxTraceCount {
+				return nil, fmt.Errorf("workload: line %d: count %d outside [1,%d]", lineNo, count, maxTraceCount)
+			}
+		}
+		last = at
+		rp.Arrivals = append(rp.Arrivals, Arrival{At: at, Chain: chain, Count: count})
+	}
+	if err := scan.Err(); err != nil {
+		return nil, fmt.Errorf("workload: read trace: %w", err)
+	}
+	return rp, nil
+}
+
+// checkChainName rejects names the trace format cannot round-trip.
+func checkChainName(s string) error {
+	if s == "" {
+		return fmt.Errorf("empty chain name")
+	}
+	if len(s) > maxChainName {
+		return fmt.Errorf("chain name longer than %d bytes", maxChainName)
+	}
+	for _, r := range s {
+		if r == ',' || r == '#' || unicode.IsControl(r) || unicode.IsSpace(r) {
+			return fmt.Errorf("chain name %q contains %q", s, r)
+		}
+	}
+	return nil
+}
+
+// String renders the replay in canonical trace form — parse(render(rp))
+// reproduces rp exactly, which is the parser's fuzz oracle.
+func (rp *Replay) String() string {
+	var b strings.Builder
+	for _, a := range rp.Arrivals {
+		fmt.Fprintf(&b, "%s,%s,%d\n",
+			strconv.FormatFloat(float64(a.At.Nanoseconds())/1e3, 'g', -1, 64), a.Chain, a.Count)
+	}
+	return b.String()
+}
+
+// Shifted returns a copy of the replay with every arrival delayed by d —
+// used to line a recorded schedule up with the start of a measured window.
+func (rp *Replay) Shifted(d time.Duration) *Replay {
+	out := &Replay{Arrivals: make([]Arrival, len(rp.Arrivals))}
+	for i, a := range rp.Arrivals {
+		out.Arrivals[i] = Arrival{At: a.At + d, Chain: a.Chain, Count: a.Count}
+	}
+	return out
+}
+
+// Total reports the number of requests in the trace.
+func (rp *Replay) Total() int {
+	n := 0
+	for _, a := range rp.Arrivals {
+		n += a.Count
+	}
+	return n
+}
+
+// Duration reports the time of the last arrival.
+func (rp *Replay) Duration() time.Duration {
+	if len(rp.Arrivals) == 0 {
+		return 0
+	}
+	return rp.Arrivals[len(rp.Arrivals)-1].At
+}
+
+// Chains lists the distinct chains in first-appearance order.
+func (rp *Replay) Chains() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, a := range rp.Arrivals {
+		if !seen[a.Chain] {
+			seen[a.Chain] = true
+			out = append(out, a.Chain)
+		}
+	}
+	return out
+}
+
+// Start schedules the replay on eng with the same contract as
+// TraceGen.Start: per-chain counters plus a submit-hook registrar; the hook
+// runs in the replayer's own process at each recorded arrival time.
+func (rp *Replay) Start(eng *sim.Engine) (counts map[string]*uint64, submitHook func(func(chain string))) {
+	counts = make(map[string]*uint64)
+	for _, name := range rp.Chains() {
+		counts[name] = new(uint64)
+	}
+	var submit func(string)
+	arrivals := append([]Arrival(nil), rp.Arrivals...)
+	eng.Spawn("trace-replay", func(pr *sim.Proc) {
+		for _, a := range arrivals {
+			if a.At > pr.Now() {
+				pr.Sleep(a.At - pr.Now())
+			}
+			for i := 0; i < a.Count; i++ {
+				*counts[a.Chain]++
+				if submit != nil {
+					submit(a.Chain)
+				}
+			}
+		}
+	})
+	return counts, func(fn func(chain string)) { submit = fn }
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nadino/internal/sim"
+)
+
+func TestParseTraceBasic(t *testing.T) {
+	in := `# recorded 2-chain trace
+0,checkout
+12.5,checkout,3
+
+250,browse
+`
+	rp, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Arrival{
+		{0, "checkout", 1},
+		{12500 * time.Nanosecond, "checkout", 3},
+		{250 * time.Microsecond, "browse", 1},
+	}
+	if len(rp.Arrivals) != len(want) {
+		t.Fatalf("got %d arrivals, want %d", len(rp.Arrivals), len(want))
+	}
+	for i, a := range rp.Arrivals {
+		if a != want[i] {
+			t.Fatalf("arrival %d = %+v, want %+v", i, a, want[i])
+		}
+	}
+	if rp.Total() != 5 {
+		t.Fatalf("total = %d", rp.Total())
+	}
+	if got := rp.Chains(); len(got) != 2 || got[0] != "checkout" || got[1] != "browse" {
+		t.Fatalf("chains = %v", got)
+	}
+}
+
+func TestParseTraceRejects(t *testing.T) {
+	for _, tc := range []struct{ name, in string }{
+		{"missing chain", "10\n"},
+		{"too many fields", "10,a,1,extra\n"},
+		{"bad timestamp", "ten,a\n"},
+		{"negative timestamp", "-1,a\n"},
+		{"nan timestamp", "nan,a\n"},
+		{"time travel", "10,a\n5,b\n"},
+		{"empty chain", "10,\n"},
+		{"chain with space", "10,a b\n"},
+		{"zero count", "10,a,0\n"},
+		{"negative count", "10,a,-2\n"},
+		{"huge count", "10,a,100000000\n"},
+	} {
+		if _, err := ParseTrace(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: accepted %q", tc.name, tc.in)
+		}
+	}
+}
+
+func TestReplayRoundTrip(t *testing.T) {
+	in := "0,a,2\n0,b\n99.25,a\n1000,c,7\n"
+	rp, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseTrace(strings.NewReader(rp.String()))
+	if err != nil {
+		t.Fatalf("canonical form rejected: %v\n%s", err, rp.String())
+	}
+	if rp.String() != again.String() {
+		t.Fatalf("canonical form not stable:\n%s\nvs\n%s", rp.String(), again.String())
+	}
+}
+
+func TestReplayShifted(t *testing.T) {
+	rp, err := ParseTrace(strings.NewReader("0,a\n100,b,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := rp.Shifted(time.Millisecond)
+	want := []Arrival{
+		{time.Millisecond, "a", 1},
+		{time.Millisecond + 100*time.Microsecond, "b", 2},
+	}
+	for i, a := range sh.Arrivals {
+		if a != want[i] {
+			t.Fatalf("shifted arrival %d = %+v, want %+v", i, a, want[i])
+		}
+	}
+	if rp.Arrivals[0].At != 0 {
+		t.Fatal("Shifted mutated the original replay")
+	}
+}
+
+func TestReplayStart(t *testing.T) {
+	rp, err := ParseTrace(strings.NewReader("0,a\n100,b,2\n100,a\n500,a\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(1)
+	counts, hook := rp.Start(eng)
+	var order []string
+	var stamps []time.Duration
+	hook(func(chain string) {
+		order = append(order, chain)
+		stamps = append(stamps, eng.Now())
+	})
+	eng.RunUntil(time.Millisecond)
+	if got := strings.Join(order, ""); got != "abbaa" {
+		t.Fatalf("submit order = %q", got)
+	}
+	if *counts["a"] != 3 || *counts["b"] != 2 {
+		t.Fatalf("counts a=%d b=%d", *counts["a"], *counts["b"])
+	}
+	for i, at := range []time.Duration{0, 100 * time.Microsecond, 100 * time.Microsecond,
+		100 * time.Microsecond, 500 * time.Microsecond} {
+		if stamps[i] != at {
+			t.Fatalf("arrival %d at %v, want %v", i, stamps[i], at)
+		}
+	}
+}
+
+// FuzzParseTrace hammers the parser with arbitrary bytes. Properties: never
+// panic; on accept, the canonical rendering must itself parse, and
+// canonicalization must be idempotent (one float truncation step is allowed
+// between the raw input and its first canonical form, none after).
+func FuzzParseTrace(f *testing.F) {
+	f.Add("0,checkout\n")
+	f.Add("# comment\n\n12.5,browse,3\n12.5,browse\n900,checkout,2\n")
+	f.Add("1e3,a\n1e6,b,1000\n")
+	f.Add("0.0015,x\n")
+	f.Add("10,a,1,extra\n")
+	f.Add("nan,a\n")
+	f.Add(strings.Repeat("5,ab\n", 200))
+	f.Fuzz(func(t *testing.T, in string) {
+		rp, err := ParseTrace(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		canon := rp.String()
+		rp2, err := ParseTrace(strings.NewReader(canon))
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\ninput: %q\ncanon: %q", err, in, canon)
+		}
+		if again := rp2.String(); again != canon {
+			t.Fatalf("canonicalization not idempotent:\nfirst:  %q\nsecond: %q", canon, again)
+		}
+		if rp2.Total() != rp.Total() || len(rp2.Arrivals) != len(rp.Arrivals) {
+			t.Fatalf("round trip changed shape: %d/%d arrivals, %d/%d total",
+				len(rp.Arrivals), len(rp2.Arrivals), rp.Total(), rp2.Total())
+		}
+	})
+}
