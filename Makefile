@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt race check bench bench-res suite ci trace telemetry fuzz fuzz-smoke cover
+.PHONY: build test vet fmt race check bench bench-gate bench-res suite ci trace telemetry fuzz fuzz-smoke cover
 
 build:
 	$(GO) build ./...
@@ -32,10 +32,20 @@ race:
 check: vet race
 
 # bench runs the simulator-core microbenchmarks (event scheduling, cancel,
-# spawn/yield; events/sec and allocs/op) and archives them as BENCH_sim.json
-# for cross-commit comparison. The human-readable output goes to stderr.
+# spawn/yield; events/sec and allocs/op) plus the cluster-scale sweep
+# (BenchmarkScaleSweep: 100k-1M concurrent clients per point, wall-clock
+# ns/op and events/sec) and archives everything as BENCH_sim.json for
+# cross-commit comparison. The human-readable output goes to stderr. Each
+# scale point is deterministic for the fixed seed, so -benchtime 1x is exact.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkProc' -benchmem ./internal/sim/ | $(GO) run ./cmd/benchjson > BENCH_sim.json
+	( $(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkProc' -benchmem ./internal/sim/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkScaleSweep' -benchtime 1x -timeout 30m ./internal/experiments/ ) | $(GO) run ./cmd/benchjson > BENCH_sim.json
+
+# bench-gate re-runs the two headline microbenchmarks (schedule hot path,
+# pooled spawn) and fails if either regressed more than 25% in ns/op — or
+# allocates more per op — against the archived BENCH_sim.json.
+bench-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineSchedule$$|BenchmarkProcSpawn$$' -benchmem ./internal/sim/ | $(GO) run ./cmd/benchjson -gate BENCH_sim.json
 
 # bench-res archives the resilience headline numbers (recovery ratio, worst
 # recovery time, DWRR vs FCFS retention) as BENCH_res.json, with the
@@ -56,7 +66,8 @@ suite:
 # the deep pre-commit gate), enforce per-package coverage floors, regenerate
 # everything — paper artifacts, ablations and the chaos res-* suite — at
 # quick fidelity across all cores, then smoke-check the telemetry export
-# pipeline and the simulation fuzzer.
+# pipeline and the simulation fuzzer, and finally gate the event-core hot
+# paths against the archived benchmark numbers.
 ci: fmt
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -65,6 +76,7 @@ ci: fmt
 	$(GO) run ./cmd/nadino-bench -quick -parallel 0 -run everything
 	$(MAKE) telemetry
 	$(MAKE) fuzz-smoke
+	$(MAKE) bench-gate
 
 # Coverage floors for the correctness-critical packages: the simulation
 # engine, the ownership-checked mempool, the RDMA transport and the DNE.

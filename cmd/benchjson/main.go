@@ -10,6 +10,14 @@
 // -telemetry embeds a scraper summary document (the summary.json written by
 // `nadino-bench -telemetry <dir>`) into the report, so the archived numbers
 // carry the end-of-run gauge snapshot of the run that produced them.
+//
+// -gate <archived.json> switches to regression-gate mode: instead of
+// emitting a report, fresh results on stdin are compared against the
+// archived report. A benchmark fails the gate if its ns/op exceeds the
+// archived value by more than -gate-threshold (default 25%), or if its
+// allocs/op grew at all. Fresh benchmarks with no archived counterpart are
+// reported but do not fail. Exit status 1 on any failure (see
+// `make bench-gate`, wired into `make ci`).
 package main
 
 import (
@@ -90,8 +98,56 @@ func parseLine(line string) (Result, bool) {
 	return r, r.NsPerOp > 0
 }
 
+// gate compares fresh results against an archived report and returns the
+// number of regressions, printing one verdict line per fresh benchmark.
+func gate(fresh []Result, archivedPath string, threshold float64) int {
+	raw, err := os.ReadFile(archivedPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	var archived Report
+	if err := json.Unmarshal(raw, &archived); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", archivedPath, err)
+		return 1
+	}
+	base := make(map[string]Result, len(archived.Results))
+	for _, r := range archived.Results {
+		base[r.Name] = r
+	}
+	failures := 0
+	for _, r := range fresh {
+		b, ok := base[r.Name]
+		if !ok {
+			fmt.Printf("NEW   %-40s %12.1f ns/op (not archived, not gated)\n", r.Name, r.NsPerOp)
+			continue
+		}
+		ratio := r.NsPerOp / b.NsPerOp
+		switch {
+		case ratio > 1+threshold:
+			failures++
+			fmt.Printf("FAIL  %-40s %12.1f ns/op vs %12.1f archived (%+.1f%%, limit +%.0f%%)\n",
+				r.Name, r.NsPerOp, b.NsPerOp, 100*(ratio-1), 100*threshold)
+		case r.AllocsPerOp > b.AllocsPerOp:
+			failures++
+			fmt.Printf("FAIL  %-40s %d allocs/op vs %d archived\n",
+				r.Name, r.AllocsPerOp, b.AllocsPerOp)
+		default:
+			fmt.Printf("ok    %-40s %12.1f ns/op vs %12.1f archived (%+.1f%%), %d allocs/op\n",
+				r.Name, r.NsPerOp, b.NsPerOp, 100*(ratio-1), r.AllocsPerOp)
+		}
+	}
+	if len(fresh) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: gate saw no benchmark results on stdin")
+		return 1
+	}
+	return failures
+}
+
 func main() {
 	telemetryPath := flag.String("telemetry", "", "telemetry summary.json to embed in the report")
+	gatePath := flag.String("gate", "", "archived report to gate fresh results against (no JSON output)")
+	gateThreshold := flag.Float64("gate-threshold", 0.25, "allowed fractional ns/op regression in -gate mode")
 	flag.Parse()
 
 	rep := Report{Results: []Result{}}
@@ -131,6 +187,12 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *gatePath != "" {
+		if gate(rep.Results, *gatePath, *gateThreshold) > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

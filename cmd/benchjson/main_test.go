@@ -1,0 +1,69 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeArchive(t *testing.T, results []Result) string {
+	t.Helper()
+	raw, err := json.Marshal(Report{Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestParseLine pins the bench-output grammar including custom metrics.
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkProcSpawn-8   	 2000000	       512.0 ns/op	       0 B/op	       0 allocs/op")
+	if !ok || r.Name != "BenchmarkProcSpawn" || r.Procs != 8 || r.NsPerOp != 512 || r.AllocsPerOp != 0 {
+		t.Fatalf("parseLine = %+v ok=%v", r, ok)
+	}
+	r, ok = parseLine("BenchmarkScaleSweep/nodes=100-8  1  8584381491 ns/op  1379763 events/sec")
+	if !ok || r.Metrics["events/sec"] != 1379763 {
+		t.Fatalf("parseLine custom metric = %+v ok=%v", r, ok)
+	}
+	if _, ok := parseLine("ok  	nadino/internal/sim	15.2s"); ok {
+		t.Fatal("parseLine accepted a non-benchmark line")
+	}
+}
+
+// TestGate covers the three verdicts: within threshold, ns/op regression,
+// and allocs/op growth; new benchmarks pass ungated.
+func TestGate(t *testing.T) {
+	archive := writeArchive(t, []Result{
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "BenchmarkB", NsPerOp: 100, AllocsPerOp: 2},
+	})
+	cases := []struct {
+		name  string
+		fresh []Result
+		fails int
+	}{
+		{"within", []Result{{Name: "BenchmarkA", NsPerOp: 120}}, 0},
+		{"regressed", []Result{{Name: "BenchmarkA", NsPerOp: 130}}, 1},
+		{"alloc-growth", []Result{{Name: "BenchmarkB", NsPerOp: 90, AllocsPerOp: 3}}, 1},
+		{"new-bench", []Result{{Name: "BenchmarkC", NsPerOp: 999}}, 0},
+		{"mixed", []Result{
+			{Name: "BenchmarkA", NsPerOp: 200},
+			{Name: "BenchmarkB", NsPerOp: 100, AllocsPerOp: 2},
+		}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := gate(tc.fresh, archive, 0.25); got != tc.fails {
+				t.Fatalf("gate = %d failures, want %d", got, tc.fails)
+			}
+		})
+	}
+	if got := gate(nil, archive, 0.25); got == 0 {
+		t.Fatal("gate with empty input must fail")
+	}
+}

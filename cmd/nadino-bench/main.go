@@ -14,6 +14,8 @@
 //	nadino-bench -run resilience -telemetry telemetry/
 //	nadino-bench -run fuzz -fuzz-seeds 200 -parallel 0   # simulation fuzz sweep
 //	nadino-bench -run fuzz -seed 1234 -fuzz-seeds 1      # reproduce one scenario
+//	nadino-bench -run scale              # million-client event-core sweep (1M clients @ 100 nodes)
+//	nadino-bench -run scale -quick       # same ladder at toy sizes
 //	nadino-bench -list
 //
 // Each sweep point is an independent simulation engine, so -parallel N

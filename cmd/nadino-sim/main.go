@@ -8,6 +8,7 @@
 //	nadino-sim -config configs/sample-cluster.json -chain main -clients 40
 //	nadino-sim -config cluster.json -replicas 8 -parallel 0
 //	nadino-sim -config cluster.json -trace-file arrivals.txt   # replay a recorded trace
+//	nadino-sim -config cluster.json -open-clients 50000        # proc-free open-loop load
 //	nadino-sim -template        # print a starter config
 //
 // -replicas N runs N independent copies of the cluster with seeds
@@ -22,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"time"
 
@@ -67,6 +69,12 @@ type runOpts struct {
 	replay    *workload.Replay
 	traceOut  string
 	telemetry bool
+	// openClients switches to event-driven open-loop clients: proc-free
+	// timer state machines (two events per request, no goroutine each), so
+	// -open-clients 100000 is cheap where 100k closed-loop Procs are not.
+	// openThink is their mean exponential think time.
+	openClients int
+	openThink   time.Duration
 }
 
 // runCluster builds one cluster from cfg, drives it, and writes the report
@@ -123,6 +131,34 @@ func runCluster(cfg core.Config, r runOpts, w io.Writer) (*telemetry.Scraper, er
 			c.SubmitChain(ch, n, nil)
 		})
 		fmt.Fprintf(w, "workload  : %v\n", gen)
+	} else if r.openClients > 0 {
+		// Open-loop mode: each client is a timer-driven state machine with one
+		// bound issue callback — the scale-sweep client model. The response
+		// callback schedules the next issue after an exponential think time,
+		// and arrivals are staggered across one think interval so the run does
+		// not start with a synchronized herd.
+		type openClient struct {
+			rng     *rand.Rand
+			issueFn func()
+		}
+		ocs := make([]openClient, r.openClients)
+		for i := range ocs {
+			oc := &ocs[i]
+			id := i
+			oc.rng = rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)))
+			oc.issueFn = func() {
+				c.SubmitChain(r.chain, id, func(resp ingress.Response) {
+					think := oc.rng.ExpFloat64()
+					if think > 8 {
+						think = 8
+					}
+					c.Eng.At(c.Eng.Now()+time.Duration(think*float64(r.openThink)), oc.issueFn)
+				})
+			}
+			c.Eng.At(time.Duration(oc.rng.Int63n(int64(r.openThink))), oc.issueFn)
+		}
+		fmt.Fprintf(w, "workload  : %d open-loop clients, mean think %v (event-driven, proc-free)\n",
+			r.openClients, r.openThink)
 	} else {
 		for i := 0; i < r.clients; i++ {
 			id := i
@@ -159,6 +195,8 @@ func runCluster(cfg core.Config, r runOpts, w io.Writer) (*telemetry.Scraper, er
 		fmt.Fprintf(w, "chain     : %s (measured; replayed trace drives all its chains), %v window\n", r.chain, r.dur)
 	} else if r.traceRPS > 0 {
 		fmt.Fprintf(w, "chain     : %s (measured; all chains driven), %v window\n", r.chain, r.dur)
+	} else if r.openClients > 0 {
+		fmt.Fprintf(w, "chain     : %s, %d open-loop clients, %v window\n", r.chain, r.openClients, r.dur)
 	} else {
 		fmt.Fprintf(w, "chain     : %s, %d clients, %v window\n", r.chain, r.clients, r.dur)
 	}
@@ -208,6 +246,8 @@ func main() {
 	cfgPath := flag.String("config", "", "cluster config file (JSON)")
 	chain := flag.String("chain", "", "chain to drive (default: the config's first)")
 	clients := flag.Int("clients", 20, "closed-loop clients")
+	openClients := flag.Int("open-clients", 0, "event-driven open-loop clients (proc-free; scales to 100k+) instead of closed-loop clients")
+	openThink := flag.Duration("open-think", 10*time.Millisecond, "open-loop mode: mean exponential think time between a response and the next request")
 	dur := flag.Duration("dur", 300*time.Millisecond, "measurement window (simulated)")
 	replicas := flag.Int("replicas", 1, "independent replica runs with seeds seed..seed+N-1")
 	parallel := flag.Int("parallel", 1, "workers running replicas concurrently (0 = all cores)")
@@ -285,16 +325,18 @@ func main() {
 	}
 
 	r := runOpts{
-		chain:     *chain,
-		clients:   *clients,
-		dur:       *dur,
-		traceRPS:  *traceRPS,
-		zipf:      *zipf,
-		diurnal:   *diurnal,
-		period:    *period,
-		replay:    replay,
-		traceOut:  *traceOut,
-		telemetry: *telemetryDir != "",
+		chain:       *chain,
+		clients:     *clients,
+		dur:         *dur,
+		traceRPS:    *traceRPS,
+		zipf:        *zipf,
+		diurnal:     *diurnal,
+		period:      *period,
+		replay:      replay,
+		traceOut:    *traceOut,
+		telemetry:   *telemetryDir != "",
+		openClients: *openClients,
+		openThink:   *openThink,
 	}
 	// Each replica is an independent cluster with its own seed; reports are
 	// buffered and printed in replica order so concurrent runs read the

@@ -200,9 +200,14 @@ func All() []Experiment {
 }
 
 // AllWithAblations returns the paper experiments followed by the design
-// ablations and the resilience suite.
+// ablations, the resilience suite, and the simulator scale sweep.
 func AllWithAblations() []Experiment {
-	return append(append(All(), Ablations()...), Resilience()...)
+	out := append(append(All(), Ablations()...), Resilience()...)
+	return append(out, Experiment{
+		ID:    "scale",
+		Title: "Scale sweep — million-client event core",
+		Run:   RunScale,
+	})
 }
 
 // Lookup finds an experiment by ID (paper artifacts, ablations, resilience

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkScaleSweep measures the event core at cluster scale: each run
+// drains one full sweep point (10k clients per node, 50 ms window), so
+// ns/op is the wall-clock for the whole point and the events/sec metric is
+// the engine's real throughput at that size. cmd/benchjson archives both
+// into BENCH_sim.json.
+func BenchmarkScaleSweep(b *testing.B) {
+	for _, nodes := range []int{10, 25, 50, 100} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			o := Opts{Seed: 1}
+			var events uint64
+			var elapsed time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				pt := runScalePoint(o, nodes, 10000, 50*time.Millisecond)
+				elapsed += time.Since(start)
+				events += pt.Events
+			}
+			b.StopTimer()
+			if elapsed > 0 {
+				b.ReportMetric(float64(events)/elapsed.Seconds(), "events/sec")
+			}
+		})
+	}
+}

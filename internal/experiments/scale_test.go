@@ -1,0 +1,59 @@
+package experiments
+
+import "testing"
+
+// TestScaleSweepQuick checks the sweep's structural properties at toy
+// sizes: every point quiesces with a closed ledger, event counts grow with
+// cluster size, and the per-node load model keeps latency sane.
+func TestScaleSweepQuick(t *testing.T) {
+	o := Opts{Quick: true, Seed: 11}
+	pts := ScaleSweep(o)
+	if len(pts) != 3 {
+		t.Fatalf("quick sweep has %d points, want 3", len(pts))
+	}
+	for i, p := range pts {
+		if p.Issued == 0 || p.Completed != p.Issued {
+			t.Fatalf("point %d: ledger open: issued %d completed %d", i, p.Issued, p.Completed)
+		}
+		// Every request is exactly two events (done + next issue), plus the
+		// initial staggered issues; the engine must have fired at least that.
+		if p.Events < 2*p.Issued {
+			t.Fatalf("point %d: %d events < 2x issued %d", i, p.Events, p.Issued)
+		}
+		if p.MeanLat <= 0 || p.MaxLat < p.MeanLat {
+			t.Fatalf("point %d: degenerate latency mean=%v max=%v", i, p.MeanLat, p.MaxLat)
+		}
+		if i > 0 {
+			prev := pts[i-1]
+			if p.Clients <= prev.Clients || p.Issued <= prev.Issued {
+				t.Fatalf("point %d: sweep not growing: clients %d->%d issued %d->%d",
+					i, prev.Clients, p.Clients, prev.Issued, p.Issued)
+			}
+		}
+	}
+}
+
+// TestScaleSweepDeterministic runs the same point twice and requires
+// identical results — the precondition for the sweep joining the
+// parallel-determinism fence.
+func TestScaleSweepDeterministic(t *testing.T) {
+	o := Opts{Quick: true, Seed: 3}
+	a, b := ScaleSweep(o), ScaleSweep(o)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d diverged between runs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestScaleLookup pins the registry entry for cmd/nadino-bench -run scale.
+func TestScaleLookup(t *testing.T) {
+	e, ok := Lookup("scale")
+	if !ok {
+		t.Fatal("scale sweep not in the experiment registry")
+	}
+	tables := e.Run(Opts{Quick: true, Seed: 1})
+	if len(tables) != 1 || len(tables[0].Rows) != 3 {
+		t.Fatalf("scale tables malformed: %d tables", len(tables))
+	}
+}

@@ -68,8 +68,9 @@ func (c *Processor) Exec(p *Proc, cost time.Duration) {
 	}
 	// Block on an explicit completion event (rather than a fixed-length
 	// sleep) so SetSpeed can cancel and reschedule it when the core's speed
-	// changes mid-service.
-	ev := c.eng.At(c.busyUntil, p.wakeFn)
+	// changes mid-service. The wake rides the process's owned timer slot —
+	// re-armed in place, no pool traffic.
+	ev := c.eng.wakeProcAt(c.busyUntil, p)
 	c.waiters = append(c.waiters, procWaiter{proc: p, done: c.busyUntil, ev: ev})
 	p.block()
 	c.dropWaiter(p)
@@ -157,7 +158,7 @@ func (c *Processor) SetSpeed(speed float64) {
 		}
 		w.ev.Cancel()
 		w.done = now + time.Duration(float64(w.done-now)*ratio)
-		w.ev = c.eng.At(w.done, w.proc.wakeFn)
+		w.ev = c.eng.wakeProcAt(w.done, w.proc)
 	}
 }
 

@@ -27,14 +27,24 @@ func (w *WaitQueue) WakeOne() bool {
 	}
 	p := w.waiters[0]
 	w.waiters = w.waiters[1:]
-	w.eng.Immediate(p.wakeFn)
+	w.eng.wakeImmediate(p)
 	return true
 }
 
-// WakeAll releases every waiter in FIFO order.
+// WakeAll releases every waiter in FIFO order as one batched delivery: the
+// N wakeups ride a single timer-queue event at the current instant, so a
+// broadcast to a thousand sleepers costs one dispatch, not a thousand.
 func (w *WaitQueue) WakeAll() {
-	for w.WakeOne() {
+	n := len(w.waiters)
+	if n == 0 {
+		return
 	}
+	for i, p := range w.waiters {
+		w.eng.queueWake(p)
+		w.waiters[i] = nil
+	}
+	w.waiters = w.waiters[:0]
+	w.eng.flushWakes(n)
 }
 
 // Len reports the number of blocked processes.
@@ -81,18 +91,23 @@ func (s *Semaphore) TryAcquire(n int) bool {
 	return false
 }
 
-// Release returns n permits and wakes any waiters that now fit.
+// Release returns n permits and wakes any waiters that now fit, in FIFO
+// order as one batched delivery (a single timer-queue event regardless of
+// how many waiters the permits satisfy).
 func (s *Semaphore) Release(n int) {
 	if n <= 0 {
 		panic("sim: semaphore release of non-positive count")
 	}
 	s.avail += n
+	woken := 0
 	for len(s.waiters) > 0 && s.avail >= s.waiters[0].n {
 		w := s.waiters[0]
 		s.waiters = s.waiters[1:]
 		s.avail -= w.n
-		s.eng.Immediate(w.p.wakeFn)
+		s.eng.queueWake(w.p)
+		woken++
 	}
+	s.eng.flushWakes(woken)
 }
 
 // Available reports the current free permit count.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nadino/internal/dne"
+	"nadino/internal/sim"
 )
 
 // Violation is one invariant failure, stamped with the virtual time it was
@@ -109,6 +110,18 @@ func Invariants() []Invariant {
 			Desc: "cross-tenant transfer chains obey the exclusive-ownership rules",
 			Final: func(r *Rig) []string {
 				return append([]string(nil), r.auditErrs...)
+			},
+		},
+		{
+			Name: "sched-equivalence",
+			Desc: "timing-wheel engine fires in the same order and at the same times as a pure-heap reference",
+			Final: func(r *Rig) []string {
+				// Seeded from the scenario so every fuzz case probes a distinct
+				// schedule/cancel/re-arm script across all wheel levels.
+				if err := sim.CheckEquivalence(r.sc.Seed, 400); err != nil {
+					return []string{err.Error()}
+				}
+				return nil
 			},
 		},
 	}
