@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt race check bench bench-gate bench-res suite ci trace telemetry fuzz fuzz-smoke cover
+.PHONY: build test vet fmt race check bench bench-gate bench-res suite ci trace telemetry fuzz fuzz-smoke cover profile
 
 build:
 	$(GO) build ./...
@@ -39,13 +39,27 @@ check: vet race
 # scale point is deterministic for the fixed seed, so -benchtime 1x is exact.
 bench:
 	( $(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkProc' -benchmem ./internal/sim/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkQPPostSend$$|BenchmarkCQPollInto$$' -benchmem ./internal/rdma/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkMempoolCachedGetPut$$' -benchmem ./internal/mempool/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkEndToEndEcho$$' -benchmem -benchtime 5x . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkScaleSweep' -benchtime 1x -timeout 30m ./internal/experiments/ ) | $(GO) run ./cmd/benchjson > BENCH_sim.json
 
-# bench-gate re-runs the two headline microbenchmarks (schedule hot path,
-# pooled spawn) and fails if either regressed more than 25% in ns/op — or
-# allocates more per op — against the archived BENCH_sim.json.
+# bench-gate re-runs the headline microbenchmarks — event-core schedule hot
+# path and pooled spawn, plus the data-plane fast path (QP send, CQ ring
+# drain, cached mempool Get/Put) — and fails if any regressed more than 25%
+# in ns/op, or allocates more per op, against the archived BENCH_sim.json.
 bench-gate:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineSchedule$$|BenchmarkProcSpawn$$' -benchmem ./internal/sim/ | $(GO) run ./cmd/benchjson -gate BENCH_sim.json
+	( $(GO) test -run '^$$' -bench 'BenchmarkEngineSchedule$$|BenchmarkProcSpawn$$' -benchmem ./internal/sim/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkQPPostSend$$|BenchmarkCQPollInto$$' -benchmem ./internal/rdma/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkMempoolCachedGetPut$$' -benchmem ./internal/mempool/ ) | $(GO) run ./cmd/benchjson -gate BENCH_sim.json
+
+# profile captures pprof CPU and heap profiles of a representative slice of
+# the suite (fig15 exercises the full DNE data path at quick fidelity).
+# Override PROFILE_RUN to profile a different experiment set.
+PROFILE_RUN ?= fig15
+profile:
+	$(GO) run ./cmd/nadino-bench -quick -run $(PROFILE_RUN) -cpuprofile cpu.prof -memprofile mem.prof > /dev/null
+	@echo "inspect with: $(GO) tool pprof cpu.prof   (or mem.prof)"
 
 # bench-res archives the resilience headline numbers (recovery ratio, worst
 # recovery time, DWRR vs FCFS retention) as BENCH_res.json, with the

@@ -16,6 +16,7 @@
 //	nadino-bench -run fuzz -seed 1234 -fuzz-seeds 1      # reproduce one scenario
 //	nadino-bench -run scale              # million-client event-core sweep (1M clients @ 100 nodes)
 //	nadino-bench -run scale -quick       # same ladder at toy sizes
+//	nadino-bench -run fig15 -cpuprofile cpu.prof -memprofile mem.prof
 //	nadino-bench -list
 //
 // Each sweep point is an independent simulation engine, so -parallel N
@@ -28,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -47,6 +50,8 @@ func main() {
 	telemetryDir := flag.String("telemetry", "", "scrape labeled metrics during runs (experiments that support it) and export CSV/JSON/Prometheus/dashboard into this directory")
 	fuzzSeeds := flag.Int("fuzz-seeds", 0, "scenarios for -run fuzz, generated from seeds seed..seed+n-1 (0 = mode default)")
 	fuzzDefect := flag.String("fuzz-defect", "", "plant a named harness defect in every fuzz scenario (e.g. leak-buffer) to demo detection and shrinking")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after a final GC) to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -92,6 +97,38 @@ func main() {
 		opts.TelemetrySink = func(name string, sc *telemetry.Scraper) {
 			telemProfiles = append(telemProfiles, telemetry.Profile{Name: name, Scraper: sc})
 		}
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nadino-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "nadino-bench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "CPU profile written to %s (go tool pprof %s)\n", *cpuProfile, *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "nadino-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "nadino-bench:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "heap profile written to %s (go tool pprof %s)\n", *memProfile, *memProfile)
+		}()
 	}
 	for _, e := range selected {
 		fmt.Printf("\n######## %s ########\n", e.Title)

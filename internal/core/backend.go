@@ -24,8 +24,11 @@ const rqOwner mempool.Owner = "igw-rq"
 type beTenant struct {
 	name  string
 	pool  *mempool.Pool
+	cache *mempool.Cache // per-consumer cache for the ingress Get/Put churn
 	srq   *rdma.SRQ
 	conns map[string]*rdma.ConnPool
+	rqBuf []mempool.Buffer // batch replenish scratch
+	rqDsc []mempool.Descriptor
 }
 
 // rdmaBackend is NADINO's cluster side of the ingress gateway: the ingress
@@ -36,6 +39,7 @@ type rdmaBackend struct {
 	c         *Cluster
 	rnic      *rdma.RNIC
 	cq        *rdma.CQ
+	cqeBuf    []rdma.CQE // reusable poll buffer
 	tenants   map[string]*beTenant
 	tenantSeq []*beTenant // insertion order: map walks are nondeterministic
 
@@ -61,7 +65,10 @@ func (b *rdmaBackend) tenant(name string) *beTenant {
 			pool:  mempool.NewPool(name, b.c.cfg.BufSize, b.c.cfg.PoolBuffers, b.c.P.HugepageSize),
 			srq:   rdma.NewSRQ(name),
 			conns: make(map[string]*rdma.ConnPool),
+			rqBuf: make([]mempool.Buffer, 64),
+			rqDsc: make([]mempool.Descriptor, 64),
 		}
+		t.cache = mempool.NewCache(t.pool, ingressOwner, 64)
 		b.tenants[name] = t
 		b.tenantSeq = append(b.tenantSeq, t)
 	}
@@ -76,14 +83,26 @@ func (b *rdmaBackend) start() {
 	b.c.Eng.Spawn("ingress-rdma-poller", b.pollLoop)
 }
 
-// post posts n receive buffers to a tenant's ingress SRQ.
+// post posts n receive buffers to a tenant's ingress SRQ, batching the
+// pool Gets and the SRQ doorbell.
 func (b *rdmaBackend) post(t *beTenant, n int) {
-	for i := 0; i < n; i++ {
-		buf, err := t.pool.Get(rqOwner)
-		if err != nil {
+	for n > 0 {
+		want := n
+		if want > len(t.rqBuf) {
+			want = len(t.rqBuf)
+		}
+		got, _ := t.pool.GetN(rqOwner, t.rqBuf[:want])
+		if got == 0 {
 			return
 		}
-		t.srq.PostRecv(mempool.Descriptor{Tenant: t.name, Buf: buf})
+		for i := 0; i < got; i++ {
+			t.rqDsc[i] = mempool.Descriptor{Tenant: t.name, Buf: t.rqBuf[i]}
+		}
+		t.srq.PostRecvN(t.rqDsc[:got])
+		n -= got
+		if got < want {
+			return
+		}
 	}
 }
 
@@ -102,7 +121,7 @@ func (b *rdmaBackend) Forward(req ingress.Request, done func(ingress.Response)) 
 	}
 	entry := b.c.resolveInstance(spec.Entry)
 	t := b.tenant(b.c.chainTenant(spec))
-	buf, err := t.pool.Get(ingressOwner)
+	buf, err := t.cache.Get()
 	if err != nil {
 		b.drops++
 		return
@@ -126,35 +145,45 @@ func (b *rdmaBackend) Forward(req ingress.Request, done func(ingress.Response)) 
 // receive completions are worker responses heading to clients. It also
 // replenishes the SRQ to match consumption.
 func (b *rdmaBackend) pollLoop(pr *sim.Proc) {
+	if b.cqeBuf == nil {
+		b.cqeBuf = make([]rdma.CQE, 64)
+	}
 	for {
 		b.cq.Wait(pr)
-		for _, cqe := range b.cq.Poll(0) {
-			t := b.tenant(cqe.Desc.Tenant)
-			switch cqe.Op {
-			case rdma.OpSend:
-				cqe.Desc.Trace.EndStage(trace.StageRDMAAck)
-				if cqe.Status != rdma.StatusOK {
-					b.sendErrors++
-				}
-				if cqe.Desc.Tenant != "" {
-					if err := t.pool.Put(cqe.Desc.Buf, ingressOwner); err != nil {
-						panic(fmt.Sprintf("core: ingress send recycle: %v", err))
+		for {
+			n := b.cq.PollInto(b.cqeBuf)
+			if n == 0 {
+				break
+			}
+			for i := 0; i < n; i++ {
+				cqe := b.cqeBuf[i]
+				t := b.tenant(cqe.Desc.Tenant)
+				switch cqe.Op {
+				case rdma.OpSend:
+					cqe.Desc.Trace.EndStage(trace.StageRDMAAck)
+					if cqe.Status != rdma.StatusOK {
+						b.sendErrors++
 					}
+					if cqe.Desc.Tenant != "" {
+						if err := t.cache.Put(cqe.Desc.Buf); err != nil {
+							panic(fmt.Sprintf("core: ingress send recycle: %v", err))
+						}
+					}
+				case rdma.OpRecv:
+					d := cqe.Desc
+					d.Trace.EndStage(trace.StageRDMACQ)
+					mc, ok := d.Ctx.(*msgCtx)
+					if !ok || mc.IngressDone == nil {
+						panic("core: ingress received response without done callback")
+					}
+					if err := t.pool.Transfer(d.Buf, rqOwner, ingressOwner); err != nil {
+						panic(fmt.Sprintf("core: ingress recv ownership: %v", err))
+					}
+					if err := t.cache.Put(d.Buf); err != nil {
+						panic(fmt.Sprintf("core: ingress recv recycle: %v", err))
+					}
+					mc.IngressDone(ingressResponse(cqe.Bytes, mc.Stamp))
 				}
-			case rdma.OpRecv:
-				d := cqe.Desc
-				d.Trace.EndStage(trace.StageRDMACQ)
-				mc, ok := d.Ctx.(*msgCtx)
-				if !ok || mc.IngressDone == nil {
-					panic("core: ingress received response without done callback")
-				}
-				if err := t.pool.Transfer(d.Buf, rqOwner, ingressOwner); err != nil {
-					panic(fmt.Sprintf("core: ingress recv ownership: %v", err))
-				}
-				if err := t.pool.Put(d.Buf, ingressOwner); err != nil {
-					panic(fmt.Sprintf("core: ingress recv recycle: %v", err))
-				}
-				mc.IngressDone(ingressResponse(cqe.Bytes, mc.Stamp))
 			}
 		}
 		for _, t := range b.tenantSeq {

@@ -32,8 +32,9 @@ type fuyaoEngine struct {
 	mr       *rdma.MR
 	cq       *rdma.CQ
 
-	conns map[string]*rdma.ConnPool
-	rings map[string][]rdma.RemoteBuf // free remote slots per destination node
+	conns  map[string]*rdma.ConnPool
+	rings  map[string][]rdma.RemoteBuf // free remote slots per destination node
+	cqeBuf []rdma.CQE                  // reusable completion drain buffer
 
 	// deferred holds messages waiting for slot credits.
 	deferred []mempool.Descriptor
@@ -145,7 +146,11 @@ func (e *fuyaoEngine) engineLoop(pr *sim.Proc) {
 				did = true
 			}
 		}
-		for _, cqe := range e.cq.Poll(batch) {
+		if e.cqeBuf == nil {
+			e.cqeBuf = make([]rdma.CQE, batch)
+		}
+		for i, m := 0, e.cq.PollInto(e.cqeBuf); i < m; i++ {
+			cqe := e.cqeBuf[i]
 			if cqe.Op == rdma.OpWrite && cqe.Desc.Tenant != "" {
 				// Source buffer can be recycled now.
 				if err := e.node.pool(cqe.Desc.Tenant).Put(cqe.Desc.Buf, e.owner); err != nil {

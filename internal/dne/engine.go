@@ -42,6 +42,16 @@ const (
 	OnCPU
 )
 
+// PollBatch and ReplenishBatch size the worker loop's CQ drain buffer and
+// the keeper's SRQ batch replenish. They are package-level knobs so the
+// determinism fence can pin that batch size never affects simulation
+// output: costs are charged per CQE and per buffer, so any batch size
+// yields bitwise-identical results for a fixed seed.
+var (
+	PollBatch      = 16
+	ReplenishBatch = 64
+)
+
 // ownerRQ is the mempool owner string for buffers posted to a tenant SRQ.
 func ownerRQ(node fabric.NodeID) mempool.Owner {
 	return mempool.Owner("dne-rq@" + string(node))
@@ -71,6 +81,7 @@ type Config struct {
 // tenantState is per-tenant engine state.
 type tenantState struct {
 	name   string
+	id     int32 // dense index into Engine.tenantSeq (interned at AddTenant)
 	weight int
 	pool   *mempool.Pool
 	mr     *rdma.MR
@@ -106,11 +117,33 @@ type Engine struct {
 	// nondeterministic.
 	tenants   map[string]*tenantState
 	tenantSeq []*tenantState
-	routes    map[string]fabric.NodeID
 	ports     map[string]*FnPort
 	portSeq   []*FnPort
 	pools     map[fabric.NodeID]map[string]*rdma.ConnPool
 	poolSeq   []*rdma.ConnPool
+
+	// Interned routing state (§3.2, fast path): tenant and function names
+	// resolve to dense IDs at registration time, so the per-request TX/RX
+	// path does slice indexing instead of string-map lookups. Descriptors
+	// carry the IDs as +1-offset hints (zero = unresolved, fall back to the
+	// maps above). IDs are engine-local and never cross the wire.
+	fnIDs     map[string]int32
+	routeByFn []int32 // fn ID -> node index, -1 = no route
+	nodeIDs   map[fabric.NodeID]int32
+	nodeNames []fabric.NodeID
+	poolByNT  [][]*rdma.ConnPool // [node index][tenant ID]
+	limitByID []*tokenBucket     // tenant ID -> rate limit (nil = none)
+
+	// Precomputed owner/actor strings (these were per-message concats).
+	rqOwner    mempool.Owner
+	engOwner   mempool.Owner
+	actorLabel string
+
+	// cqeBuf is the worker's reusable CQ drain buffer; rqBufs/rqDescs are
+	// the keeper's batch-replenish scratch.
+	cqeBuf  []rdma.CQE
+	rqBufs  []mempool.Buffer
+	rqDescs []mempool.Descriptor
 
 	sched     Scheduler
 	dwrrSched *DWRR
@@ -152,18 +185,22 @@ func New(eng *sim.Engine, p *params.Params, cfg Config, d *dpu.DPU, hostCore, ho
 		cfg.InitialRQ = 256
 	}
 	e := &Engine{
-		eng:     eng,
-		p:       p,
-		cfg:     cfg,
-		socDMA:  d.SoCDMA(),
-		rnic:    d.RNIC(),
-		cq:      rdma.NewCQ(eng),
-		work:    sim.NewSignal(eng),
-		tenants: make(map[string]*tenantState),
-		limits:  make(map[string]*tokenBucket),
-		routes:  make(map[string]fabric.NodeID),
-		ports:   make(map[string]*FnPort),
-		pools:   make(map[fabric.NodeID]map[string]*rdma.ConnPool),
+		eng:        eng,
+		p:          p,
+		cfg:        cfg,
+		socDMA:     d.SoCDMA(),
+		rnic:       d.RNIC(),
+		cq:         rdma.NewCQ(eng),
+		work:       sim.NewSignal(eng),
+		tenants:    make(map[string]*tenantState),
+		limits:     make(map[string]*tokenBucket),
+		ports:      make(map[string]*FnPort),
+		pools:      make(map[fabric.NodeID]map[string]*rdma.ConnPool),
+		fnIDs:      make(map[string]int32),
+		nodeIDs:    make(map[fabric.NodeID]int32),
+		rqOwner:    ownerRQ(cfg.Node),
+		engOwner:   OwnerEngine(cfg.Node),
+		actorLabel: string(cfg.Node) + "/dne",
 	}
 	if cfg.Loc == OnDPU {
 		// The DNE loop does verbs/descriptor work, where the ARM cores are
@@ -216,6 +253,7 @@ func (e *Engine) AddTenant(tenant string, pool *mempool.Pool, weight int) *rdma.
 	}
 	ts := &tenantState{
 		name:    tenant,
+		id:      int32(len(e.tenantSeq)),
 		weight:  weight,
 		pool:    pool,
 		mr:      e.rnic.RegisterMR(pool), // doca_mmap_create_from_export
@@ -225,6 +263,10 @@ func (e *Engine) AddTenant(tenant string, pool *mempool.Pool, weight int) *rdma.
 	}
 	e.tenants[tenant] = ts
 	e.tenantSeq = append(e.tenantSeq, ts)
+	e.limitByID = append(e.limitByID, nil)
+	for i := range e.poolByNT {
+		e.poolByNT[i] = append(e.poolByNT[i], nil)
+	}
 	if e.dwrrSched != nil {
 		e.dwrrSched.SetWeight(tenant, weight)
 	}
@@ -246,9 +288,34 @@ func (e *Engine) Tenant(tenant string) (tx, rx *metrics.Meter) {
 // SRQ returns a tenant's shared receive queue.
 func (e *Engine) SRQ(tenant string) *rdma.SRQ { return e.tenants[tenant].srq }
 
+// internFn returns fn's dense ID, assigning one on first use.
+func (e *Engine) internFn(fn string) int32 {
+	id, ok := e.fnIDs[fn]
+	if !ok {
+		id = int32(len(e.routeByFn))
+		e.fnIDs[fn] = id
+		e.routeByFn = append(e.routeByFn, -1)
+	}
+	return id
+}
+
+// internNode returns node's dense index, assigning one on first use.
+func (e *Engine) internNode(node fabric.NodeID) int32 {
+	idx, ok := e.nodeIDs[node]
+	if !ok {
+		idx = int32(len(e.nodeNames))
+		e.nodeIDs[node] = idx
+		e.nodeNames = append(e.nodeNames, node)
+		e.poolByNT = append(e.poolByNT, make([]*rdma.ConnPool, len(e.tenantSeq)))
+	}
+	return idx
+}
+
 // SetRoute declares that function fn runs on node (the inter-node routing
 // table of §3.2).
-func (e *Engine) SetRoute(fn string, node fabric.NodeID) { e.routes[fn] = node }
+func (e *Engine) SetRoute(fn string, node fabric.NodeID) {
+	e.routeByFn[e.internFn(fn)] = e.internNode(node)
+}
 
 // AddConnPool installs an established RC connection pool toward remote for
 // tenant.
@@ -260,6 +327,9 @@ func (e *Engine) AddConnPool(remote fabric.NodeID, tenant string, cp *rdma.ConnP
 	}
 	m[tenant] = cp
 	e.poolSeq = append(e.poolSeq, cp)
+	if ts := e.tenants[tenant]; ts != nil {
+		e.poolByNT[e.internNode(remote)][ts.id] = cp
+	}
 }
 
 // ConnPool returns the pool toward remote for tenant (nil if absent).
@@ -278,6 +348,7 @@ func (e *Engine) AttachFunction(fn, tenant string) *FnPort {
 	if _, ok := e.ports[fn]; ok {
 		panic(fmt.Sprintf("dne: function %q already attached", fn))
 	}
+	e.internFn(fn)
 	fp := &FnPort{fn: fn, tenant: tenant, engine: e}
 	if e.cfg.Loc == OnDPU {
 		fp.comch = dpu.NewEndpoint(e.eng, e.p, e.cfg.Channel, len(e.ports), fn, tenant, e.work)
@@ -320,6 +391,9 @@ func (e *Engine) Start() {
 		panic("dne: Start called twice")
 	}
 	e.started = true
+	e.cqeBuf = make([]rdma.CQE, PollBatch)
+	e.rqBufs = make([]mempool.Buffer, ReplenishBatch)
+	e.rqDescs = make([]mempool.Descriptor, ReplenishBatch)
 	e.eng.Spawn(fmt.Sprintf("dne-worker@%s", e.cfg.Node), e.workerLoop)
 	e.eng.Spawn(fmt.Sprintf("dne-keeper@%s", e.cfg.Node), e.keeperLoop)
 }
@@ -349,12 +423,12 @@ func (e *Engine) workerLoop(pr *sim.Proc) {
 		// would turn the FIFO CQ into the standing buffer and bypass the
 		// tenant scheduler.
 		for {
-			cqes := e.cq.Poll(batch)
-			if len(cqes) == 0 {
+			n := e.cq.PollInto(e.cqeBuf)
+			if n == 0 {
 				break
 			}
-			for _, cqe := range cqes {
-				e.handleCQE(pr, cqe)
+			for i := 0; i < n; i++ {
+				e.handleCQE(pr, e.cqeBuf[i])
 			}
 			did = true
 		}
@@ -369,7 +443,7 @@ func (e *Engine) workerLoop(pr *sim.Proc) {
 					break
 				}
 				if cost > 0 {
-					sp := d.Trace.Begin(trace.StageDNEIngest, e.actor())
+					sp := d.Trace.Begin(trace.StageDNEIngest, e.actorLabel)
 					e.worker.Exec(pr, cost)
 					sp.End()
 				}
@@ -401,40 +475,70 @@ func (e *Engine) workerLoop(pr *sim.Proc) {
 	}
 }
 
-// txOne runs one descriptor through the TX stage.
+// tenantOf resolves a descriptor's tenant state: slice indexing via the
+// interned hint when present, map fallback otherwise.
+func (e *Engine) tenantOf(d *mempool.Descriptor) *tenantState {
+	if d.TenantID > 0 {
+		return e.tenantSeq[d.TenantID-1]
+	}
+	return e.tenants[d.Tenant]
+}
+
+// deferRateLimited holds a descriptor that exceeded its tenant's rate limit
+// until the bucket refills, then feeds it back through the scheduler. Kept
+// out of txOne so its closure (which captures d) only heap-allocates the
+// descriptor on the rate-limited slow path.
+func (e *Engine) deferRateLimited(b *tokenBucket, d mempool.Descriptor) {
+	e.rateDeferred++
+	wait := b.eta(e.eng.Now())
+	// The rate-limit hold reads as scheduler time: open the span now,
+	// before the timed re-enqueue, so the wait is attributed.
+	d.Trace.BeginStage(trace.StageDNESched, e.actorLabel)
+	e.eng.After(wait, func() {
+		e.sched.Enqueue(d.Tenant, d)
+		e.work.Pulse()
+	})
+}
+
+// txOne runs one descriptor through the TX stage. Routing runs on the
+// interned fast path: tenant and destination resolve by dense ID (slice
+// indexing) when the descriptor carries hints, with the string maps as the
+// slow-path fallback for hintless callers.
 func (e *Engine) txOne(pr *sim.Proc, d mempool.Descriptor) {
-	if b := e.limits[d.Tenant]; b != nil && !b.take(e.eng.Now()) {
-		// Over the tenant's rate limit: hold the descriptor until the
-		// bucket refills, then feed it back through the scheduler.
-		e.rateDeferred++
-		wait := b.eta(e.eng.Now())
-		// The rate-limit hold reads as scheduler time: open the span now,
-		// before the timed re-enqueue, so the wait is attributed.
-		d.Trace.BeginStage(trace.StageDNESched, e.actor())
-		e.eng.After(wait, func() {
-			e.sched.Enqueue(d.Tenant, d)
-			e.work.Pulse()
-		})
+	ts := e.tenantOf(&d)
+	var b *tokenBucket
+	if ts != nil {
+		b = e.limitByID[ts.id]
+	} else {
+		b = e.limits[d.Tenant]
+	}
+	if b != nil && !b.take(e.eng.Now()) {
+		// Out-of-line so the re-enqueue closure doesn't force d to escape
+		// to the heap on the (closure-free) fast path below.
+		e.deferRateLimited(b, d)
 		return
 	}
-	sp := d.Trace.Begin(trace.StageDNETx, e.actor())
+	sp := d.Trace.Begin(trace.StageDNETx, e.actorLabel)
 	e.worker.Exec(pr, e.p.DNETxCost+e.perMsgExtra())
-	node, ok := e.routes[d.Dst]
-	if !ok {
+	nodeIdx := int32(-1)
+	if d.DstID > 0 {
+		nodeIdx = e.routeByFn[d.DstID-1]
+	} else if id, ok := e.fnIDs[d.Dst]; ok {
+		nodeIdx = e.routeByFn[id]
+	}
+	if nodeIdx < 0 {
 		e.dropNoRoute++
 		e.releaseBuffer(d)
 		sp.End()
 		return
 	}
-	byTenant, ok := e.pools[node]
-	if !ok {
-		e.dropNoRoute++
-		e.releaseBuffer(d)
-		sp.End()
-		return
+	var cp *rdma.ConnPool
+	if ts != nil {
+		cp = e.poolByNT[nodeIdx][ts.id]
+	} else {
+		cp = e.pools[e.nodeNames[nodeIdx]][d.Tenant]
 	}
-	cp, ok := byTenant[d.Tenant]
-	if !ok {
+	if cp == nil {
 		e.dropNoRoute++
 		e.releaseBuffer(d)
 		sp.End()
@@ -450,7 +554,7 @@ func (e *Engine) txOne(pr *sim.Proc, d mempool.Descriptor) {
 	qp.PostSend(d)
 	sp.End()
 	e.txCount++
-	if ts := e.tenants[d.Tenant]; ts != nil {
+	if ts != nil {
 		ts.TxMeter.Inc(1)
 	}
 }
@@ -479,7 +583,7 @@ func (e *Engine) handleCQE(pr *sim.Proc, cqe rdma.CQE) {
 		e.releaseBuffer(cqe.Desc)
 	case rdma.OpRecv:
 		cqe.Desc.Trace.EndStage(trace.StageRDMACQ)
-		sp := cqe.Desc.Trace.Begin(trace.StageDNERx, e.actor())
+		sp := cqe.Desc.Trace.Begin(trace.StageDNERx, e.actorLabel)
 		e.worker.Exec(pr, e.p.DNERxCost)
 		if e.cfg.Mode == OnPath {
 			// Data was staged in SoC memory; push it to the host pool.
@@ -493,10 +597,10 @@ func (e *Engine) handleCQE(pr *sim.Proc, cqe rdma.CQE) {
 			sp.End()
 			return
 		}
-		ts := e.tenants[d.Tenant]
+		ts := e.tenantOf(&d)
 		if ts != nil {
 			// Hand the landed buffer from the RQ owner to the function.
-			if err := ts.pool.Transfer(d.Buf, ownerRQ(e.cfg.Node), mempool.Owner(d.Dst)); err != nil {
+			if err := ts.pool.Transfer(d.Buf, e.rqOwner, mempool.Owner(d.Dst)); err != nil {
 				panic(fmt.Sprintf("dne: RX ownership handoff failed: %v", err))
 			}
 			ts.RxMeter.Inc(1)
@@ -512,12 +616,12 @@ func (e *Engine) handleCQE(pr *sim.Proc, cqe rdma.CQE) {
 }
 
 // actor labels this engine's spans.
-func (e *Engine) actor() string { return string(e.cfg.Node) + "/dne" }
+func (e *Engine) actor() string { return e.actorLabel }
 
 // enqueue feeds a descriptor to the tenant scheduler, opening its
 // scheduler-wait span (closed when the TX stage pops it).
 func (e *Engine) enqueue(d mempool.Descriptor) {
-	d.Trace.BeginStage(trace.StageDNESched, e.actor())
+	d.Trace.BeginStage(trace.StageDNESched, e.actorLabel)
 	e.sched.Enqueue(d.Tenant, d)
 }
 
@@ -530,13 +634,12 @@ func (e *Engine) releaseBuffer(d mempool.Descriptor) {
 	if d.Tenant == "" {
 		return
 	}
-	ts := e.tenants[d.Tenant]
+	ts := e.tenantOf(&d)
 	if ts == nil {
 		return
 	}
-	owner := OwnerEngine(e.cfg.Node)
-	if cur, err := ts.pool.OwnerOf(d.Buf); err == nil && cur == owner {
-		if err := ts.pool.Put(d.Buf, owner); err != nil {
+	if cur, err := ts.pool.OwnerOf(d.Buf); err == nil && cur == e.engOwner {
+		if err := ts.pool.Put(d.Buf, e.engOwner); err != nil {
 			panic(fmt.Sprintf("dne: buffer recycle failed: %v", err))
 		}
 	}
@@ -544,11 +647,11 @@ func (e *Engine) releaseBuffer(d mempool.Descriptor) {
 
 // releaseRQBuffer recycles an RQ-owned landed buffer on drops.
 func (e *Engine) releaseRQBuffer(d mempool.Descriptor) {
-	ts := e.tenants[d.Tenant]
+	ts := e.tenantOf(&d)
 	if ts == nil {
 		return
 	}
-	if err := ts.pool.Put(d.Buf, ownerRQ(e.cfg.Node)); err != nil {
+	if err := ts.pool.Put(d.Buf, e.rqOwner); err != nil {
 		panic(fmt.Sprintf("dne: RQ buffer recycle failed: %v", err))
 	}
 }
@@ -584,19 +687,31 @@ func (e *Engine) keeperLoop(pr *sim.Proc) {
 	}
 }
 
-// replenish posts up to n receive buffers from the tenant pool to its SRQ
-// and returns how many it posted (the caller carries any shortfall forward
-// as rqDebt).
+// replenish posts up to n receive buffers from the tenant pool to its SRQ,
+// in batches of ReplenishBatch (doorbell-batched GetN + PostRecvN), and
+// returns how many it posted (the caller carries any shortfall forward as
+// rqDebt). Buffers come out in the same order one-at-a-time Gets would
+// deliver, and the posting cost is charged per buffer, so batch size does
+// not affect simulation output.
 func (e *Engine) replenish(pr *sim.Proc, ts *tenantState, n int) int {
-	owner := ownerRQ(e.cfg.Node)
 	posted := 0
 	for posted < n {
-		b, err := ts.pool.Get(owner)
-		if err != nil {
+		want := n - posted
+		if want > len(e.rqBufs) {
+			want = len(e.rqBufs)
+		}
+		got, _ := ts.pool.GetN(e.rqOwner, e.rqBufs[:want])
+		if got == 0 {
 			break // pool pressure: retry next round
 		}
-		ts.srq.PostRecv(mempool.Descriptor{Tenant: ts.name, Buf: b})
-		posted++
+		for i := 0; i < got; i++ {
+			e.rqDescs[i] = mempool.Descriptor{Tenant: ts.name, TenantID: ts.id + 1, Buf: e.rqBufs[i]}
+		}
+		ts.srq.PostRecvN(e.rqDescs[:got])
+		posted += got
+		if got < want {
+			break
+		}
 	}
 	if posted > 0 {
 		// Batched posting cost on the core thread.
@@ -669,11 +784,19 @@ func (b *tokenBucket) eta(now time.Duration) time.Duration {
 // Enforcement happens in the TX stage, after scheduling — a per-tenant
 // policy plugged into the engine, as §4.2 envisions.
 func (e *Engine) SetRateLimit(tenant string, rps float64) {
-	if rps <= 0 {
+	var b *tokenBucket
+	if rps > 0 {
+		b = &tokenBucket{rate: rps, burst: rps / 100 * 2, tokens: rps / 100, last: e.eng.Now()}
+	}
+	if ts := e.tenants[tenant]; ts != nil {
+		e.limitByID[ts.id] = b
+		return
+	}
+	if b == nil {
 		delete(e.limits, tenant)
 		return
 	}
-	e.limits[tenant] = &tokenBucket{rate: rps, burst: rps / 100 * 2, tokens: rps / 100, last: e.eng.Now()}
+	e.limits[tenant] = b
 }
 
 // RateDeferred reports descriptors delayed by rate limits.

@@ -28,6 +28,16 @@ type FnPort struct {
 	comch    *dpu.Endpoint
 	toEngine *ipc.SKMsg // fn -> CNE
 	toFn     *ipc.SKMsg // CNE -> fn
+
+	// Send fast-path caches: the resolved tenant state (lazily bound, since
+	// tenants may register after AttachFunction), the function's owner
+	// string, and a single-entry destination-ID memo — echo-style traffic
+	// sends to one destination, so the memo turns the per-request fn-ID
+	// lookup into two comparisons.
+	ts        *tenantState
+	fnOwner   mempool.Owner
+	memoDst   string
+	memoDstID int32
 }
 
 // Fn reports the attached function's ID.
@@ -39,11 +49,25 @@ func (fp *FnPort) Fn() string { return fp.fn }
 // send cost.
 func (fp *FnPort) Send(pr *sim.Proc, core Execer, d mempool.Descriptor) error {
 	d.Tenant = fp.tenant
-	ts := fp.engine.tenants[fp.tenant]
+	ts := fp.ts
 	if ts == nil {
-		return fmt.Errorf("dne: tenant %q not registered with engine", fp.tenant)
+		ts = fp.engine.tenants[fp.tenant]
+		if ts == nil {
+			return fmt.Errorf("dne: tenant %q not registered with engine", fp.tenant)
+		}
+		fp.ts = ts
+		fp.fnOwner = mempool.Owner(fp.fn)
 	}
-	if err := ts.pool.Transfer(d.Buf, mempool.Owner(fp.fn), OwnerEngine(fp.engine.cfg.Node)); err != nil {
+	d.TenantID = ts.id + 1
+	if d.Dst == fp.memoDst {
+		d.DstID = fp.memoDstID
+	} else if id, ok := fp.engine.fnIDs[d.Dst]; ok {
+		d.DstID = id + 1
+		fp.memoDst, fp.memoDstID = d.Dst, id+1
+	} else {
+		d.DstID = 0
+	}
+	if err := ts.pool.Transfer(d.Buf, fp.fnOwner, fp.engine.engOwner); err != nil {
 		return err
 	}
 	sp := d.Trace.Begin(trace.StagePortSend, fp.fn)

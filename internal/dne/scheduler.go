@@ -10,6 +10,7 @@ package dne
 
 import (
 	"nadino/internal/mempool"
+	"nadino/internal/ring"
 )
 
 // SchedulerKind selects the tenant scheduling policy.
@@ -37,24 +38,22 @@ type Scheduler interface {
 
 // fcfs is a single FIFO across all tenants.
 type fcfs struct {
-	q []mempool.Descriptor
+	q ring.Deque[mempool.Descriptor]
 }
 
 // NewFCFS returns the no-isolation baseline scheduler.
 func NewFCFS() Scheduler { return &fcfs{} }
 
-func (s *fcfs) Enqueue(_ string, d mempool.Descriptor) { s.q = append(s.q, d) }
+func (s *fcfs) Enqueue(_ string, d mempool.Descriptor) { s.q.PushBack(d) }
 
 func (s *fcfs) Next() (mempool.Descriptor, bool) {
-	if len(s.q) == 0 {
+	if s.q.Len() == 0 {
 		return mempool.Descriptor{}, false
 	}
-	d := s.q[0]
-	s.q = s.q[1:]
-	return d, true
+	return s.q.PopFront(), true
 }
 
-func (s *fcfs) Pending() int { return len(s.q) }
+func (s *fcfs) Pending() int { return s.q.Len() }
 
 // dwrrQueue is one tenant's state in the DWRR scheduler.
 type dwrrQueue struct {
@@ -62,7 +61,7 @@ type dwrrQueue struct {
 	weight  int
 	deficit int
 	granted bool // quantum granted for the current turn
-	q       []mempool.Descriptor
+	q       ring.Deque[mempool.Descriptor]
 }
 
 // dwrr implements Shreedhar-Varghese deficit weighted round robin over
@@ -71,8 +70,13 @@ type dwrrQueue struct {
 type dwrr struct {
 	quantumUnit int // bytes of quantum per unit weight per round
 	queues      map[string]*dwrrQueue
-	active      []*dwrrQueue // round-robin ring of backlogged tenants
+	active      ring.Deque[*dwrrQueue] // round-robin ring of backlogged tenants
 	pending     int
+
+	// Single-entry Enqueue memo: per-tenant workloads enqueue runs of the
+	// same tenant, so remembering the last queue skips the map lookup.
+	memoTenant string
+	memoQ      *dwrrQueue
 }
 
 // NewDWRR returns NADINO's weighted fair scheduler. quantumUnit is the
@@ -109,12 +113,16 @@ func (s *dwrr) queue(tenant string) *dwrrQueue {
 
 // Enqueue implements Scheduler.
 func (s *dwrr) Enqueue(tenant string, d mempool.Descriptor) {
-	q := s.queue(tenant)
-	if len(q.q) == 0 {
-		q.deficit = 0
-		s.active = append(s.active, q)
+	q := s.memoQ
+	if q == nil || tenant != s.memoTenant {
+		q = s.queue(tenant)
+		s.memoTenant, s.memoQ = tenant, q
 	}
-	q.q = append(q.q, d)
+	if q.q.Len() == 0 {
+		q.deficit = 0
+		s.active.PushBack(q)
+	}
+	q.q.PushBack(d)
 	s.pending++
 }
 
@@ -133,11 +141,11 @@ func msgBytes(d mempool.Descriptor) int {
 // the head-of-line message the turn ends and the tenant rotates to the back
 // keeping its deficit (Shreedhar-Varghese).
 func (s *dwrr) Next() (mempool.Descriptor, bool) {
-	for len(s.active) > 0 {
-		q := s.active[0]
-		if len(q.q) == 0 {
+	for s.active.Len() > 0 {
+		q := s.active.Front()
+		if q.q.Len() == 0 {
 			// Exhausted queue leaves the ring and forfeits its deficit.
-			s.active = s.active[1:]
+			s.active.PopFront()
 			q.deficit = 0
 			q.granted = false
 			continue
@@ -146,19 +154,18 @@ func (s *dwrr) Next() (mempool.Descriptor, bool) {
 			q.deficit += q.weight * s.quantumUnit
 			q.granted = true
 		}
-		need := msgBytes(q.q[0])
+		need := msgBytes(q.q.Front())
 		if q.deficit < need {
 			// Turn over: rotate, keep the deficit for the next round.
 			q.granted = false
-			s.active = append(s.active[1:], q)
+			s.active.PushBack(s.active.PopFront())
 			continue
 		}
-		d := q.q[0]
-		q.q = q.q[1:]
+		d := q.q.PopFront()
 		q.deficit -= need
 		s.pending--
-		if len(q.q) == 0 {
-			s.active = s.active[1:]
+		if q.q.Len() == 0 {
+			s.active.PopFront()
 			q.deficit = 0
 			q.granted = false
 		}
@@ -179,8 +186,9 @@ const SchedPriority SchedulerKind = 2
 // priority implements strict-priority scheduling across tenant queues.
 type priority struct {
 	weights map[string]int
-	queues  map[string][]mempool.Descriptor
-	order   []string // tenants sorted by descending weight, stable
+	queues  map[string]*ring.Deque[mempool.Descriptor]
+	order   []string                          // tenants sorted by descending weight, stable
+	ordered []*ring.Deque[mempool.Descriptor] // queues in order[] sequence
 	pending int
 }
 
@@ -188,7 +196,7 @@ type priority struct {
 func NewPriority() *Priority {
 	return &Priority{priority{
 		weights: make(map[string]int),
-		queues:  make(map[string][]mempool.Descriptor),
+		queues:  make(map[string]*ring.Deque[mempool.Descriptor]),
 	}}
 }
 
@@ -211,8 +219,20 @@ func (s *Priority) SetWeight(tenant string, weight int) {
 		s.order = append(s.order, "")
 		copy(s.order[idx+1:], s.order[idx:])
 		s.order[idx] = tenant
+		s.ordered = append(s.ordered, nil)
+		copy(s.ordered[idx+1:], s.ordered[idx:])
+		s.ordered[idx] = s.tenantQueue(tenant)
 	}
 	s.weights[tenant] = weight
+}
+
+func (s *priority) tenantQueue(tenant string) *ring.Deque[mempool.Descriptor] {
+	q, ok := s.queues[tenant]
+	if !ok {
+		q = &ring.Deque[mempool.Descriptor]{}
+		s.queues[tenant] = q
+	}
+	return q
 }
 
 // Enqueue implements Scheduler.
@@ -220,22 +240,20 @@ func (s *priority) Enqueue(tenant string, d mempool.Descriptor) {
 	if _, ok := s.weights[tenant]; !ok {
 		s.weights[tenant] = 0
 		s.order = append(s.order, tenant)
+		s.ordered = append(s.ordered, s.tenantQueue(tenant))
 	}
-	s.queues[tenant] = append(s.queues[tenant], d)
+	s.tenantQueue(tenant).PushBack(d)
 	s.pending++
 }
 
 // Next implements Scheduler: drain the highest-priority backlog first.
 func (s *priority) Next() (mempool.Descriptor, bool) {
-	for _, tenant := range s.order {
-		q := s.queues[tenant]
-		if len(q) == 0 {
+	for _, q := range s.ordered {
+		if q.Len() == 0 {
 			continue
 		}
-		d := q[0]
-		s.queues[tenant] = q[1:]
 		s.pending--
-		return d, true
+		return q.PopFront(), true
 	}
 	return mempool.Descriptor{}, false
 }

@@ -57,6 +57,49 @@ type Endpoint struct {
 
 	sentToDNE  uint64
 	sentToHost uint64
+
+	// freeDel pools delivery timer nodes so the per-descriptor After() on
+	// the send path does not allocate a fresh closure per message.
+	freeDel []*comchDelivery
+}
+
+// comchDelivery is a pooled in-flight descriptor: its fn closure is bound
+// once at allocation and re-armed for every transit through the channel.
+type comchDelivery struct {
+	ep     *Endpoint
+	d      mempool.Descriptor
+	toHost bool
+	fn     func()
+}
+
+func (ep *Endpoint) allocDelivery(d mempool.Descriptor, toHost bool) *comchDelivery {
+	var dv *comchDelivery
+	if n := len(ep.freeDel); n > 0 {
+		dv = ep.freeDel[n-1]
+		ep.freeDel = ep.freeDel[:n-1]
+	} else {
+		dv = &comchDelivery{ep: ep}
+		dv.fn = dv.run
+	}
+	dv.d = d
+	dv.toHost = toHost
+	return dv
+}
+
+func (dv *comchDelivery) run() {
+	ep := dv.ep
+	d := dv.d
+	toHost := dv.toHost
+	dv.d = mempool.Descriptor{}
+	ep.freeDel = append(ep.freeDel, dv)
+	if toHost {
+		ep.toHost.TryPut(d)
+		return
+	}
+	ep.toDNE.TryPut(d)
+	if ep.work != nil {
+		ep.work.Pulse()
+	}
 }
 
 // NewEndpoint creates an endpoint. work is the DNE loop's wake signal (may
@@ -137,21 +180,14 @@ func (ep *Endpoint) PinsHostCore() bool { return ep.mode == ComchP }
 func (ep *Endpoint) SendToDNE(d mempool.Descriptor) {
 	ep.sentToDNE++
 	d.Trace.BeginStage(trace.StageComchH2D, "comch")
-	ep.eng.After(ep.deliverLatency(), func() {
-		ep.toDNE.TryPut(d)
-		if ep.work != nil {
-			ep.work.Pulse()
-		}
-	})
+	ep.eng.After(ep.deliverLatency(), ep.allocDelivery(d, false).fn)
 }
 
 // SendToHost ships a descriptor DPU -> host.
 func (ep *Endpoint) SendToHost(d mempool.Descriptor) {
 	ep.sentToHost++
 	d.Trace.BeginStage(trace.StageComchD2H, "comch")
-	ep.eng.After(ep.deliverLatency(), func() {
-		ep.toHost.TryPut(d)
-	})
+	ep.eng.After(ep.deliverLatency(), ep.allocDelivery(d, true).fn)
 }
 
 // TryRecvFromHost lets the DNE loop pull one pending descriptor.

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"nadino/internal/dne"
+)
+
+// TestBatchedDeliveryDeterminism is the fence for the data-plane fast path:
+// the engine's CQ drain batch and SRQ replenish batch are pure software
+// mechanics — every cost is charged per CQE and per buffer — so shrinking
+// both to 1 (per-CQE delivery, per-buffer replenish) must produce
+// bitwise-identical fig15/fig16/table2 tables for the same seed. If a batch
+// size ever leaks into virtual time (a bulk discount, a reordered wake, a
+// skipped doorbell), this diff catches it.
+func TestBatchedDeliveryDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three experiments twice")
+	}
+	o := Opts{Quick: true, Seed: 11}
+	render := func() []byte {
+		var buf bytes.Buffer
+		for _, run := range []func(Opts) []*Table{RunFig15, RunFig16, RunTable2} {
+			for _, tb := range run(o) {
+				tb.Print(&buf)
+			}
+		}
+		return buf.Bytes()
+	}
+
+	batched := render()
+
+	oldPoll, oldRep := dne.PollBatch, dne.ReplenishBatch
+	dne.PollBatch, dne.ReplenishBatch = 1, 1
+	defer func() { dne.PollBatch, dne.ReplenishBatch = oldPoll, oldRep }()
+	unbatched := render()
+
+	if !bytes.Equal(batched, unbatched) {
+		d := firstDiff(batched, unbatched)
+		t.Fatalf("batched completion/replenish delivery diverged from per-CQE delivery at byte %d:\nbatched:   %q\nunbatched: %q",
+			d, excerpt(batched, d), excerpt(unbatched, d))
+	}
+}

@@ -105,8 +105,9 @@ func (r *dneRig) waitReady(pr *sim.Proc) {
 func (r *dneRig) spawnEchoServer(tenant string, port *dne.FnPort) {
 	core := sim.NewProcessor(r.eng, "srv-core-"+tenant, r.p.HostCoreSpeed)
 	pool := r.pools[tenant][1]
-	srv := mempool.Owner("srv-" + tenant)
-	r.eng.Spawn("srv-"+tenant, func(pr *sim.Proc) {
+	srvName := "srv-" + tenant // hoisted: was a per-request concat
+	srv := mempool.Owner(srvName)
+	r.eng.Spawn(srvName, func(pr *sim.Proc) {
 		for {
 			d := port.Recv(pr, core)
 			reply, err := pool.Get(srv)
@@ -124,7 +125,7 @@ func (r *dneRig) spawnEchoServer(tenant string, port *dne.FnPort) {
 			}
 			out := mempool.Descriptor{
 				Tenant: tenant, Buf: reply, Len: d.Len,
-				Src: "srv-" + tenant, Dst: d.Src, Seq: d.Seq, Stamp: d.Stamp, Ctx: d.Ctx,
+				Src: srvName, Dst: d.Src, Seq: d.Seq, Stamp: d.Stamp, Ctx: d.Ctx,
 				Trace: d.Trace,
 			}
 			if err := port.Send(pr, core, out); err != nil {
@@ -151,7 +152,11 @@ type echoClientStats struct {
 func (r *dneRig) spawnEchoClients(tenant string, port *dne.FnPort, n, payload int, active func(now time.Duration) bool) *echoClientStats {
 	core := sim.NewProcessor(r.eng, "cli-core-"+tenant, r.p.HostCoreSpeed)
 	pool := r.pools[tenant][0]
-	cli := mempool.Owner("cli-" + tenant)
+	// Hoisted per-request strings: these were concatenated per echo.
+	cliName := "cli-" + tenant
+	srvName := "srv-" + tenant
+	echoName := "echo/" + tenant
+	cli := mempool.Owner(cliName)
 	stats := &echoClientStats{}
 	// One demux proc feeds per-request rendezvous queues.
 	type waiter = *sim.Queue[mempool.Descriptor]
@@ -193,10 +198,10 @@ func (r *dneRig) spawnEchoClients(tenant string, port *dne.FnPort, n, payload in
 				id := seq
 				waiters[id] = respQ
 				start := pr.Now()
-				req := r.tracer.StartRequest("echo/" + tenant)
+				req := r.tracer.StartRequest(echoName)
 				d := mempool.Descriptor{
 					Tenant: tenant, Buf: buf, Len: payload,
-					Src: "cli-" + tenant, Dst: "srv-" + tenant, Seq: id, Stamp: start,
+					Src: cliName, Dst: srvName, Seq: id, Stamp: start,
 					Trace: req,
 				}
 				if err := port.Send(pr, core, d); err != nil {

@@ -57,6 +57,54 @@ type Network struct {
 	faults   map[linkKey]*linkFault
 	nodeDown map[NodeID]bool // SetDown bookkeeping, reported by Down
 	drops    uint64
+
+	// freeRx pools receive-side delivery nodes so Send's per-message At()
+	// does not allocate a fresh closure per message.
+	freeRx []*rxNode
+}
+
+// rxNode is a pooled in-flight message: the receive-side fault check plus
+// the deliver callback, with fn bound once at allocation.
+type rxNode struct {
+	n       *Network
+	lnk     *Link
+	from    NodeID
+	to      NodeID
+	deliver func()
+	fn      func()
+}
+
+func (n *Network) allocRx(lnk *Link, from, to NodeID, deliver func()) *rxNode {
+	var rx *rxNode
+	if ln := len(n.freeRx); ln > 0 {
+		rx = n.freeRx[ln-1]
+		n.freeRx = n.freeRx[:ln-1]
+	} else {
+		rx = &rxNode{n: n}
+		rx.fn = rx.run
+	}
+	rx.lnk = lnk
+	rx.from = from
+	rx.to = to
+	rx.deliver = deliver
+	return rx
+}
+
+func (rx *rxNode) run() {
+	n := rx.n
+	lnk := rx.lnk
+	from, to := rx.from, rx.to
+	deliver := rx.deliver
+	rx.lnk = nil
+	rx.deliver = nil
+	n.freeRx = append(n.freeRx, rx)
+	// Receive-side check: the link may have gone down in flight.
+	if f := n.faults[linkKey{from, to}]; f != nil && f.down {
+		n.drops++
+		lnk.drops++
+		return
+	}
+	deliver()
 }
 
 // New returns an empty network.
@@ -223,15 +271,7 @@ func (n *Network) Send(from, to NodeID, bytes int, deliver func()) time.Duration
 			}
 		}
 	}
-	n.eng.At(at, func() {
-		// Receive-side check: the link may have gone down in flight.
-		if f := n.faults[linkKey{from, to}]; f != nil && f.down {
-			n.drops++
-			lnk.drops++
-			return
-		}
-		deliver()
-	})
+	n.eng.At(at, n.allocRx(lnk, from, to, deliver).fn)
 	return at
 }
 
@@ -239,6 +279,10 @@ func (n *Network) Send(from, to NodeID, bytes int, deliver func()) time.Duration
 // (egress queueing + serialization + propagation + injected latency). A nil
 // r is free.
 func (n *Network) SendTraced(from, to NodeID, bytes int, r *trace.Req, deliver func()) time.Duration {
+	if r == nil {
+		// Fast path: skip the Now() read and the label concatenation.
+		return n.Send(from, to, bytes, deliver)
+	}
 	start := n.eng.Now()
 	at := n.Send(from, to, bytes, deliver)
 	r.RecordDetail(trace.StageFabric, string(from)+">"+string(to), start, at)

@@ -16,6 +16,7 @@ import (
 
 	"nadino/internal/metrics"
 	"nadino/internal/params"
+	"nadino/internal/ring"
 	"nadino/internal/sim"
 	"nadino/internal/trace"
 	"nadino/internal/transport"
@@ -112,8 +113,9 @@ type workerEvent struct {
 // worker is one gateway worker process pinned to a core.
 type worker struct {
 	id     int
+	actor  string // span label, precomputed (was a per-request Sprintf)
 	core   *sim.Processor
-	q      []workerEvent
+	q      ring.Deque[workerEvent]
 	wake   *sim.Signal
 	active bool
 	util   metrics.UtilSampler
@@ -187,7 +189,7 @@ func (g *Gateway) ActiveWorkers() int { return g.nActive }
 func (g *Gateway) QueueDepth() int {
 	depth := 0
 	for _, w := range g.workers {
-		depth += len(w.q)
+		depth += w.q.Len()
 	}
 	return depth
 }
@@ -214,6 +216,7 @@ func (g *Gateway) InjectedRestarts() int { return g.injectedRestarts }
 func (g *Gateway) addWorker() {
 	w := &worker{
 		id:     len(g.workers),
+		actor:  fmt.Sprintf("ingress-w%d", len(g.workers)),
 		core:   sim.NewProcessor(g.eng, fmt.Sprintf("ingress-w%d", len(g.workers)), g.p.HostCoreSpeed),
 		wake:   sim.NewSignal(g.eng),
 		active: true,
@@ -238,12 +241,12 @@ func (g *Gateway) Submit(req Request) {
 			// livelock ingredient.
 			w.core.Charge(g.p.KernelTCPPerMsg / 4)
 		}
-		if g.cfg.QueueCap > 0 && len(w.q) >= g.cfg.QueueCap {
+		if g.cfg.QueueCap > 0 && w.q.Len() >= g.cfg.QueueCap {
 			g.dropped++
 			return
 		}
 		req.Trace.BeginStage(trace.StageIngressQueue, "ingress")
-		w.q = append(w.q, workerEvent{req: req})
+		w.q.PushBack(workerEvent{req: req})
 		w.wake.Pulse()
 	})
 }
@@ -276,7 +279,7 @@ func (g *Gateway) workerLoop(pr *sim.Proc, w *worker) {
 		us = transport.Kernel
 	}
 	for w.active {
-		if len(w.q) == 0 {
+		if w.q.Len() == 0 {
 			w.wake.Wait(pr)
 			continue
 		}
@@ -284,13 +287,12 @@ func (g *Gateway) workerLoop(pr *sim.Proc, w *worker) {
 			// Worker restart window during horizontal scaling (§3.6).
 			pr.Sleep(g.pausedUntil - pr.Now())
 		}
-		ev := w.q[0]
-		w.q = w.q[1:]
+		ev := w.q.PopFront()
 		if !ev.isResp {
 			req := ev.req
 			tr := req.Trace
 			tr.EndStage(trace.StageIngressQueue)
-			actor := fmt.Sprintf("ingress-w%d", w.id)
+			actor := w.actor
 			// Client-side TCP receive + HTTP processing.
 			sp := tr.Begin(trace.StageIngressRecv, actor)
 			w.core.Exec(pr, transport.RecvCost(p, cs, req.Bytes)+transport.HTTPCost(p)+g.cfg.ExtraPerRequest)
@@ -316,14 +318,14 @@ func (g *Gateway) workerLoop(pr *sim.Proc, w *worker) {
 				if !w2.active {
 					w2 = g.pick(req.Client)
 				}
-				w2.q = append(w2.q, workerEvent{isResp: true, resp: resp, reply: req.Reply, tr: tr})
+				w2.q.PushBack(workerEvent{isResp: true, resp: resp, reply: req.Reply, tr: tr})
 				w2.wake.Pulse()
 			})
 			continue
 		}
 		resp := ev.resp
 		ev.tr.EndStage(trace.StageIngressQueue)
-		sp := ev.tr.Begin(trace.StageIngressResp, fmt.Sprintf("ingress-w%d", w.id))
+		sp := ev.tr.Begin(trace.StageIngressResp, w.actor)
 		if kind == Nadino {
 			// Poll the RDMA completion and copy the payload back out into
 			// the TCP stream.
@@ -383,10 +385,11 @@ func (g *Gateway) removeWorker() {
 		w.active = false
 		g.nActive--
 		w.wake.Pulse() // let its loop observe inactivity and exit
-		if len(w.q) > 0 && g.nActive > 0 {
+		if w.q.Len() > 0 && g.nActive > 0 {
 			dst := g.pick(0)
-			dst.q = append(dst.q, w.q...)
-			w.q = nil
+			for w.q.Len() > 0 {
+				dst.q.PushBack(w.q.PopFront())
+			}
 			dst.wake.Pulse()
 		}
 		return

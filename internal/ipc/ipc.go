@@ -25,6 +25,42 @@ type SKMsg struct {
 	// work optionally wakes an event-loop consumer (the CNE).
 	work      *sim.Signal
 	delivered uint64
+
+	// freeDel pools delivery timer nodes so Send's per-descriptor After()
+	// does not allocate a fresh closure per message.
+	freeDel []*skDelivery
+}
+
+// skDelivery is a pooled in-flight descriptor; fn is bound once.
+type skDelivery struct {
+	c  *SKMsg
+	d  mempool.Descriptor
+	fn func()
+}
+
+func (c *SKMsg) allocDelivery(d mempool.Descriptor) *skDelivery {
+	var dv *skDelivery
+	if n := len(c.freeDel); n > 0 {
+		dv = c.freeDel[n-1]
+		c.freeDel = c.freeDel[:n-1]
+	} else {
+		dv = &skDelivery{c: c}
+		dv.fn = dv.run
+	}
+	dv.d = d
+	return dv
+}
+
+func (dv *skDelivery) run() {
+	c := dv.c
+	d := dv.d
+	dv.d = mempool.Descriptor{}
+	c.freeDel = append(c.freeDel, dv)
+	c.delivered++
+	c.q.TryPut(d)
+	if c.work != nil {
+		c.work.Pulse()
+	}
 }
 
 // NewSKMsg creates a channel; work may be nil.
@@ -54,13 +90,7 @@ func (c *SKMsg) InterruptCost(backlog int) time.Duration {
 // The caller pays SendCost on its own core first. Engine/process context.
 func (c *SKMsg) Send(d mempool.Descriptor) {
 	d.Trace.BeginStage(trace.StageSKMsg, "skmsg")
-	c.eng.After(c.p.SKMsgDeliver, func() {
-		c.delivered++
-		c.q.TryPut(d)
-		if c.work != nil {
-			c.work.Pulse()
-		}
-	})
+	c.eng.After(c.p.SKMsgDeliver, c.allocDelivery(d).fn)
 }
 
 // Recv blocks until a descriptor arrives. The caller pays WakeupCost on its

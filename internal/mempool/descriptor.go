@@ -21,6 +21,16 @@ type Descriptor struct {
 	Dst    string // destination function ID
 	Seq    uint64 // per-flow sequence number
 
+	// TenantID and DstID are interned routing hints: the stamping engine's
+	// dense tenant/function IDs plus one, with zero meaning "unresolved —
+	// fall back to the string fields". They are engine-local (assigned at
+	// registration time, never carried across the wire: the receiver
+	// re-stamps TenantID when it posts the landing buffer), and exist so
+	// the per-request data path does slice indexing instead of string-map
+	// lookups. Simulation bookkeeping, not part of the modeled 16 bytes.
+	TenantID int32
+	DstID    int32
+
 	Stamp time.Duration // creation time (latency accounting)
 	Ctx   any           // opaque request context carried end to end
 	// Trace is the request trace this descriptor belongs to; nil (the

@@ -111,6 +111,35 @@ func (p *Pool) Get(owner Owner) (Buffer, error) {
 	return Buffer{ID: id, Gen: p.gen[id]}, nil
 }
 
+// GetN allocates up to len(out) free buffers to owner, filling out from the
+// front, and reports how many it delivered. Buffers come off the free list
+// in exactly the order repeated Get calls would return them, so batched and
+// one-at-a-time replenish paths hand out identical buffer sequences.
+func (p *Pool) GetN(owner Owner, out []Buffer) (int, error) {
+	if owner == NoOwner {
+		return 0, fmt.Errorf("mempool: %w: empty owner", ErrNotOwner)
+	}
+	n := len(out)
+	if n > len(p.free) {
+		n = len(p.free)
+	}
+	for i := 0; i < n; i++ {
+		id := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		p.owner[id] = owner
+		out[i] = Buffer{ID: id, Gen: p.gen[id]}
+	}
+	p.inUse += n
+	p.gets += uint64(n)
+	if p.inUse > p.peak {
+		p.peak = p.inUse
+	}
+	if n == 0 {
+		return 0, ErrExhausted
+	}
+	return n, nil
+}
+
 func (p *Pool) check(b Buffer) error {
 	if b.ID < 0 || int(b.ID) >= p.n {
 		return ErrBadBuffer

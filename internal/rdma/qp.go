@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"nadino/internal/mempool"
+	"nadino/internal/ring"
 	"nadino/internal/sim"
 	"nadino/internal/trace"
 )
@@ -25,13 +26,20 @@ type QP struct {
 	sendsPosted uint64
 	bytesSent   uint64
 
-	// pending tracks unacked WRs for the RC retransmission timer.
-	pending map[uint64]*sendAttempt
+	// pending tracks unacked WRs for the RC retransmission timer: an
+	// open-addressed index into a pooled slab of wrState slots, so the
+	// per-send fast path allocates nothing at steady state.
+	pending wrTable
+	wrFree  []*wrState
 	// seen dedupes retransmitted deliveries at the receiver (the PSN
 	// check real RC performs): a duplicate is re-acked but consumes no
 	// receive buffer. Entries are swept after dedupWindow (see sweepSeen).
-	seen        map[uint64]bool
-	seenLog     []seenEntry
+	// The set is open-addressed; seenLog is a ring whose head the sweeper
+	// advances in place, so sustained load reuses the same backing arrays
+	// instead of growing a retained slice prefix forever.
+	seen        u64Set
+	seenLog     ring.Deque[seenEntry]
+	sweepFn     func() // bound once: the seenLog sweeper
 	sweepArmed  bool
 	retransmits uint64
 	dupsDropped uint64
@@ -45,24 +53,40 @@ type seenEntry struct {
 
 // dedupWindow bounds how long dedup state is retained. It must exceed the
 // maximum plausible delivery skew between an original and its last
-// retransmitted copy (retries span ~4ms; pipe backlogs add the rest).
+// retransmitted copy (retries span ~4ms; pipe backlogs add the rest). The
+// same bound fences wrState slot reuse: a slot is recycled only after the
+// window, by which time every copy of its WR has left the fabric.
 const dedupWindow = time.Second
 
-// sendAttempt is the transport-level state of one in-flight WR.
-type sendAttempt struct {
+// wrState is one slab slot: the transport-level state of an in-flight WR.
+// Its event callbacks are bound once when the slot is created, so posting,
+// retransmitting and completing a send allocate nothing once the pool is
+// warm. A slot is freed either immediately on completion (never
+// retransmitted: exactly one copy existed and it has fully completed, so no
+// event can still reference the slot) or after dedupWindow (retransmitted:
+// the tombstone absorbs late duplicate acks first).
+type wrState struct {
+	qp       *QP
+	id       uint64
+	d        mempool.Descriptor
 	done     bool
 	attempts int
 	timer    sim.Event
+
+	xmitFn    func() // hand the serialized WR to the fabric
+	deliverFn func() // receive-side entry on the peer RNIC
+	checkFn   func() // retransmit-timer body
+	expireFn  func() // tombstone expiry: drop the index entry, free the slot
 }
 
 // Connect establishes an RC connection between two RNICs and returns both
 // ends. The caller models setup latency (params.QPSetupTime) — see
 // ConnPool.Establish for the pooled version.
 func Connect(a, b *RNIC, tenant string, srqA, srqB *SRQ, cqA, cqB *CQ) (*QP, *QP) {
-	qa := &QP{id: a.qpID(), rnic: a, Tenant: tenant, srq: srqA, cq: cqA, active: true,
-		pending: make(map[uint64]*sendAttempt), seen: make(map[uint64]bool)}
-	qb := &QP{id: b.qpID(), rnic: b, Tenant: tenant, srq: srqB, cq: cqB, active: true,
-		pending: make(map[uint64]*sendAttempt), seen: make(map[uint64]bool)}
+	qa := &QP{id: a.qpID(), rnic: a, Tenant: tenant, srq: srqA, cq: cqA, active: true}
+	qb := &QP{id: b.qpID(), rnic: b, Tenant: tenant, srq: srqB, cq: cqB, active: true}
+	qa.sweepFn = qa.sweepSeen
+	qb.sweepFn = qb.sweepSeen
 	qa.peer, qb.peer = qb, qa
 	return qa, qb
 }
@@ -113,8 +137,37 @@ func (qp *QP) RNIC() *RNIC { return qp.rnic }
 // Peer returns the remote end.
 func (qp *QP) Peer() *QP { return qp.peer }
 
+// allocWR takes a slab slot for a newly posted WR and indexes it.
+func (qp *QP) allocWR(id uint64, d mempool.Descriptor) *wrState {
+	var st *wrState
+	if n := len(qp.wrFree); n > 0 {
+		st = qp.wrFree[n-1]
+		qp.wrFree = qp.wrFree[:n-1]
+	} else {
+		st = &wrState{qp: qp}
+		st.xmitFn = st.xmit
+		st.deliverFn = st.deliver
+		st.checkFn = st.check
+		st.expireFn = st.expire
+	}
+	st.id = id
+	st.d = d
+	st.done = false
+	st.attempts = 0
+	st.timer = sim.Event{}
+	qp.pending.put(id, st)
+	return st
+}
+
+// freeWR recycles a slab slot. The caller must have removed it from the
+// pending index first.
+func (qp *QP) freeWR(st *wrState) {
+	st.d = mempool.Descriptor{} // drop buffer/trace references
+	qp.wrFree = append(qp.wrFree, st)
+}
+
 func (qp *QP) complete(e CQE) {
-	if st := qp.pending[e.WRID]; st != nil {
+	if st := qp.pending.get(e.WRID); st != nil {
 		if st.done {
 			return // duplicate ack (a retransmitted copy also delivered)
 		}
@@ -123,13 +176,13 @@ func (qp *QP) complete(e CQE) {
 		if st.attempts == 0 {
 			// Never retransmitted: exactly one copy exists, so no
 			// duplicate ack can arrive — reclaim immediately. This keeps
-			// the map tiny on lossless paths.
-			delete(qp.pending, e.WRID)
+			// the index tiny on lossless paths.
+			qp.pending.del(e.WRID)
+			qp.freeWR(st)
 		} else {
 			// Tombstone against late duplicate acks, swept after the
 			// dedup window.
-			id := e.WRID
-			qp.rnic.eng.After(dedupWindow, func() { delete(qp.pending, id) })
+			qp.rnic.eng.After(dedupWindow, st.expireFn)
 		}
 	}
 	qp.outstanding--
@@ -142,7 +195,6 @@ func (qp *QP) complete(e CQE) {
 // caller pays params.VerbsPostCost on its own core.
 func (qp *QP) PostSend(d mempool.Descriptor) uint64 {
 	r := qp.rnic
-	p := r.p
 	id := r.wrID()
 	qp.outstanding++
 	if qp.errored {
@@ -159,103 +211,196 @@ func (qp *QP) PostSend(d mempool.Descriptor) uint64 {
 	// The transfer span runs from the post to the receive-side CQE (closed
 	// in CQ.push); a send abandoned by the transport leaves it open, which
 	// reports and exports ignore.
-	d.Trace.BeginStage(trace.StageRDMA, string(r.node)+"/rnic")
-	st := &sendAttempt{}
-	qp.pending[id] = st
-	attempt := func() {
-		cost := p.RNICPerWR + r.cachePenalty(qp.id) + r.dmaCost(d.Len)
-		done := r.pipe(cost)
-		wire := d.Len + wireHeaderBytes
-		r.eng.At(done, func() {
-			r.net.SendTraced(r.node, qp.peer.rnic.node, wire, d.Trace, func() {
-				qp.peer.rnic.deliverSend(qp, id, d, 0)
-			})
-		})
-	}
-	qp.armRetransmit(id, st, d, attempt)
-	attempt()
+	d.Trace.BeginStage(trace.StageRDMA, r.label)
+	st := qp.allocWR(id, d)
+	st.timer = r.eng.After(r.p.RetransmitTimeout, st.checkFn)
+	st.attempt()
 	return id
 }
 
-// armRetransmit schedules the RC ack timer for a WR: unacked WRs are
-// retransmitted, and after TransportRetries the QP errors out.
-func (qp *QP) armRetransmit(id uint64, st *sendAttempt, d mempool.Descriptor, attempt func()) {
+// attempt transmits one copy of the WR: RNIC pipeline, then the fabric.
+func (st *wrState) attempt() {
+	qp := st.qp
 	r := qp.rnic
-	p := r.p
-	var check func()
-	check = func() {
-		if st.done {
-			return
-		}
-		st.attempts++
-		if st.attempts > p.TransportRetries {
-			qp.errored = true
-			qp.rnic.cache.evict(qp.id)
-			st.done = true // tombstone: late copies must not double-complete
-			r.eng.After(dedupWindow, func() { delete(qp.pending, id) })
-			qp.outstanding--
-			qp.cq.push(CQE{WRID: id, Op: OpSend, Status: StatusRetryExceeded, Bytes: d.Len, Tenant: qp.Tenant, QP: qp, Desc: d})
-			return
-		}
-		qp.retransmits++
-		attempt()
-		st.timer = r.eng.After(p.RetransmitTimeout, check)
+	cost := r.p.RNICPerWR + r.cachePenalty(qp.id) + r.dmaCost(st.d.Len)
+	done := r.pipe(cost)
+	r.eng.At(done, st.xmitFn)
+}
+
+func (st *wrState) xmit() {
+	qp := st.qp
+	r := qp.rnic
+	r.net.SendTraced(r.node, qp.peer.rnic.node, st.d.Len+wireHeaderBytes, st.d.Trace, st.deliverFn)
+}
+
+func (st *wrState) deliver() {
+	qp := st.qp
+	qp.peer.rnic.deliverSend(qp, st.id, st.d, 0)
+}
+
+// check is the RC ack timer body: unacked WRs are retransmitted, and after
+// TransportRetries the QP errors out.
+func (st *wrState) check() {
+	qp := st.qp
+	r := qp.rnic
+	if st.done {
+		return
 	}
-	st.timer = r.eng.After(p.RetransmitTimeout, check)
+	st.attempts++
+	if st.attempts > r.p.TransportRetries {
+		qp.errored = true
+		r.cache.evict(qp.id)
+		st.done = true // tombstone: late copies must not double-complete
+		r.eng.After(dedupWindow, st.expireFn)
+		qp.outstanding--
+		qp.cq.push(CQE{WRID: st.id, Op: OpSend, Status: StatusRetryExceeded, Bytes: st.d.Len, Tenant: qp.Tenant, QP: qp, Desc: st.d})
+		return
+	}
+	qp.retransmits++
+	st.attempt()
+	st.timer = r.eng.After(r.p.RetransmitTimeout, st.checkFn)
+}
+
+// expire retires a tombstoned slot after the dedup window.
+func (st *wrState) expire() {
+	st.qp.pending.del(st.id)
+	st.qp.freeWR(st)
+}
+
+// recvFlow is the receiver-side state of one delivered copy of a send,
+// pooled per RNIC with its stage callbacks bound once. It carries its own
+// copy of the WR metadata, so receiver-side retry chains never reference
+// the sender's (reusable) wrState slot.
+type recvFlow struct {
+	r       *RNIC // receiving RNIC
+	src     *QP
+	dst     *QP
+	wrID    uint64
+	d       mempool.Descriptor
+	attempt int
+	buf     mempool.Descriptor
+
+	matchFn func() // after the match-pipe stage: SRQ pop or RNR
+	dmaFn   func() // after payload DMA: recv CQE + ack
+	retryFn func() // RNR backoff re-entry
+	ackFn   func() // OK ack to the sender; releases the flow
+	rnrFn   func() // RNRExceeded to the sender; releases the flow
+	dupFn   func() // duplicate re-ack to the sender; releases the flow
+}
+
+func (r *RNIC) allocFlow() *recvFlow {
+	var f *recvFlow
+	if n := len(r.flowFree); n > 0 {
+		f = r.flowFree[n-1]
+		r.flowFree = r.flowFree[:n-1]
+	} else {
+		f = &recvFlow{r: r}
+		f.matchFn = f.match
+		f.dmaFn = f.dma
+		f.retryFn = f.retry
+		f.ackFn = f.ack
+		f.rnrFn = f.rnrExceeded
+		f.dupFn = f.dupAck
+	}
+	return f
+}
+
+func (r *RNIC) releaseFlow(f *recvFlow) {
+	f.src = nil
+	f.dst = nil
+	f.d = mempool.Descriptor{}
+	f.buf = mempool.Descriptor{}
+	r.flowFree = append(r.flowFree, f)
 }
 
 // deliverSend runs on the receiving RNIC when a two-sided send arrives.
 func (r *RNIC) deliverSend(src *QP, wrID uint64, d mempool.Descriptor, attempt int) {
-	dst := src.peer
+	f := r.allocFlow()
+	f.src = src
+	f.dst = src.peer
+	f.wrID = wrID
+	f.d = d
+	f.attempt = attempt
+	f.start()
+}
+
+func (f *recvFlow) start() {
+	r := f.r
 	p := r.p
-	if dst.seen[wrID] {
+	dst := f.dst
+	if dst.seen.has(f.wrID) {
 		// Duplicate of a retransmitted WR (PSN already consumed): drop it
 		// and re-ack so the sender stops retransmitting.
 		dst.dupsDropped++
-		r.eng.After(p.FabricPropagation, func() {
-			src.complete(CQE{WRID: wrID, Op: OpSend, Status: StatusOK, Bytes: d.Len, Tenant: src.Tenant, QP: src, Desc: d})
-		})
+		r.eng.After(p.FabricPropagation, f.dupFn)
 		return
 	}
 	cost := p.RNICPerWR + r.cachePenalty(dst.id) + p.RecvMatchCost
 	at := r.pipe(cost)
-	r.eng.At(at, func() {
-		buf, ok := dst.srq.pop()
-		if !ok {
-			// Receiver not ready: RC retries with backoff, then errors.
-			dst.srq.rnr++
-			r.rnrRetries++
-			d.Trace.Event(trace.StageRNR, string(r.node)+"/rnic")
-			if attempt+1 > maxRNRRetries {
-				src.rnic.eng.After(p.FabricPropagation, func() {
-					src.complete(CQE{WRID: wrID, Op: OpSend, Status: StatusRNRExceeded, Bytes: d.Len, Tenant: src.Tenant, QP: src, Desc: d})
-				})
-				return
-			}
-			r.eng.After(p.RNRRetryDelay, func() {
-				r.deliverSend(src, wrID, d, attempt+1)
-			})
+	r.eng.At(at, f.matchFn)
+}
+
+func (f *recvFlow) match() {
+	r := f.r
+	p := r.p
+	dst := f.dst
+	buf, ok := dst.srq.pop()
+	if !ok {
+		// Receiver not ready: RC retries with backoff, then errors.
+		dst.srq.rnr++
+		r.rnrRetries++
+		f.d.Trace.Event(trace.StageRNR, r.label)
+		if f.attempt+1 > maxRNRRetries {
+			f.src.rnic.eng.After(p.FabricPropagation, f.rnrFn)
 			return
 		}
-		dst.markSeen(wrID)
-		done := r.pipe(r.dmaCost(d.Len))
-		r.eng.At(done, func() {
-			recv := buf
-			recv.Len = d.Len
-			recv.Src = d.Src
-			recv.Dst = d.Dst
-			recv.Seq = d.Seq
-			recv.Stamp = d.Stamp
-			recv.Ctx = d.Ctx
-			recv.Trace = d.Trace
-			dst.srq.consumed++
-			dst.cq.push(CQE{WRID: r.wrID(), Op: OpRecv, Status: StatusOK, Bytes: d.Len, Tenant: dst.Tenant, QP: dst, Desc: recv})
-			// RC ack completes the sender after one propagation delay.
-			r.eng.After(p.FabricPropagation, func() {
-				src.complete(CQE{WRID: wrID, Op: OpSend, Status: StatusOK, Bytes: d.Len, Tenant: src.Tenant, QP: src, Desc: d})
-			})
-		})
-	})
+		r.eng.After(p.RNRRetryDelay, f.retryFn)
+		return
+	}
+	dst.markSeen(f.wrID)
+	f.buf = buf
+	done := r.pipe(r.dmaCost(f.d.Len))
+	r.eng.At(done, f.dmaFn)
+}
+
+func (f *recvFlow) retry() {
+	f.attempt++
+	f.start()
+}
+
+func (f *recvFlow) dma() {
+	r := f.r
+	dst := f.dst
+	recv := f.buf
+	recv.Len = f.d.Len
+	recv.Src = f.d.Src
+	recv.Dst = f.d.Dst
+	recv.Seq = f.d.Seq
+	recv.Stamp = f.d.Stamp
+	recv.Ctx = f.d.Ctx
+	recv.Trace = f.d.Trace
+	dst.srq.consumed++
+	dst.cq.push(CQE{WRID: r.wrID(), Op: OpRecv, Status: StatusOK, Bytes: f.d.Len, Tenant: dst.Tenant, QP: dst, Desc: recv})
+	// RC ack completes the sender after one propagation delay.
+	r.eng.After(r.p.FabricPropagation, f.ackFn)
+}
+
+func (f *recvFlow) ack() {
+	src := f.src
+	src.complete(CQE{WRID: f.wrID, Op: OpSend, Status: StatusOK, Bytes: f.d.Len, Tenant: src.Tenant, QP: src, Desc: f.d})
+	f.r.releaseFlow(f)
+}
+
+func (f *recvFlow) rnrExceeded() {
+	src := f.src
+	src.complete(CQE{WRID: f.wrID, Op: OpSend, Status: StatusRNRExceeded, Bytes: f.d.Len, Tenant: src.Tenant, QP: src, Desc: f.d})
+	f.r.releaseFlow(f)
+}
+
+func (f *recvFlow) dupAck() {
+	src := f.src
+	src.complete(CQE{WRID: f.wrID, Op: OpSend, Status: StatusOK, Bytes: f.d.Len, Tenant: src.Tenant, QP: src, Desc: f.d})
+	f.r.releaseFlow(f)
 }
 
 // RemoteBuf names a destination buffer for one-sided operations.
@@ -275,7 +420,7 @@ func (qp *QP) PostWrite(d mempool.Descriptor, remote RemoteBuf) uint64 {
 	qp.bytesSent += uint64(d.Len)
 	r.writes++
 
-	d.Trace.BeginStage(trace.StageRDMA, string(r.node)+"/rnic")
+	d.Trace.BeginStage(trace.StageRDMA, r.label)
 	cost := p.RNICPerWR + r.cachePenalty(qp.id) + r.dmaCost(d.Len)
 	done := r.pipe(cost)
 	wire := d.Len + wireHeaderBytes
@@ -371,28 +516,29 @@ func (qp *QP) PostCAS(key string, compare, swap uint64, fn func(CASResult)) uint
 // batched sweeper that retires entries after the dedup window — one timer
 // per QP, not one per delivery.
 func (qp *QP) markSeen(wrID uint64) {
-	qp.seen[wrID] = true
-	qp.seenLog = append(qp.seenLog, seenEntry{wr: wrID, at: qp.rnic.eng.Now()})
+	qp.seen.put(wrID)
+	qp.seenLog.PushBack(seenEntry{wr: wrID, at: qp.rnic.eng.Now()})
 	if !qp.sweepArmed {
 		qp.sweepArmed = true
-		qp.rnic.eng.After(dedupWindow, qp.sweepSeen)
+		qp.rnic.eng.After(dedupWindow, qp.sweepFn)
 	}
 }
 
 // sweepSeen retires dedup entries older than the window and re-arms while
-// any remain.
+// any remain. The ring's head advances in place, so the log's footprint is
+// bounded by the peak one-window population, not by lifetime deliveries.
 func (qp *QP) sweepSeen() {
 	now := qp.rnic.eng.Now()
-	i := 0
-	for ; i < len(qp.seenLog); i++ {
-		if now-qp.seenLog[i].at < dedupWindow {
+	for qp.seenLog.Len() > 0 {
+		e := qp.seenLog.Front()
+		if now-e.at < dedupWindow {
 			break
 		}
-		delete(qp.seen, qp.seenLog[i].wr)
+		qp.seen.del(e.wr)
+		qp.seenLog.PopFront()
 	}
-	qp.seenLog = qp.seenLog[i:]
-	if len(qp.seenLog) > 0 {
-		qp.rnic.eng.After(dedupWindow-(now-qp.seenLog[0].at), qp.sweepSeen)
+	if qp.seenLog.Len() > 0 {
+		qp.rnic.eng.After(dedupWindow-(now-qp.seenLog.Front().at), qp.sweepFn)
 	} else {
 		qp.sweepArmed = false
 	}

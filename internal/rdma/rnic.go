@@ -18,6 +18,7 @@ import (
 	"nadino/internal/fabric"
 	"nadino/internal/mempool"
 	"nadino/internal/params"
+	"nadino/internal/ring"
 	"nadino/internal/sim"
 	"nadino/internal/trace"
 )
@@ -86,12 +87,21 @@ type CQE struct {
 	Desc mempool.Descriptor
 }
 
-// CQ is a completion queue. Consumers either Poll it or block on Wait.
+// CQ is a completion queue backed by a growable power-of-two ring buffer.
+// Consumers either Poll/PollInto it or block on Wait. Notification is
+// coalesced doorbell-style: waiters and the notify hook fire only on the
+// empty -> non-empty transition, one wake per drain batch rather than one
+// per CQE. (This is behaviorally identical to per-CQE pulsing: a consumer
+// only parks after draining the ring to empty, so the first push after a
+// park is always an empty -> non-empty push; later pushes in the same batch
+// found no parked waiter under either scheme.)
 type CQ struct {
-	eng     *sim.Engine
-	entries []CQE
-	sig     *sim.Signal
-	onPush  func() // optional hook: prod an event loop
+	eng    *sim.Engine
+	buf    []CQE // power-of-two ring
+	head   int   // index of oldest entry
+	n      int   // live entries
+	sig    *sim.Signal
+	onPush func() // optional hook: prod an event loop
 }
 
 // NewCQ returns an empty completion queue.
@@ -99,9 +109,32 @@ func NewCQ(eng *sim.Engine) *CQ {
 	return &CQ{eng: eng, sig: sim.NewSignal(eng)}
 }
 
-// SetNotify installs a callback invoked (in engine context) whenever an
-// entry is pushed. Event-loop consumers use it to avoid missed wakeups.
+// SetNotify installs a callback invoked (in engine context) whenever the
+// queue transitions from empty to non-empty. Event-loop consumers use it to
+// avoid missed wakeups.
 func (cq *CQ) SetNotify(fn func()) { cq.onPush = fn }
+
+// grow doubles the ring (min 16), linearizing live entries to the front.
+func (cq *CQ) grow() {
+	c := len(cq.buf) * 2
+	if c < 16 {
+		c = 16
+	}
+	buf := make([]CQE, c)
+	cq.copyTo(buf)
+	cq.buf = buf
+	cq.head = 0
+}
+
+// copyTo linearizes the live entries (in CQE order) into dst.
+func (cq *CQ) copyTo(dst []CQE) {
+	first := cq.buf[cq.head:]
+	if len(first) > cq.n {
+		first = first[:cq.n]
+	}
+	k := copy(dst, first)
+	copy(dst[k:], cq.buf[:cq.n-k])
+}
 
 func (cq *CQ) push(e CQE) {
 	// Completion is the transfer/ack boundary for the descriptor's trace:
@@ -116,16 +149,46 @@ func (cq *CQ) push(e CQE) {
 	case OpSend:
 		e.Desc.Trace.BeginStageDetail(trace.StageRDMAAck, "cq")
 	}
-	cq.entries = append(cq.entries, e)
-	cq.sig.Pulse()
-	if cq.onPush != nil {
-		cq.onPush()
+	if cq.n == len(cq.buf) {
+		cq.grow()
+	}
+	cq.buf[(cq.head+cq.n)&(len(cq.buf)-1)] = e
+	cq.n++
+	if cq.n == 1 {
+		cq.sig.Pulse()
+		if cq.onPush != nil {
+			cq.onPush()
+		}
 	}
 }
 
-// Poll removes and returns up to max entries (all if max <= 0).
+// PollInto removes up to len(buf) entries into buf and reports how many, in
+// exact CQE order. The zero-alloc polling path: callers reuse buf across
+// drains.
+func (cq *CQ) PollInto(buf []CQE) int {
+	n := cq.n
+	if n > len(buf) {
+		n = len(buf)
+	}
+	if n == 0 {
+		return 0
+	}
+	mask := len(cq.buf) - 1
+	var zero CQE
+	for i := 0; i < n; i++ {
+		j := (cq.head + i) & mask
+		buf[i] = cq.buf[j]
+		cq.buf[j] = zero // release descriptor references for GC
+	}
+	cq.head = (cq.head + n) & mask
+	cq.n -= n
+	return n
+}
+
+// Poll removes and returns up to max entries (all if max <= 0). It
+// allocates the returned slice; hot loops should use PollInto.
 func (cq *CQ) Poll(max int) []CQE {
-	n := len(cq.entries)
+	n := cq.n
 	if max > 0 && max < n {
 		n = max
 	}
@@ -133,27 +196,26 @@ func (cq *CQ) Poll(max int) []CQE {
 		return nil
 	}
 	out := make([]CQE, n)
-	copy(out, cq.entries[:n])
-	cq.entries = cq.entries[n:]
+	cq.PollInto(out)
 	return out
 }
 
 // Wait blocks p until the queue is non-empty.
 func (cq *CQ) Wait(p *sim.Proc) {
-	for len(cq.entries) == 0 {
+	for cq.n == 0 {
 		cq.sig.Wait(p)
 	}
 }
 
 // Len reports queued completions.
-func (cq *CQ) Len() int { return len(cq.entries) }
+func (cq *CQ) Len() int { return cq.n }
 
 // SRQ is a shared receive queue: all of a tenant's RC QPs on a node share
 // one RQ posted from that tenant's pool, so the RNIC always lands incoming
 // data in the right pool (§3.3).
 type SRQ struct {
 	Tenant   string
-	posted   []mempool.Descriptor
+	posted   ring.Deque[mempool.Descriptor]
 	consumed uint64 // recv CQEs since last ConsumedReset (drives replenish)
 	rnr      uint64
 }
@@ -164,10 +226,18 @@ func NewSRQ(tenant string) *SRQ { return &SRQ{Tenant: tenant} }
 // PostRecv posts a free buffer for incoming sends. The descriptor's buffer
 // must already be owned by the posting entity (ownership checks happen at
 // the mempool layer in the callers).
-func (s *SRQ) PostRecv(d mempool.Descriptor) { s.posted = append(s.posted, d) }
+func (s *SRQ) PostRecv(d mempool.Descriptor) { s.posted.PushBack(d) }
+
+// PostRecvN posts a batch of free buffers in order — the doorbell-batched
+// replenish the DNE core thread uses (§3.5.2).
+func (s *SRQ) PostRecvN(ds []mempool.Descriptor) {
+	for _, d := range ds {
+		s.posted.PushBack(d)
+	}
+}
 
 // Posted reports currently posted buffers.
-func (s *SRQ) Posted() int { return len(s.posted) }
+func (s *SRQ) Posted() int { return s.posted.Len() }
 
 // Consumed reports recv completions since the last reset — the counter the
 // DNE core thread watches to replenish buffers (§3.5.2).
@@ -184,12 +254,10 @@ func (s *SRQ) ConsumedReset() uint64 {
 func (s *SRQ) RNREvents() uint64 { return s.rnr }
 
 func (s *SRQ) pop() (mempool.Descriptor, bool) {
-	if len(s.posted) == 0 {
+	if s.posted.Len() == 0 {
 		return mempool.Descriptor{}, false
 	}
-	d := s.posted[0]
-	s.posted = s.posted[1:]
-	return d, true
+	return s.posted.PopFront(), true
 }
 
 // Landed records a one-sided write that arrived in a memory region.
@@ -273,10 +341,14 @@ func (c *qpCache) evict(id int) {
 
 // RNIC models one RDMA NIC attached to the fabric.
 type RNIC struct {
-	eng  *sim.Engine
-	p    *params.Params
-	node fabric.NodeID
-	net  *fabric.Network
+	eng   *sim.Engine
+	p     *params.Params
+	node  fabric.NodeID
+	net   *fabric.Network
+	label string // precomputed trace actor ("<node>/rnic")
+
+	// flowFree recycles receiver-side delivery state (see recvFlow).
+	flowFree []*recvFlow
 
 	pipeBusy time.Duration
 	pipeTime time.Duration // accumulated busy (utilization)
@@ -302,6 +374,7 @@ func NewRNIC(eng *sim.Engine, p *params.Params, node fabric.NodeID, net *fabric.
 		p:     p,
 		node:  node,
 		net:   net,
+		label: string(node) + "/rnic",
 		cache: newQPCache(p.NICCacheActiveQPs),
 		words: make(map[string]uint64),
 	}

@@ -1,0 +1,216 @@
+package rdma
+
+// This file implements the zero-alloc bookkeeping structures behind the QP
+// fast path: an open-addressed map from in-flight WR ids to their pooled
+// slab slots, and an open-addressed set for the receiver's PSN dedup check.
+// Both replace built-in maps whose per-entry overhead (bucket chains,
+// incremental growth) dominated the data-plane allocation profile. Keys are
+// the RNIC's monotone WR ids, which start at 1, so 0 marks an empty bucket.
+//
+// Probing is linear with a Fibonacci-multiplicative home slot, and deletion
+// uses backward-shift compaction instead of tombstones, so lookup cost
+// stays bounded by the live load factor (<= 1/2) no matter how many entries
+// have churned through.
+
+// fibMul is 2^64 / phi, the Fibonacci hashing multiplier.
+const fibMul = 0x9E3779B97F4A7C15
+
+// wrTable maps WR id -> slab slot for unacked WRs.
+type wrTable struct {
+	keys  []uint64
+	vals  []*wrState
+	n     int
+	shift uint
+}
+
+func (t *wrTable) home(key uint64) uint64 {
+	return (key * fibMul) >> t.shift
+}
+
+func (t *wrTable) grow() {
+	old := t.keys
+	oldVals := t.vals
+	c := len(t.keys) * 2
+	if c < 16 {
+		c = 16
+	}
+	t.keys = make([]uint64, c)
+	t.vals = make([]*wrState, c)
+	t.shift = 64
+	for m := 1; m < c; m *= 2 {
+		t.shift--
+	}
+	t.n = 0
+	for i, k := range old {
+		if k != 0 {
+			t.put(k, oldVals[i])
+		}
+	}
+}
+
+// put inserts key -> v. Keys are unique (monotone WR ids), so no
+// overwrite check is needed.
+func (t *wrTable) put(key uint64, v *wrState) {
+	if t.n*2 >= len(t.keys) {
+		t.grow()
+	}
+	mask := uint64(len(t.keys) - 1)
+	i := t.home(key)
+	for t.keys[i] != 0 {
+		i = (i + 1) & mask
+	}
+	t.keys[i] = key
+	t.vals[i] = v
+	t.n++
+}
+
+// get returns the slot for key, or nil.
+func (t *wrTable) get(key uint64) *wrState {
+	if t.n == 0 {
+		return nil
+	}
+	mask := uint64(len(t.keys) - 1)
+	i := t.home(key)
+	for {
+		if t.keys[i] == key {
+			return t.vals[i]
+		}
+		if t.keys[i] == 0 {
+			return nil
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// del removes key, compacting the probe chain behind it (backward-shift
+// deletion), and reports whether it was present.
+func (t *wrTable) del(key uint64) bool {
+	if t.n == 0 {
+		return false
+	}
+	mask := uint64(len(t.keys) - 1)
+	i := t.home(key)
+	for t.keys[i] != key {
+		if t.keys[i] == 0 {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+	j := i
+	for {
+		t.keys[j] = 0
+		t.vals[j] = nil
+		k := j
+		for {
+			k = (k + 1) & mask
+			if t.keys[k] == 0 {
+				t.n--
+				return true
+			}
+			// An element probes forward from its home slot; it may slide
+			// back into j only if j lies on that probe path.
+			h := t.home(t.keys[k])
+			if (k-h)&mask >= (k-j)&mask {
+				t.keys[j] = t.keys[k]
+				t.vals[j] = t.vals[k]
+				j = k
+				break
+			}
+		}
+	}
+}
+
+// u64Set is the key-only variant backing the receiver's dedup window.
+type u64Set struct {
+	keys  []uint64
+	n     int
+	shift uint
+}
+
+func (s *u64Set) home(key uint64) uint64 {
+	return (key * fibMul) >> s.shift
+}
+
+func (s *u64Set) grow() {
+	old := s.keys
+	c := len(s.keys) * 2
+	if c < 16 {
+		c = 16
+	}
+	s.keys = make([]uint64, c)
+	s.shift = 64
+	for m := 1; m < c; m *= 2 {
+		s.shift--
+	}
+	s.n = 0
+	for _, k := range old {
+		if k != 0 {
+			s.put(k)
+		}
+	}
+}
+
+func (s *u64Set) put(key uint64) {
+	if s.n*2 >= len(s.keys) {
+		s.grow()
+	}
+	mask := uint64(len(s.keys) - 1)
+	i := s.home(key)
+	for s.keys[i] != 0 {
+		if s.keys[i] == key {
+			return
+		}
+		i = (i + 1) & mask
+	}
+	s.keys[i] = key
+	s.n++
+}
+
+func (s *u64Set) has(key uint64) bool {
+	if s.n == 0 {
+		return false
+	}
+	mask := uint64(len(s.keys) - 1)
+	i := s.home(key)
+	for {
+		if s.keys[i] == key {
+			return true
+		}
+		if s.keys[i] == 0 {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (s *u64Set) del(key uint64) bool {
+	if s.n == 0 {
+		return false
+	}
+	mask := uint64(len(s.keys) - 1)
+	i := s.home(key)
+	for s.keys[i] != key {
+		if s.keys[i] == 0 {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+	j := i
+	for {
+		s.keys[j] = 0
+		k := j
+		for {
+			k = (k + 1) & mask
+			if s.keys[k] == 0 {
+				s.n--
+				return true
+			}
+			h := s.home(s.keys[k])
+			if (k-h)&mask >= (k-j)&mask {
+				s.keys[j] = s.keys[k]
+				j = k
+				break
+			}
+		}
+	}
+}

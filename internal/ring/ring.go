@@ -1,0 +1,87 @@
+// Package ring provides a growable power-of-two ring deque. It replaces the
+// `q = q[1:]` head-pop idiom used by FIFO hot paths throughout the
+// simulator: that idiom strands the popped prefix in the backing array until
+// the next append reallocates, so a long-lived queue under sustained load
+// reallocates (and copies) forever even when its live length is tiny. The
+// deque reuses its slots in place, so a queue that oscillates around a
+// steady depth allocates nothing after warmup.
+package ring
+
+// Deque is a FIFO ring over a power-of-two backing slice. The zero value is
+// an empty, ready-to-use deque.
+type Deque[T any] struct {
+	buf  []T // len(buf) is always zero or a power of two
+	head int // index of the front element
+	n    int // live elements
+}
+
+// grow doubles the backing array (min 8) and linearizes the live elements to
+// the front.
+func (d *Deque[T]) grow() {
+	c := len(d.buf) * 2
+	if c < 8 {
+		c = 8
+	}
+	buf := make([]T, c)
+	d.copyTo(buf)
+	d.buf = buf
+	d.head = 0
+}
+
+// copyTo linearizes the live elements into dst (which must hold >= d.n).
+func (d *Deque[T]) copyTo(dst []T) {
+	if d.n == 0 {
+		return
+	}
+	first := d.buf[d.head:]
+	if len(first) > d.n {
+		first = first[:d.n]
+	}
+	k := copy(dst, first)
+	copy(dst[k:], d.buf[:d.n-k])
+}
+
+// PushBack appends v at the tail.
+func (d *Deque[T]) PushBack(v T) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.n)&(len(d.buf)-1)] = v
+	d.n++
+}
+
+// PopFront removes and returns the front element. It panics on an empty
+// deque; check Len first.
+func (d *Deque[T]) PopFront() T {
+	if d.n == 0 {
+		panic("ring: PopFront on empty deque")
+	}
+	var zero T
+	v := d.buf[d.head]
+	d.buf[d.head] = zero // release references for GC
+	d.head = (d.head + 1) & (len(d.buf) - 1)
+	d.n--
+	return v
+}
+
+// Front returns the front element without removing it.
+func (d *Deque[T]) Front() T {
+	if d.n == 0 {
+		panic("ring: Front on empty deque")
+	}
+	return d.buf[d.head]
+}
+
+// At returns the i-th element from the front (0 = front).
+func (d *Deque[T]) At(i int) T {
+	if i < 0 || i >= d.n {
+		panic("ring: At out of range")
+	}
+	return d.buf[(d.head+i)&(len(d.buf)-1)]
+}
+
+// Len reports the number of live elements.
+func (d *Deque[T]) Len() int { return d.n }
+
+// Cap reports the backing-array capacity (0 or a power of two).
+func (d *Deque[T]) Cap() int { return len(d.buf) }

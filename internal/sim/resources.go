@@ -1,13 +1,17 @@
 package sim
 
-import "time"
+import (
+	"time"
+
+	"nadino/internal/ring"
+)
 
 // WaitQueue is a FIFO list of blocked processes. It is the building block
 // for the higher-level primitives in this package; model code can also use
 // it directly for ad-hoc conditions.
 type WaitQueue struct {
 	eng     *Engine
-	waiters []*Proc
+	waiters ring.Deque[*Proc]
 }
 
 // NewWaitQueue returns an empty wait queue bound to e.
@@ -15,18 +19,17 @@ func NewWaitQueue(e *Engine) *WaitQueue { return &WaitQueue{eng: e} }
 
 // Wait blocks p until a Wake call releases it. FIFO order.
 func (w *WaitQueue) Wait(p *Proc) {
-	w.waiters = append(w.waiters, p)
+	w.waiters.PushBack(p)
 	p.block()
 }
 
 // WakeOne releases the oldest waiter, if any. The waiter resumes at the
 // current virtual time, after events already queued for this instant.
 func (w *WaitQueue) WakeOne() bool {
-	if len(w.waiters) == 0 {
+	if w.waiters.Len() == 0 {
 		return false
 	}
-	p := w.waiters[0]
-	w.waiters = w.waiters[1:]
+	p := w.waiters.PopFront()
 	w.eng.wakeImmediate(p)
 	return true
 }
@@ -35,27 +38,25 @@ func (w *WaitQueue) WakeOne() bool {
 // N wakeups ride a single timer-queue event at the current instant, so a
 // broadcast to a thousand sleepers costs one dispatch, not a thousand.
 func (w *WaitQueue) WakeAll() {
-	n := len(w.waiters)
+	n := w.waiters.Len()
 	if n == 0 {
 		return
 	}
-	for i, p := range w.waiters {
-		w.eng.queueWake(p)
-		w.waiters[i] = nil
+	for i := 0; i < n; i++ {
+		w.eng.queueWake(w.waiters.PopFront())
 	}
-	w.waiters = w.waiters[:0]
 	w.eng.flushWakes(n)
 }
 
 // Len reports the number of blocked processes.
-func (w *WaitQueue) Len() int { return len(w.waiters) }
+func (w *WaitQueue) Len() int { return w.waiters.Len() }
 
 // Semaphore is a counting semaphore for processes. The zero value is not
 // usable; construct with NewSemaphore.
 type Semaphore struct {
 	eng     *Engine
 	avail   int
-	waiters []semWaiter
+	waiters ring.Deque[semWaiter]
 }
 
 type semWaiter struct {
@@ -74,17 +75,17 @@ func (s *Semaphore) Acquire(p *Proc, n int) {
 	if n <= 0 {
 		panic("sim: semaphore acquire of non-positive count")
 	}
-	if len(s.waiters) == 0 && s.avail >= n {
+	if s.waiters.Len() == 0 && s.avail >= n {
 		s.avail -= n
 		return
 	}
-	s.waiters = append(s.waiters, semWaiter{p: p, n: n})
+	s.waiters.PushBack(semWaiter{p: p, n: n})
 	p.block()
 }
 
 // TryAcquire takes n permits without blocking, reporting success.
 func (s *Semaphore) TryAcquire(n int) bool {
-	if len(s.waiters) == 0 && s.avail >= n {
+	if s.waiters.Len() == 0 && s.avail >= n {
 		s.avail -= n
 		return true
 	}
@@ -100,9 +101,8 @@ func (s *Semaphore) Release(n int) {
 	}
 	s.avail += n
 	woken := 0
-	for len(s.waiters) > 0 && s.avail >= s.waiters[0].n {
-		w := s.waiters[0]
-		s.waiters = s.waiters[1:]
+	for s.waiters.Len() > 0 && s.avail >= s.waiters.Front().n {
+		w := s.waiters.PopFront()
 		s.avail -= w.n
 		s.eng.queueWake(w.p)
 		woken++
@@ -114,13 +114,13 @@ func (s *Semaphore) Release(n int) {
 func (s *Semaphore) Available() int { return s.avail }
 
 // Waiting reports the number of blocked acquirers.
-func (s *Semaphore) Waiting() int { return len(s.waiters) }
+func (s *Semaphore) Waiting() int { return s.waiters.Len() }
 
 // Queue is a FIFO message queue between processes. With cap == 0 the queue
 // is unbounded; otherwise Put blocks when full.
 type Queue[T any] struct {
 	eng     *Engine
-	items   []T
+	items   ring.Deque[T]
 	cap     int
 	getters *WaitQueue
 	putters *WaitQueue
@@ -139,30 +139,29 @@ func NewQueue[T any](e *Engine, capacity int) *Queue[T] {
 
 // Put appends v, blocking while the queue is full.
 func (q *Queue[T]) Put(p *Proc, v T) {
-	for q.cap > 0 && len(q.items) >= q.cap {
+	for q.cap > 0 && q.items.Len() >= q.cap {
 		q.putters.Wait(p)
 	}
-	q.items = append(q.items, v)
+	q.items.PushBack(v)
 	q.getters.WakeOne()
 }
 
 // TryPut appends v without blocking, reporting success.
 func (q *Queue[T]) TryPut(v T) bool {
-	if q.cap > 0 && len(q.items) >= q.cap {
+	if q.cap > 0 && q.items.Len() >= q.cap {
 		return false
 	}
-	q.items = append(q.items, v)
+	q.items.PushBack(v)
 	q.getters.WakeOne()
 	return true
 }
 
 // Get removes and returns the oldest item, blocking while empty.
 func (q *Queue[T]) Get(p *Proc) T {
-	for len(q.items) == 0 {
+	for q.items.Len() == 0 {
 		q.getters.Wait(p)
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
+	v := q.items.PopFront()
 	q.putters.WakeOne()
 	return v
 }
@@ -170,11 +169,10 @@ func (q *Queue[T]) Get(p *Proc) T {
 // TryGet removes the oldest item without blocking.
 func (q *Queue[T]) TryGet() (T, bool) {
 	var zero T
-	if len(q.items) == 0 {
+	if q.items.Len() == 0 {
 		return zero, false
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
+	v := q.items.PopFront()
 	q.putters.WakeOne()
 	return v, true
 }
@@ -182,19 +180,19 @@ func (q *Queue[T]) TryGet() (T, bool) {
 // Peek returns the oldest item without removing it.
 func (q *Queue[T]) Peek() (T, bool) {
 	var zero T
-	if len(q.items) == 0 {
+	if q.items.Len() == 0 {
 		return zero, false
 	}
-	return q.items[0], true
+	return q.items.Front(), true
 }
 
 // Len reports the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.items.Len() }
 
 // WaitNonEmpty blocks p until the queue holds at least one item. Unlike Get
 // it does not consume; use it to build poll-style loops over many queues.
 func (q *Queue[T]) WaitNonEmpty(p *Proc) {
-	for len(q.items) == 0 {
+	for q.items.Len() == 0 {
 		q.getters.Wait(p)
 	}
 }
