@@ -41,17 +41,20 @@ bench:
 	( $(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkProc' -benchmem ./internal/sim/ ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkQPPostSend$$|BenchmarkCQPollInto$$' -benchmem ./internal/rdma/ ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkMempoolCachedGetPut$$' -benchmem ./internal/mempool/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkGatewayForward$$|BenchmarkChainCrossNode$$' -benchmem ./internal/gateway/ ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkEndToEndEcho$$' -benchmem -benchtime 5x . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkScaleSweep' -benchtime 1x -timeout 30m ./internal/experiments/ ) | $(GO) run ./cmd/benchjson > BENCH_sim.json
 
 # bench-gate re-runs the headline microbenchmarks — event-core schedule hot
 # path and pooled spawn, plus the data-plane fast path (QP send, CQ ring
-# drain, cached mempool Get/Put) — and fails if any regressed more than 25%
-# in ns/op, or allocates more per op, against the archived BENCH_sim.json.
+# drain, cached mempool Get/Put) and the gateway forwarding path — and fails
+# if any regressed more than 25% in ns/op, or allocates more per op, against
+# the archived BENCH_sim.json.
 bench-gate:
 	( $(GO) test -run '^$$' -bench 'BenchmarkEngineSchedule$$|BenchmarkProcSpawn$$' -benchmem ./internal/sim/ ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkQPPostSend$$|BenchmarkCQPollInto$$' -benchmem ./internal/rdma/ ; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkMempoolCachedGetPut$$' -benchmem ./internal/mempool/ ) | $(GO) run ./cmd/benchjson -gate BENCH_sim.json
+	  $(GO) test -run '^$$' -bench 'BenchmarkMempoolCachedGetPut$$' -benchmem ./internal/mempool/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkGatewayForward$$|BenchmarkChainCrossNode$$' -benchmem ./internal/gateway/ ) | $(GO) run ./cmd/benchjson -gate BENCH_sim.json
 
 # profile captures pprof CPU and heap profiles of a representative slice of
 # the suite (fig15 exercises the full DNE data path at quick fidelity).
@@ -62,12 +65,13 @@ profile:
 	@echo "inspect with: $(GO) tool pprof cpu.prof   (or mem.prof)"
 
 # bench-res archives the resilience headline numbers (recovery ratio, worst
-# recovery time, DWRR vs FCFS retention) as BENCH_res.json, with the
-# telemetry summary gauges of a scraped res-* run embedded alongside. Each
-# iteration is a full quick-mode res-* experiment and deterministic for the
-# fixed seed, so -benchtime 1x is exact.
+# recovery time, DWRR vs FCFS retention) plus the gateway-fabric headlines
+# (placement RPS/latency, failover transit and drops) as BENCH_res.json,
+# with the telemetry summary gauges of a scraped res-* run embedded
+# alongside. Each iteration is a full quick-mode experiment and
+# deterministic for the fixed seed, so -benchtime 1x is exact.
 bench-res: telemetry
-	$(GO) test -run '^$$' -bench 'BenchmarkRes' -benchtime 1x ./internal/experiments/ | $(GO) run ./cmd/benchjson -telemetry telemetry/summary.json > BENCH_res.json
+	$(GO) test -run '^$$' -bench 'BenchmarkRes|BenchmarkFabric' -benchtime 1x ./internal/experiments/ | $(GO) run ./cmd/benchjson -telemetry telemetry/summary.json > BENCH_res.json
 
 # suite regenerates every paper artifact at quick fidelity, sharded across
 # all cores (output is bitwise-identical to -parallel 1).

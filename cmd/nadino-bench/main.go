@@ -9,6 +9,8 @@
 //	nadino-bench -run fig13,fig14 -quick
 //	nadino-bench -run resilience # chaos-driven res-* suite
 //	nadino-bench -run res-storm,res-recovery,res-tenant
+//	nadino-bench -run fabric     # multi-node gateway fabric: placement + failover
+//	nadino-bench -run fabric-shard -trace   # per-hop gw.queue/gw.hop attribution
 //	nadino-bench -parallel 0     # shard sweep points across all cores
 //	nadino-bench -run fig06 -trace
 //	nadino-bench -run resilience -telemetry telemetry/
@@ -40,7 +42,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment IDs, 'all' (paper artifacts), 'ablations', 'resilience' (res-*), or 'everything'")
+	run := flag.String("run", "all", "comma-separated experiment IDs, 'all' (paper artifacts), 'ablations', 'resilience' (res-*), 'fabric' (fabric-*), or 'everything'")
 	quick := flag.Bool("quick", false, "shrink measurement windows and sweeps")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", 1, "workers sharding each experiment's sweep points (0 = all cores, 1 = sequential); output is identical either way")
@@ -71,6 +73,8 @@ func main() {
 		selected = experiments.Ablations()
 	case "resilience":
 		selected = experiments.Resilience()
+	case "fabric":
+		selected = experiments.Fabric()
 	default:
 		for _, id := range strings.Split(*run, ",") {
 			e, ok := experiments.Lookup(strings.TrimSpace(id))

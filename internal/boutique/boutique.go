@@ -8,9 +8,11 @@
 package boutique
 
 import (
+	"fmt"
 	"time"
 
 	"nadino/internal/core"
+	"nadino/internal/gateway"
 )
 
 // Node names used by the standard deployment.
@@ -117,6 +119,66 @@ func ClusterConfig(sys core.System, seed int64) core.Config {
 		Nodes:          []string{Node1, Node2},
 		Functions:      Functions(),
 		Chains:         Chains(),
+		IngressWorkers: 2,
+		IngressMax:     2,
+		Seed:           seed,
+	}
+}
+
+// stageSeq flattens a chain's call tree into the ordered stage sequence the
+// placement heuristic works over: caller before callee, call order
+// preserved, so "adjacent in the sequence" approximates "exchanges data".
+func stageSeq(entry string, calls []core.Call) []string {
+	seq := []string{entry}
+	var walk func(cs []core.Call)
+	walk = func(cs []core.Call) {
+		for _, c := range cs {
+			seq = append(seq, c.Callee)
+			walk(c.Calls)
+		}
+	}
+	walk(calls)
+	return seq
+}
+
+// ShardedConfig spreads the boutique across nodes worker nodes (named
+// node1..nodeN) with the gateway tier enabled, so cross-node chain hops
+// travel the inter-gateway fabric. Placement is locality-aware by default
+// (gateway.Place co-locates adjacent stages, spilling deterministically to
+// the least-loaded node); skewed selects the round-robin adversary
+// (gateway.PlaceSkewed) where every adjacent hop crosses the fabric — the
+// two ends of the placement-quality range the fabric experiments compare.
+func ShardedConfig(sys core.System, seed int64, nodes int, skewed bool) core.Config {
+	if nodes < 2 {
+		nodes = 2
+	}
+	names := make([]string, nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("node%d", i+1)
+	}
+	chains := Chains()
+	seqs := make([][]string, len(chains))
+	for i := range chains {
+		seqs[i] = stageSeq(chains[i].Entry, chains[i].Calls)
+	}
+	var pl map[string]string
+	if skewed {
+		pl = gateway.PlaceSkewed(names, seqs)
+	} else {
+		pl = gateway.Place(names, seqs, 0)
+	}
+	fns := Functions()
+	for i := range fns {
+		if n, ok := pl[fns[i].Name]; ok {
+			fns[i].Node = n
+		}
+	}
+	return core.Config{
+		System:         sys,
+		Nodes:          names,
+		Functions:      fns,
+		Chains:         chains,
+		Gateways:       true,
 		IngressWorkers: 2,
 		IngressMax:     2,
 		Seed:           seed,

@@ -8,6 +8,7 @@ import (
 	"nadino/internal/dne"
 	"nadino/internal/dpu"
 	"nadino/internal/fabric"
+	"nadino/internal/gateway"
 	"nadino/internal/ingress"
 	"nadino/internal/ipc"
 	"nadino/internal/mempool"
@@ -53,6 +54,14 @@ type Config struct {
 	// (default 5ms of simulated time).
 	AutoscaleEvery time.Duration
 
+	// Gateways, on NADINO systems, puts a per-node gateway tier in front of
+	// the engines' direct per-tenant QPs: cross-node hops travel as
+	// inter-gateway one-sided writes with route-table failover (see
+	// internal/gateway). GatewayWindow overrides the per-tenant landing
+	// window (0 = params.GwWindow).
+	Gateways      bool
+	GatewayWindow int
+
 	// Tracer, when non-nil, records a per-stage latency trace for every
 	// request submitted through SubmitChain (see internal/trace). A nil
 	// tracer keeps the whole path span-free.
@@ -76,8 +85,9 @@ type Node struct {
 	pools map[string]*mempool.Pool
 	dpu   *dpu.DPU
 
-	engine *dne.Engine  // NADINO systems
-	fuyao  *fuyaoEngine // FUYAO systems
+	engine *dne.Engine      // NADINO systems
+	fuyao  *fuyaoEngine     // FUYAO systems
+	gw     *gateway.Gateway // NADINO systems with Config.Gateways
 
 	// schedCore is Junction's dedicated per-node scheduler core (always
 	// busy-polling, contributes no packet work).
@@ -274,6 +284,14 @@ func (c *Cluster) addNode(name string) {
 			n.engine.AddTenant(ts.Name, n.pools[ts.Name], ts.Weight)
 		}
 	}
+	if n.engine != nil && c.cfg.Gateways {
+		n.gw = gateway.New(c.Eng, c.P, n.name, c.net, n.dpu.RNIC(), c.cfg.GatewayWindow)
+		for _, ts := range c.tenants {
+			n.gw.AddTenant(ts.Name, n.pools[ts.Name])
+		}
+		n.gw.SetEgress(n.engine)
+		n.engine.SetForwarder(n.gw, n.gw.Owner())
+	}
 	c.nodes[name] = n
 	c.nodeSeq = append(c.nodeSeq, n)
 }
@@ -408,6 +426,21 @@ func (c *Cluster) Gateway() *ingress.Gateway { return c.gw }
 // Engine returns node's network engine (NADINO systems).
 func (c *Cluster) Engine(node string) *dne.Engine { return c.nodes[node].engine }
 
+// NodeGateway returns node's gateway tier (nil unless Config.Gateways).
+func (c *Cluster) NodeGateway(node string) *gateway.Gateway { return c.nodes[node].gw }
+
+// Gateways returns every node gateway in node order (empty unless
+// Config.Gateways).
+func (c *Cluster) Gateways() []*gateway.Gateway {
+	var out []*gateway.Gateway
+	for _, n := range c.nodeSeq {
+		if n.gw != nil {
+			out = append(out, n.gw)
+		}
+	}
+	return out
+}
+
 // Net returns the cluster fabric (chaos injection and stats).
 func (c *Cluster) Net() *fabric.Network { return c.net }
 
@@ -433,6 +466,18 @@ func (c *Cluster) NewChaos(seed int64) *chaos.Injector {
 				}
 				return ts
 			})
+		}
+		if node.gw != nil {
+			g := node.gw
+			in.RegisterQPs("gw-qp@"+string(node.name), func() []chaos.QPErrorTarget {
+				pools := g.Links()
+				ts := make([]chaos.QPErrorTarget, len(pools))
+				for i, cp := range pools {
+					ts[i] = cp
+				}
+				return ts
+			})
+			in.RegisterCores("gw-cores@"+string(node.name), g.Core())
 		}
 	}
 	return in
@@ -463,6 +508,9 @@ func (c *Cluster) setupNadino(pr *sim.Proc) {
 	for _, n := range c.nodeSeq {
 		for _, f := range c.fnSeq {
 			n.engine.SetRoute(f.name, f.node.name)
+			if n.gw != nil {
+				n.gw.Routes().Set(f.name, f.node.name)
+			}
 		}
 		n.engine.SetRoute("ingress", ingressNodeName)
 	}
@@ -503,11 +551,31 @@ func (c *Cluster) setupNadino(pr *sim.Proc) {
 			})
 		}
 	}
+	// Inter-gateway QP pools come up alongside: one pool per node pair,
+	// shared by all tenants (the landing window, not the QP, is per-tenant).
+	if c.cfg.Gateways {
+		for i := 0; i < len(c.nodeSeq); i++ {
+			for j := i + 1; j < len(c.nodeSeq); j++ {
+				a, b := c.nodeSeq[i], c.nodeSeq[j]
+				if a.gw == nil || b.gw == nil {
+					continue
+				}
+				jobs++
+				c.Eng.Spawn("setup-gw-pair", func(spr *sim.Proc) {
+					gateway.Connect(spr, a.gw, b.gw, 4)
+					done.TryPut(struct{}{})
+				})
+			}
+		}
+	}
 	for i := 0; i < jobs; i++ {
 		done.Get(pr)
 	}
 	for _, n := range c.nodeSeq {
 		n.engine.Start()
+		if n.gw != nil {
+			n.gw.Start()
+		}
 	}
 	c.rdmaBE.start()
 }

@@ -97,6 +97,8 @@ type wireConfig struct {
 	IngressWorkers   int   `json:"ingress_workers"`
 	IngressAutoScale bool  `json:"ingress_autoscale"`
 	IngressMax       int   `json:"ingress_max"`
+	Gateways         bool  `json:"gateways"`
+	GatewayWindow    int   `json:"gateway_window"`
 	Seed             int64 `json:"seed"`
 }
 
@@ -121,6 +123,8 @@ func LoadConfig(r io.Reader) (Config, error) {
 		IngressWorkers:   w.IngressWorkers,
 		IngressAutoScale: w.IngressAutoScale,
 		IngressMax:       w.IngressMax,
+		Gateways:         w.Gateways,
+		GatewayWindow:    w.GatewayWindow,
 		Seed:             w.Seed,
 	}
 	for _, f := range w.Functions {

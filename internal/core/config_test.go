@@ -26,6 +26,8 @@ const sampleConfig = `{
      ]}
   ],
   "ingress_workers": 2,
+  "gateways": true,
+  "gateway_window": 16,
   "seed": 7
 }`
 
@@ -47,6 +49,9 @@ func TestLoadConfig(t *testing.T) {
 	}
 	if !cfg.Chains[0].Calls[0].Async {
 		t.Fatal("async flag lost")
+	}
+	if !cfg.Gateways || cfg.GatewayWindow != 16 {
+		t.Fatalf("gateway config lost: gateways=%v window=%d", cfg.Gateways, cfg.GatewayWindow)
 	}
 }
 

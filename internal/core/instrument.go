@@ -75,6 +75,18 @@ func (c *Cluster) Instrument(reg *telemetry.Registry) {
 			}
 		}
 
+		if node.gw != nil {
+			g := node.gw
+			reg.Gauge("gw.route_version", func() float64 { return float64(g.Routes().Version()) }, "node", ns)
+			reg.Rate("gw.forwarded_msgs", func() float64 { return float64(g.Stats().Forwarded) }, "node", ns)
+			reg.Rate("gw.forwarded_bytes", func() float64 { return float64(g.Stats().FwdBytes) }, "node", ns)
+			reg.Rate("gw.delivered", func() float64 { return float64(g.Stats().Delivered) }, "node", ns)
+			reg.Rate("gw.transit", func() float64 { return float64(g.Stats().Transit) }, "node", ns)
+			reg.Rate("gw.dropped", func() float64 { return float64(g.Stats().Dropped) }, "node", ns)
+			reg.Gauge("gw.pending", func() float64 { return float64(g.Pending()) }, "node", ns)
+			reg.Rate("gw.core_util", func() float64 { return g.BusyTime().Seconds() }, "node", ns)
+		}
+
 		id := node.name
 		reg.Rate("fabric.bytes", func() float64 {
 			bytes, _, _ := net.LinkStats(id)

@@ -11,6 +11,7 @@ import (
 	"nadino/internal/metrics"
 	"nadino/internal/params"
 	"nadino/internal/rdma"
+	"nadino/internal/ring"
 	"nadino/internal/sim"
 	"nadino/internal/trace"
 )
@@ -139,6 +140,16 @@ type Engine struct {
 	engOwner   mempool.Owner
 	actorLabel string
 
+	// Gateway tier (optional): cross-node TX hops are offered to fwd
+	// instead of the engine's own per-tenant QPs; landed descriptors come
+	// back through gwIn under gwOwner. selfIdx is this node's interned
+	// index, the "is this hop cross-node" test.
+	fwd     Forwarder
+	gwOwner mempool.Owner
+	gwIn    ring.Deque[mempool.Descriptor]
+	selfIdx int32
+	fwdOut  uint64
+
 	// cqeBuf is the worker's reusable CQ drain buffer; rqBufs/rqDescs are
 	// the keeper's batch-replenish scratch.
 	cqeBuf  []rdma.CQE
@@ -226,8 +237,44 @@ func New(eng *sim.Engine, p *params.Params, cfg Config, d *dpu.DPU, hostCore, ho
 		e.sched = NewFCFS()
 	}
 	e.cq.SetNotify(func() { e.work.Pulse() })
+	e.selfIdx = e.internNode(cfg.Node)
 	return e
 }
+
+// Forwarder is the per-node gateway tier's ingest hook (implemented by
+// gateway.Gateway): the engine offers every cross-node descriptor to it
+// instead of posting on its own per-tenant QPs. ForwardRemote returns false
+// when it cannot serve dst — not a peer gateway, e.g. the ingress backend —
+// and the engine falls back to its direct path.
+type Forwarder interface {
+	ForwardRemote(d mempool.Descriptor, dst fabric.NodeID) bool
+}
+
+// SetForwarder attaches the node's gateway tier. gwOwner is the mempool
+// owner gateway-delivered buffers arrive under (gateway.Gateway.Owner).
+// Call before traffic.
+func (e *Engine) SetForwarder(f Forwarder, gwOwner mempool.Owner) {
+	e.fwd = f
+	e.gwOwner = gwOwner
+}
+
+// GatewayDeliver implements gateway.Egress: accept a descriptor the gateway
+// tier landed for a local function. The buffer is owned by the gateway;
+// the worker loop transfers it to the destination function. Engine context;
+// never blocks.
+func (e *Engine) GatewayDeliver(d mempool.Descriptor) {
+	e.gwIn.PushBack(d)
+	e.work.Pulse()
+}
+
+// GatewayRelease implements gateway.Egress: recycle a source buffer whose
+// gateway forward completed or was dropped.
+func (e *Engine) GatewayRelease(d mempool.Descriptor) {
+	e.releaseBuffer(d)
+}
+
+// Forwarded reports descriptors handed to the gateway tier.
+func (e *Engine) Forwarded() uint64 { return e.fwdOut }
 
 // Node reports the engine's node.
 func (e *Engine) Node() fabric.NodeID { return e.cfg.Node }
@@ -433,6 +480,13 @@ func (e *Engine) workerLoop(pr *sim.Proc) {
 			did = true
 		}
 
+		// Gateway-landed descriptors: same RX treatment as OpRecv, but the
+		// buffer arrives owned by the gateway tier instead of the RQ.
+		for e.gwIn.Len() > 0 {
+			e.gwDeliver(pr, e.gwIn.PopFront())
+			did = true
+		}
+
 		t1 := e.eng.Now()
 		e.RxWall += t1 - t0
 		// Ingest host -> engine descriptors into the tenant scheduler.
@@ -532,6 +586,21 @@ func (e *Engine) txOne(pr *sim.Proc, d mempool.Descriptor) {
 		sp.End()
 		return
 	}
+	if e.fwd != nil && nodeIdx != e.selfIdx {
+		// Cross-node hop with a gateway tier attached: hand the descriptor
+		// to the gateway, which owns the inter-node QPs and the route table.
+		// A refusal (destination isn't a peer gateway, e.g. the ingress
+		// backend) falls through to the engine's direct per-tenant QPs.
+		if e.fwd.ForwardRemote(d, e.nodeNames[nodeIdx]) {
+			sp.End()
+			e.txCount++
+			e.fwdOut++
+			if ts != nil {
+				ts.TxMeter.Inc(1)
+			}
+			return
+		}
+	}
 	var cp *rdma.ConnPool
 	if ts != nil {
 		cp = e.poolByNT[nodeIdx][ts.id]
@@ -613,6 +682,38 @@ func (e *Engine) handleCQE(pr *sim.Proc, cqe rdma.CQE) {
 		sp.End()
 		fp.engineSidePush(d)
 	}
+}
+
+// gwDeliver ingests a gateway-landed descriptor for a local function: the
+// twin of the OpRecv path, with the buffer arriving under the gateway's
+// owner instead of the RQ's.
+func (e *Engine) gwDeliver(pr *sim.Proc, d mempool.Descriptor) {
+	sp := d.Trace.Begin(trace.StageDNERx, e.actorLabel)
+	e.worker.Exec(pr, e.p.DNERxCost)
+	fp, ok := e.ports[d.Dst]
+	if !ok {
+		e.dropNoPort++
+		if ts := e.tenantOf(&d); ts != nil {
+			if err := ts.pool.Put(d.Buf, e.gwOwner); err != nil {
+				panic(fmt.Sprintf("dne: gateway buffer recycle failed: %v", err))
+			}
+		}
+		sp.End()
+		return
+	}
+	ts := e.tenantOf(&d)
+	if ts != nil {
+		if err := ts.pool.Transfer(d.Buf, e.gwOwner, mempool.Owner(d.Dst)); err != nil {
+			panic(fmt.Sprintf("dne: gateway RX ownership handoff failed: %v", err))
+		}
+		ts.RxMeter.Inc(1)
+	}
+	e.rxCount++
+	if cost := fp.engineSidePushCost(); cost > 0 {
+		e.worker.Exec(pr, cost)
+	}
+	sp.End()
+	fp.engineSidePush(d)
 }
 
 // actor labels this engine's spans.

@@ -200,9 +200,10 @@ func All() []Experiment {
 }
 
 // AllWithAblations returns the paper experiments followed by the design
-// ablations, the resilience suite, and the simulator scale sweep.
+// ablations, the resilience suite, the multi-node fabric experiments, and
+// the simulator scale sweep.
 func AllWithAblations() []Experiment {
-	out := append(append(All(), Ablations()...), Resilience()...)
+	out := append(append(append(All(), Ablations()...), Resilience()...), Fabric()...)
 	return append(out, Experiment{
 		ID:    "scale",
 		Title: "Scale sweep — million-client event core",

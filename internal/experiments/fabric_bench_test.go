@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// The fabric benchmarks archive the multi-node gateway headline numbers as
+// custom metrics for BENCH_res.json (`make bench-res`), alongside the res-*
+// suite. Deterministic for the fixed seed, so -benchtime 1x is exact.
+
+func BenchmarkFabricShard(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := FabricShard(fabricOpts)
+		var local, skewed FabricShardRow
+		for _, r := range rows {
+			if r.Fabric && !r.Skewed {
+				local = r
+			}
+			if r.Fabric && r.Skewed {
+				skewed = r
+			}
+		}
+		b.ReportMetric(local.RPS, "local_rps")
+		b.ReportMetric(skewed.RPS, "skewed_rps")
+		b.ReportMetric(float64(local.MeanLat)/float64(time.Microsecond), "local_lat_us")
+		b.ReportMetric(float64(skewed.MeanLat)/float64(time.Microsecond), "skewed_lat_us")
+		b.ReportMetric(float64(skewed.Forwarded-local.Forwarded), "extra_gw_writes")
+	}
+}
+
+func BenchmarkFabricFailover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := FabricFailover(fabricOpts)
+		b.ReportMetric(float64(res.Transit), "transit_legs")
+		b.ReportMetric(float64(res.Drops), "drops")
+		b.ReportMetric(float64(res.DuringPartition), "completed_during_cut")
+		b.ReportMetric(float64(res.RouteVersionSum), "route_version_bumps")
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// fabricOpts is the fixed-seed quick configuration for the fabric shapes.
+var fabricOpts = Opts{Quick: true, Seed: 7}
+
+// get returns the row for (fabric, skewed).
+func getShardRow(t *testing.T, rows []FabricShardRow, gw, skewed bool) FabricShardRow {
+	t.Helper()
+	for _, r := range rows {
+		if r.Fabric == gw && r.Skewed == skewed {
+			return r
+		}
+	}
+	t.Fatalf("no row for fabric=%v skewed=%v", gw, skewed)
+	return FabricShardRow{}
+}
+
+// TestFabricShardShape pins the placement-quality ordering: the gateway
+// tier carries every cross-node hop (and only then), and locality-aware
+// placement crosses the fabric less often — and serves the chain at least
+// as fast — as the round-robin adversary.
+func TestFabricShardShape(t *testing.T) {
+	rows := FabricShard(fabricOpts)
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 grid points, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.RPS <= 0 {
+			t.Errorf("fabric=%v skewed=%v: no throughput", r.Fabric, r.Skewed)
+		}
+		if r.Fabric && r.Forwarded == 0 {
+			t.Errorf("fabric=%v skewed=%v: gateway tier on but nothing forwarded", r.Fabric, r.Skewed)
+		}
+		if !r.Fabric && r.Forwarded != 0 {
+			t.Errorf("fabric=%v skewed=%v: %d gateway writes without the tier", r.Fabric, r.Skewed, r.Forwarded)
+		}
+	}
+	local := getShardRow(t, rows, true, false)
+	skewed := getShardRow(t, rows, true, true)
+	if local.Forwarded >= skewed.Forwarded {
+		t.Errorf("locality placement forwarded %d >= skewed %d — co-location saved nothing",
+			local.Forwarded, skewed.Forwarded)
+	}
+	if local.MeanLat > skewed.MeanLat {
+		t.Errorf("locality placement slower than skewed: %v > %v", local.MeanLat, skewed.MeanLat)
+	}
+}
+
+// TestFabricFailoverShape requires the partition detour to actually happen
+// (transit legs through node2), traffic to flow in all three phases, and
+// the whole run to be deterministic for a fixed seed.
+func TestFabricFailoverShape(t *testing.T) {
+	res := FabricFailover(fabricOpts)
+	if res.Transit == 0 {
+		t.Error("no transit legs — the partition never detoured through node2")
+	}
+	if res.PrePartition == 0 || res.DuringPartition == 0 || res.PostHeal == 0 {
+		t.Errorf("a phase starved: pre=%d during=%d post=%d",
+			res.PrePartition, res.DuringPartition, res.PostHeal)
+	}
+	if res.RouteVersionSum == 0 {
+		t.Error("route tables never changed across a partition and heal")
+	}
+	completed := res.PrePartition + res.DuringPartition + res.PostHeal
+	if completed+res.Drops < res.Issued-res.Drops {
+		t.Errorf("lost traffic unaccounted: issued=%d completed=%d drops=%d",
+			res.Issued, completed, res.Drops)
+	}
+	if again := FabricFailover(fabricOpts); again != res {
+		t.Errorf("same-seed failover runs diverged:\n  %+v\n  %+v", res, again)
+	}
+}

@@ -238,6 +238,16 @@ func (n *Network) Send(from, to NodeID, bytes int, deliver func()) time.Duration
 		panic(fmt.Sprintf("fabric: unknown receiver %q", to))
 	}
 	now := n.eng.Now()
+	if len(n.nodeDown) > 0 && n.nodeDown[to] {
+		// The destination node is down at send time: the switch has no
+		// egress port to deliver to, so the message is dropped immediately —
+		// no serialization is charged to the sender's link and no delivery
+		// is scheduled. (A link-only fault below still consumes egress
+		// serialization: the NIC did transmit.)
+		n.drops++
+		lnk.drops++
+		return now
+	}
 	start := now
 	if lnk.busyUntil > start {
 		start = lnk.busyUntil

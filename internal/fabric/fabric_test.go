@@ -340,3 +340,48 @@ func TestUnknownLinkFaultPanics(t *testing.T) {
 	}()
 	n.SetLinkDown("a", "ghost", true)
 }
+
+func TestSendToDownNodeDropsImmediately(t *testing.T) {
+	eng := sim.NewEngine(1)
+	defer eng.Stop()
+	p := params.Default()
+	p.FabricBandwidth = 1e9
+	p.FabricPropagation = time.Microsecond
+	n := New(eng, p)
+	n.AddNode("a")
+	n.AddNode("b")
+	n.SetDown("b", true)
+
+	delivered := false
+	at := n.Send("a", "b", 1000, func() { delivered = true })
+	if at != eng.Now() {
+		t.Fatalf("drop reported at %v, want immediate (%v)", at, eng.Now())
+	}
+	// No serialization charged: the egress link stays idle.
+	if got := n.LinkBacklogBytes("a"); got != 0 {
+		t.Fatalf("link backlog = %v bytes after dropped send, want 0", got)
+	}
+	eng.Run()
+	if delivered {
+		t.Fatal("deliver ran for a send to a down node")
+	}
+	if n.Drops() != 1 {
+		t.Fatalf("Drops() = %d, want 1", n.Drops())
+	}
+	bytes, msgs, drops := n.LinkStats("a")
+	if bytes != 0 || msgs != 0 || drops != 1 {
+		t.Fatalf("stats = %d bytes, %d msgs, %d drops; want 0, 0, 1", bytes, msgs, drops)
+	}
+
+	// After the node revives, traffic flows and stats resume normally.
+	n.SetDown("b", false)
+	ok := false
+	n.Send("a", "b", 1000, func() { ok = true })
+	eng.Run()
+	if !ok {
+		t.Fatal("deliver did not run after node revived")
+	}
+	if n.Drops() != 1 {
+		t.Fatalf("Drops() = %d after revival, want still 1", n.Drops())
+	}
+}

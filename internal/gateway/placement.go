@@ -1,0 +1,68 @@
+package gateway
+
+// Place assigns chain stages to nodes with locality first: each stage
+// prefers the node of the stage that calls it (so adjacent hops stay
+// intra-node and never touch the fabric), spilling to the least-loaded node
+// — ties broken by lowest index — once the preferred node holds
+// slotsPerNode functions. chains lists each chain as its ordered stages
+// (entry first); a function appearing in several chains keeps its first
+// assignment. The rule is a pure function of its inputs, so placement is
+// deterministic and the route tables built from it are too.
+func Place(nodes []string, chains [][]string, slotsPerNode int) map[string]string {
+	if slotsPerNode <= 0 {
+		total := 0
+		seen := make(map[string]bool)
+		for _, ch := range chains {
+			for _, fn := range ch {
+				if !seen[fn] {
+					seen[fn] = true
+					total++
+				}
+			}
+		}
+		slotsPerNode = (total + len(nodes) - 1) / len(nodes)
+	}
+	load := make(map[string]int, len(nodes))
+	out := make(map[string]string)
+	for _, ch := range chains {
+		prev := ""
+		for _, fn := range ch {
+			if n, ok := out[fn]; ok {
+				prev = n
+				continue
+			}
+			node := ""
+			if prev != "" && load[prev] < slotsPerNode {
+				node = prev
+			} else {
+				for _, n := range nodes {
+					if node == "" || load[n] < load[node] {
+						node = n
+					}
+				}
+			}
+			out[fn] = node
+			load[node]++
+			prev = node
+		}
+	}
+	return out
+}
+
+// PlaceSkewed is the anti-locality adversary: consecutive stages round-robin
+// across nodes, so every adjacent chain hop crosses the fabric. It bounds
+// the placement-quality gap the fabric experiments measure.
+func PlaceSkewed(nodes []string, chains [][]string) map[string]string {
+	out := make(map[string]string)
+	i := 0
+	for _, ch := range chains {
+		for _, fn := range ch {
+			if _, ok := out[fn]; ok {
+				continue
+			}
+			out[fn] = nodes[i%len(nodes)]
+			i++
+		}
+	}
+	return out
+}

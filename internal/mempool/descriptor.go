@@ -39,4 +39,7 @@ type Descriptor struct {
 	// Retries counts data-plane retransmissions of this descriptor after
 	// transport errors (engine-level at-least-once recovery).
 	Retries uint8
+	// Hops counts inter-gateway relays (TTL): bumped per transit forward,
+	// fencing transient routing loops during failover.
+	Hops uint8
 }

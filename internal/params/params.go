@@ -217,6 +217,27 @@ type Params struct {
 	// IngressMaxWorkers bounds horizontal scaling.
 	IngressMaxWorkers int
 
+	// ---- Inter-gateway fabric (multi-node tier, Palladium-style) ----
+
+	// GwForwardCost is the gateway-core cost of forwarding one descriptor:
+	// route-table lookup, landing-slot pick and one-sided WR build. It runs
+	// on the DPU's network cores (DPUNetSpeed) — the forwarding decision
+	// stays off the wimpy general-purpose cores (λ-NIC).
+	GwForwardCost time.Duration
+	// GwDeliverCost is the gateway-core cost of ingesting one landed write:
+	// slot bookkeeping, restock and local hand-off (or transit re-forward).
+	GwDeliverCost time.Duration
+	// GwFailoverInterval is the route-maintenance period: each gateway
+	// refreshes its next-hop table from live fabric state, repairs errored
+	// inter-gateway QPs and retries starved slot restocks this often.
+	GwFailoverInterval time.Duration
+	// GwWindow is the default number of landing slots a gateway pre-posts
+	// per resident tenant — the one-sided receive window peers write into.
+	GwWindow int
+	// GwMaxHops bounds transit forwarding (TTL): a descriptor relayed more
+	// than this many times is dropped, fencing transient routing loops.
+	GwMaxHops int
+
 	// ---- Misc ----
 
 	// DescriptorBytes: "16B buffer descriptors" (§3.5.4).
@@ -300,6 +321,12 @@ func Default() *Params {
 		IngressScaleCheckEvery: 500 * time.Millisecond,
 		IngressRestartPause:    150 * time.Millisecond,
 		IngressMaxWorkers:      16,
+
+		GwForwardCost:      800 * time.Nanosecond,
+		GwDeliverCost:      600 * time.Nanosecond,
+		GwFailoverInterval: 200 * time.Microsecond,
+		GwWindow:           64,
+		GwMaxHops:          8,
 
 		DescriptorBytes: 16,
 		PayloadDefault:  1024,

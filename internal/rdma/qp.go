@@ -73,10 +73,18 @@ type wrState struct {
 	attempts int
 	timer    sim.Event
 
+	// One-sided write mode: the WR DMAs into remote instead of consuming a
+	// peer SRQ entry, and its receive side is the wLand/wDone/wAck chain.
+	isWrite bool
+	remote  RemoteBuf
+
 	xmitFn    func() // hand the serialized WR to the fabric
-	deliverFn func() // receive-side entry on the peer RNIC
+	deliverFn func() // receive-side entry on the peer RNIC (two-sided)
 	checkFn   func() // retransmit-timer body
 	expireFn  func() // tombstone expiry: drop the index entry, free the slot
+	wLandFn   func() // write arrival on the peer RNIC (one-sided)
+	wDoneFn   func() // write landed: dedup, MR append, start the ack
+	wAckFn    func() // write ack back at the sender
 }
 
 // Connect establishes an RC connection between two RNICs and returns both
@@ -149,11 +157,15 @@ func (qp *QP) allocWR(id uint64, d mempool.Descriptor) *wrState {
 		st.deliverFn = st.deliver
 		st.checkFn = st.check
 		st.expireFn = st.expire
+		st.wLandFn = st.wLand
+		st.wDoneFn = st.wDone
+		st.wAckFn = st.wAck
 	}
 	st.id = id
 	st.d = d
 	st.done = false
 	st.attempts = 0
+	st.isWrite = false
 	st.timer = sim.Event{}
 	qp.pending.put(id, st)
 	return st
@@ -163,6 +175,7 @@ func (qp *QP) allocWR(id uint64, d mempool.Descriptor) *wrState {
 // pending index first.
 func (qp *QP) freeWR(st *wrState) {
 	st.d = mempool.Descriptor{} // drop buffer/trace references
+	st.remote = RemoteBuf{}
 	qp.wrFree = append(qp.wrFree, st)
 }
 
@@ -230,6 +243,10 @@ func (st *wrState) attempt() {
 func (st *wrState) xmit() {
 	qp := st.qp
 	r := qp.rnic
+	if st.isWrite {
+		r.net.SendTraced(r.node, qp.peer.rnic.node, st.d.Len+wireHeaderBytes, st.d.Trace, st.wLandFn)
+		return
+	}
 	r.net.SendTraced(r.node, qp.peer.rnic.node, st.d.Len+wireHeaderBytes, st.d.Trace, st.deliverFn)
 }
 
@@ -253,7 +270,11 @@ func (st *wrState) check() {
 		st.done = true // tombstone: late copies must not double-complete
 		r.eng.After(dedupWindow, st.expireFn)
 		qp.outstanding--
-		qp.cq.push(CQE{WRID: st.id, Op: OpSend, Status: StatusRetryExceeded, Bytes: st.d.Len, Tenant: qp.Tenant, QP: qp, Desc: st.d})
+		op := OpSend
+		if st.isWrite {
+			op = OpWrite
+		}
+		qp.cq.push(CQE{WRID: st.id, Op: op, Status: StatusRetryExceeded, Bytes: st.d.Len, Tenant: qp.Tenant, QP: qp, Desc: st.d})
 		return
 	}
 	qp.retransmits++
@@ -410,38 +431,67 @@ type RemoteBuf struct {
 }
 
 // PostWrite posts a one-sided RDMA write of d.Len bytes into remote. The
-// remote CPU is not involved and gets no completion — receivers must poll
-// the region (MR.PollLanded). Engine context.
+// remote CPU is not involved and gets no completion — receivers poll the
+// region (MR.PollLanded / MR.PollLandedInto) or arm MR.SetNotify. Engine
+// context; the caller pays params.VerbsPostCost on its own core.
+//
+// Like PostSend, the WR rides the pooled wrState slab (nothing allocates at
+// steady state) and the full RC transport applies: retransmission with
+// receiver-side dedup (a retransmitted write lands exactly once),
+// StatusRetryExceeded after the retry budget, and an immediate
+// StatusQPError flush when the QP is already errored.
 func (qp *QP) PostWrite(d mempool.Descriptor, remote RemoteBuf) uint64 {
 	r := qp.rnic
-	p := r.p
 	id := r.wrID()
 	qp.outstanding++
+	if qp.errored {
+		r.eng.Immediate(func() {
+			qp.complete(CQE{WRID: id, Op: OpWrite, Status: StatusQPError, Bytes: d.Len, Tenant: qp.Tenant, QP: qp, Desc: d})
+		})
+		return id
+	}
 	qp.bytesSent += uint64(d.Len)
 	r.writes++
 
+	// The transfer span runs from the post to the sender-side completion
+	// (closed in CQ.push when the OpWrite CQE lands).
 	d.Trace.BeginStage(trace.StageRDMA, r.label)
-	cost := p.RNICPerWR + r.cachePenalty(qp.id) + r.dmaCost(d.Len)
-	done := r.pipe(cost)
-	wire := d.Len + wireHeaderBytes
-	r.eng.At(done, func() {
-		r.net.SendTraced(r.node, qp.peer.rnic.node, wire, d.Trace, func() {
-			rr := qp.peer.rnic
-			at := rr.pipe(p.RNICPerWR + rr.cachePenalty(qp.peer.id) + rr.dmaCost(d.Len))
-			rr.eng.At(at, func() {
-				remote.MR.landed = append(remote.MR.landed, Landed{
-					Buf:   remote.Buf,
-					Bytes: d.Len,
-					Desc:  d,
-					At:    rr.eng.Now(),
-				})
-				rr.eng.After(p.FabricPropagation, func() {
-					qp.complete(CQE{WRID: id, Op: OpWrite, Status: StatusOK, Bytes: d.Len, Tenant: qp.Tenant, QP: qp, Desc: d})
-				})
-			})
-		})
-	})
+	st := qp.allocWR(id, d)
+	st.isWrite = true
+	st.remote = remote
+	st.timer = r.eng.After(r.p.RetransmitTimeout, st.checkFn)
+	st.attempt()
 	return id
+}
+
+// wLand runs on the receiving RNIC when one copy of a one-sided write
+// arrives: the write consumes a receiver pipeline slot and DMAs straight
+// into the target buffer, no CPU involved.
+func (st *wrState) wLand() {
+	qp := st.qp
+	rr := qp.peer.rnic
+	at := rr.pipe(rr.p.RNICPerWR + rr.cachePenalty(qp.peer.id) + rr.dmaCost(st.d.Len))
+	rr.eng.At(at, st.wDoneFn)
+}
+
+// wDone lands the payload — once; the receiver's PSN check discards
+// retransmitted copies — then starts the RC ack back to the sender.
+func (st *wrState) wDone() {
+	qp := st.qp
+	peer := qp.peer
+	rr := peer.rnic
+	if peer.seen.has(st.id) {
+		peer.dupsDropped++
+	} else {
+		peer.markSeen(st.id)
+		st.remote.MR.land(Landed{Buf: st.remote.Buf, Bytes: st.d.Len, Desc: st.d, At: rr.eng.Now()})
+	}
+	rr.eng.After(rr.p.FabricPropagation, st.wAckFn)
+}
+
+func (st *wrState) wAck() {
+	qp := st.qp
+	qp.complete(CQE{WRID: st.id, Op: OpWrite, Status: StatusOK, Bytes: st.d.Len, Tenant: qp.Tenant, QP: qp, Desc: st.d})
 }
 
 // PostRead posts a one-sided RDMA read of n bytes from remote into a local

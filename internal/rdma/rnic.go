@@ -270,12 +270,17 @@ type Landed struct {
 	At    time.Duration
 }
 
-// MR is a registered memory region backed by one tenant pool.
+// MR is a registered memory region backed by one tenant pool. Landed
+// writes queue in a head-indexed slice whose backing array is reused once
+// drained, so a poll-paced consumer (PollLandedInto) allocates nothing at
+// steady state.
 type MR struct {
 	id     int
 	Pool   *mempool.Pool
 	node   fabric.NodeID
 	landed []Landed
+	head   int
+	onLand func()
 }
 
 // Node reports the node whose memory this region maps.
@@ -285,19 +290,56 @@ func (m *MR) Node() fabric.NodeID { return m.node }
 // pages, §3.4).
 func (m *MR) Pages() int { return m.Pool.Hugepages() }
 
+// land queues one arrived write and fires the empty->non-empty notifier.
+func (m *MR) land(l Landed) {
+	m.landed = append(m.landed, l)
+	if m.onLand != nil && len(m.landed)-m.head == 1 {
+		m.onLand()
+	}
+}
+
+// SetNotify registers fn to run whenever the landed queue goes from empty
+// to non-empty — the hook a polling consumer parks its wakeup signal on.
+// Coalesced: back-to-back landings into a non-empty queue do not re-fire.
+func (m *MR) SetNotify(fn func()) { m.onLand = fn }
+
 // PollLanded drains and returns writes that have landed in this region.
 // The scanning CPU cost is paid by the caller (params.OneSidedPollCost).
 func (m *MR) PollLanded() []Landed {
-	if len(m.landed) == 0 {
+	if len(m.landed)-m.head == 0 {
 		return nil
 	}
-	out := m.landed
-	m.landed = nil
+	out := append([]Landed(nil), m.landed[m.head:]...)
+	m.landed = m.landed[:0]
+	m.head = 0
 	return out
 }
 
+// PollLandedInto drains up to len(buf) landed writes into buf and reports
+// how many were copied. The region's backing array is reused once empty, so
+// a steady-state poll loop allocates nothing.
+func (m *MR) PollLandedInto(buf []Landed) int {
+	n := len(m.landed) - m.head
+	if n == 0 {
+		return 0
+	}
+	if n > len(buf) {
+		n = len(buf)
+	}
+	copy(buf, m.landed[m.head:m.head+n])
+	for i := m.head; i < m.head+n; i++ {
+		m.landed[i] = Landed{} // drop buffer/trace references
+	}
+	m.head += n
+	if m.head == len(m.landed) {
+		m.landed = m.landed[:0]
+		m.head = 0
+	}
+	return n
+}
+
 // LandedCount reports pending landed writes without consuming them.
-func (m *MR) LandedCount() int { return len(m.landed) }
+func (m *MR) LandedCount() int { return len(m.landed) - m.head }
 
 // qpCache models the RNIC's on-chip connection context cache (ICM). Only
 // active QPs occupy entries; misses add a per-WR penalty, which is how a

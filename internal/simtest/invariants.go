@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nadino/internal/dne"
+	"nadino/internal/fabric"
 	"nadino/internal/sim"
 )
 
@@ -113,6 +114,11 @@ func Invariants() []Invariant {
 			},
 		},
 		{
+			Name:  "route-consistency",
+			Desc:  "gateway fabric: no forwarding loops, healed tables route direct, forwarded messages conserved",
+			Final: checkRoutes,
+		},
+		{
 			Name: "sched-equivalence",
 			Desc: "timing-wheel engine fires in the same order and at the same times as a pure-heap reference",
 			Final: func(r *Rig) []string {
@@ -169,9 +175,9 @@ func checkBuffersFinal(r *Rig) []string {
 			err    error
 		}{
 			{"cli@" + string(cli.name), tr.cliPool.InUse(),
-				cli.eng.SRQ(tr.sc.Name).Posted(), tr.cliPool.Audit()},
+				cli.eng.SRQ(tr.sc.Name).Posted() + gwSlots(cli, tr.sc.Name), tr.cliPool.Audit()},
 			{"srv@" + string(srv.name), tr.srvPool.InUse(),
-				srv.eng.SRQ(tr.sc.Name).Posted(), tr.srvPool.Audit()},
+				srv.eng.SRQ(tr.sc.Name).Posted() + gwSlots(srv, tr.sc.Name), tr.srvPool.Audit()},
 		} {
 			if side.err != nil {
 				out = append(out, fmt.Sprintf("tenant %s %s: %v", tr.sc.Name, side.label, side.err))
@@ -179,7 +185,7 @@ func checkBuffersFinal(r *Rig) []string {
 			}
 			if side.inUse != side.posted {
 				out = append(out, fmt.Sprintf(
-					"tenant %s %s: %d buffers in use at quiesce, expected only the %d-deep receive ring (leak of %d)",
+					"tenant %s %s: %d buffers in use at quiesce, expected only the %d held by the receive ring and gateway window (leak of %d)",
 					tr.sc.Name, side.label, side.inUse, side.posted, side.inUse-side.posted))
 			}
 		}
@@ -212,6 +218,9 @@ func checkRequestsFinal(r *Rig) []string {
 		_, _, noRoute, noPort, _ := nr.eng.Stats()
 		_, retryDropped := nr.eng.RetryStats()
 		drops += noRoute + noPort + retryDropped
+		if nr.gw != nil {
+			drops += nr.gw.Stats().Dropped
+		}
 	}
 	var inFlight uint64
 	for _, tr := range r.tenants {
@@ -268,6 +277,154 @@ func checkQPsFinal(r *Rig) []string {
 		}
 		if n := nr.eng.SchedPending(); n > 0 {
 			out = append(out, fmt.Sprintf("node %s: %d descriptors stuck in scheduler", nr.name, n))
+		}
+		if nr.gw == nil {
+			continue
+		}
+		for _, cp := range nr.gw.Links() {
+			if n := cp.ErroredCount(); n > 0 {
+				out = append(out, fmt.Sprintf("gateway %s: %d QPs still errored at quiesce", nr.name, n))
+			}
+			for _, qp := range cp.Conns() {
+				if qp.Outstanding() != 0 {
+					out = append(out, fmt.Sprintf("gateway %s qp%d: %d WRs outstanding at quiesce",
+						nr.name, qp.ID(), qp.Outstanding()))
+				}
+			}
+		}
+		if n := nr.gw.CQ().Len(); n > 0 {
+			out = append(out, fmt.Sprintf("gateway %s: %d CQEs unpolled at quiesce", nr.name, n))
+		}
+	}
+	return out
+}
+
+// gwSlots is the landing-window share the node's gateway holds from the
+// tenant's pool (zero when the scenario runs without the gateway tier).
+func gwSlots(nr *nodeRig, tenant string) int {
+	if nr.gw == nil {
+		return 0
+	}
+	return nr.gw.SlotsHeld(tenant)
+}
+
+// checkRoutes is the gateway-fabric invariant (route-consistency): the
+// forwarded-message ledger closes, a healed fabric converges back to direct
+// next hops, hop-by-hop walks never loop, and relay landing pools come home.
+func checkRoutes(r *Rig) []string {
+	if !r.sc.Gateways {
+		return nil
+	}
+	var out []string
+
+	// Conservation: transit re-entries are internal to the tier, so the
+	// descriptors accepted from engines equal deliveries plus drops, with
+	// nothing queued or on the wire at quiesce.
+	var in, delivered, dropped uint64
+	for _, nr := range r.nodes {
+		s := nr.gw.Stats()
+		in += s.AcceptIn
+		delivered += s.Delivered
+		dropped += s.Dropped
+		if n := nr.gw.Pending(); n > 0 {
+			out = append(out, fmt.Sprintf("gateway %s: %d forwards still queued at quiesce", nr.name, n))
+		}
+		if n := nr.gw.InflightWrites(); n > 0 {
+			out = append(out, fmt.Sprintf("gateway %s: %d writes still in flight at quiesce", nr.name, n))
+		}
+	}
+	if in != delivered+dropped {
+		out = append(out, fmt.Sprintf(
+			"forwarded-message conservation broken: acceptIn=%d != delivered=%d + dropped=%d",
+			in, delivered, dropped))
+	}
+
+	byName := make(map[fabric.NodeID]*nodeRig, len(r.nodes))
+	healed := true
+	for i, a := range r.nodes {
+		byName[a.name] = a
+		if r.net.Down(a.name) {
+			healed = false
+		}
+		for _, b := range r.nodes[i+1:] {
+			if r.net.LinkDown(a.name, b.name) || r.net.LinkDown(b.name, a.name) {
+				healed = false
+			}
+		}
+	}
+
+	// Every route-table function entry must point at a known node; when the
+	// fabric has healed (all faults expire before the drain ends, and the
+	// keeper refreshes every GwFailoverInterval) it must also be live and
+	// every next hop must be direct again.
+	for _, nr := range r.nodes {
+		for _, fn := range nr.gw.Routes().Functions() {
+			node, ok := nr.gw.Routes().NodeOf(fn)
+			if !ok || byName[node] == nil {
+				out = append(out, fmt.Sprintf("gateway %s: function %s routed to unknown node %q",
+					nr.name, fn, node))
+				continue
+			}
+			if healed && r.net.Down(node) {
+				out = append(out, fmt.Sprintf("gateway %s: function %s routed to down node %s after heal",
+					nr.name, fn, node))
+			}
+		}
+		if !healed {
+			continue
+		}
+		for _, peer := range r.nodes {
+			if peer == nr {
+				continue
+			}
+			if hop := nr.gw.Routes().NextHop(peer.name); hop != peer.name {
+				out = append(out, fmt.Sprintf(
+					"gateway %s: next hop for %s still detours via %s after heal", nr.name, peer.name, hop))
+			}
+		}
+	}
+
+	// No forwarding loops: walking next hops toward any destination reaches
+	// it without revisiting a node, whatever state the tables are in.
+	for _, src := range r.nodes {
+		for _, dst := range r.nodes {
+			if src == dst {
+				continue
+			}
+			cur := src
+			visited := map[fabric.NodeID]bool{src.name: true}
+			for cur.name != dst.name {
+				hop := cur.gw.Routes().NextHop(dst.name)
+				if visited[hop] {
+					out = append(out, fmt.Sprintf("forwarding loop toward %s: gateway %s bounces back to %s",
+						dst.name, cur.name, hop))
+					break
+				}
+				next := byName[hop]
+				if next == nil {
+					out = append(out, fmt.Sprintf("gateway %s: next hop for %s is unknown node %q",
+						cur.name, dst.name, hop))
+					break
+				}
+				visited[hop] = true
+				cur = next
+			}
+		}
+	}
+
+	// Relay landing pools (non-resident nodes) hold exactly the gateway's
+	// window slots at quiesce — a transit leg that never came home is a leak.
+	for _, tr := range r.tenants {
+		for _, rel := range tr.relays {
+			if err := rel.pool.Audit(); err != nil {
+				out = append(out, fmt.Sprintf("tenant %s relay pool on %s: %v", tr.sc.Name, rel.node, err))
+				continue
+			}
+			if held := rel.gw.SlotsHeld(tr.sc.Name); rel.pool.InUse() != held {
+				out = append(out, fmt.Sprintf(
+					"tenant %s relay pool on %s: %d buffers in use but the gateway holds only %d slots (leak of %d)",
+					tr.sc.Name, rel.node, rel.pool.InUse(), held, rel.pool.InUse()-held))
+			}
 		}
 	}
 	return out

@@ -9,6 +9,7 @@ import (
 	"nadino/internal/dne"
 	"nadino/internal/dpu"
 	"nadino/internal/fabric"
+	"nadino/internal/gateway"
 	"nadino/internal/mempool"
 	"nadino/internal/params"
 	"nadino/internal/rdma"
@@ -22,12 +23,23 @@ import (
 // fabric IDs.
 var nodeNames = []fabric.NodeID{"nodeA", "nodeB", "nodeC"}
 
-// nodeRig is one worker node: a DPU (cores, SoC DMA, RNIC) plus its DNE.
+// nodeRig is one worker node: a DPU (cores, SoC DMA, RNIC) plus its DNE and
+// (when the scenario enables the tier) its gateway.
 type nodeRig struct {
 	name   fabric.NodeID
 	dpu    *dpu.DPU
 	eng    *dne.Engine
+	gw     *gateway.Gateway
 	rqInit int // receive-ring target the keeper pre-posts per tenant
+}
+
+// gwRelay is a landing pool created for a gateway on a node where the
+// tenant is not resident, so transit legs can land there during failover
+// detours. The route-consistency invariant checks its quiesce accounting.
+type gwRelay struct {
+	node fabric.NodeID
+	gw   *gateway.Gateway
+	pool *mempool.Pool
 }
 
 // tenantRig is one tenant's runtime state: pools on its two nodes, function
@@ -37,6 +49,7 @@ type tenantRig struct {
 	cliPool, srvPool *mempool.Pool
 	cliPort, srvPort *dne.FnPort
 	cliCore          *sim.Processor
+	relays           []gwRelay
 
 	// Ledger: issued counts requests handed to the engine, completed
 	// counts responses received, shed counts open-loop sends skipped on
@@ -101,6 +114,11 @@ type Rig struct {
 // scrapePeriod samples telemetry often enough for ~100 points per run.
 const scrapePeriod = 2 * time.Millisecond
 
+// gwWindow is the landing-slot window per (gateway, tenant). Small enough
+// that tenant pools (>= 128 spare buffers by construction) never starve the
+// data plane, big enough to exercise the credit protocol under load.
+const gwWindow = 8
+
 // NewRig builds the scenario's world on a fresh engine. Nothing runs until
 // Run (or a caller-driven RunUntil) advances the clock.
 func NewRig(sc Scenario) *Rig {
@@ -143,10 +161,18 @@ func NewRig(sc Scenario) *Rig {
 		cfg := dne.Config{Node: name, Mode: sc.Mode, Sched: sc.Sched,
 			Channel: dpu.ComchE, InitialRQ: rqInit}
 		nr := &nodeRig{name: name, dpu: d, eng: dne.New(eng, p, cfg, d, nil, nil), rqInit: rqInit}
+		if sc.Gateways {
+			nr.gw = gateway.New(eng, p, name, r.net, d.RNIC(), gwWindow)
+			nr.gw.SetEgress(nr.eng)
+			nr.eng.SetForwarder(nr.gw, nr.gw.Owner())
+		}
 		r.nodes = append(r.nodes, nr)
 		r.cores = append(r.cores,
 			coreRef{string(name) + "/dne-worker", nr.eng.WorkerCore()},
 			coreRef{string(name) + "/dne-keeper", nr.eng.KeeperCore()})
+		if nr.gw != nil {
+			r.cores = append(r.cores, coreRef{string(name) + "/gw", nr.gw.Core()})
+		}
 		for ci, c := range d.Cores() {
 			r.cores = append(r.cores, coreRef{fmt.Sprintf("%s/dpu-core%d", name, ci), c})
 		}
@@ -166,6 +192,27 @@ func NewRig(sc Scenario) *Rig {
 		srv.eng.AddTenant(ts.Name, tr.srvPool, ts.Weight)
 		cli.eng.SetRoute("srv-"+ts.Name, srv.name)
 		srv.eng.SetRoute("cli-"+ts.Name, cli.name)
+		if sc.Gateways {
+			// Every gateway hosts the tenant's landing window (non-resident
+			// nodes get a dedicated relay pool, so failover detours can land
+			// transit legs) and learns both placements: relays resolve the
+			// final owner from their own table.
+			for i, nr := range r.nodes {
+				var pool *mempool.Pool
+				switch i {
+				case ts.CliNode:
+					pool = tr.cliPool
+				case ts.SrvNode:
+					pool = tr.srvPool
+				default:
+					pool = mempool.NewPool(ts.Name, ts.BufSize, gwWindow+8, p.HugepageSize)
+					tr.relays = append(tr.relays, gwRelay{node: nr.name, gw: nr.gw, pool: pool})
+				}
+				nr.gw.AddTenant(ts.Name, pool)
+				nr.gw.Routes().Set("srv-"+ts.Name, srv.name)
+				nr.gw.Routes().Set("cli-"+ts.Name, cli.name)
+			}
+		}
 		tr.cliPort = cli.eng.AttachFunction("cli-"+ts.Name, ts.Name)
 		tr.srvPort = srv.eng.AttachFunction("srv-"+ts.Name, ts.Name)
 		tr.compCounter = r.reg.Counter("fuzz.completed", "tenant", ts.Name)
@@ -198,11 +245,27 @@ func NewRig(sc Scenario) *Rig {
 				done.TryPut(struct{}{})
 			})
 		}
-		for range r.tenants {
+		gwPairs := 0
+		if sc.Gateways {
+			for i := range r.nodes {
+				for j := i + 1; j < len(r.nodes); j++ {
+					a, b := r.nodes[i], r.nodes[j]
+					gwPairs++
+					eng.Spawn("simtest-setup-gw", func(spr *sim.Proc) {
+						gateway.Connect(spr, a.gw, b.gw, 2)
+						done.TryPut(struct{}{})
+					})
+				}
+			}
+		}
+		for i := 0; i < len(r.tenants)+gwPairs; i++ {
 			done.Get(pr)
 		}
 		for _, nr := range r.nodes {
 			nr.eng.Start()
+			if nr.gw != nil {
+				nr.gw.Start()
+			}
 		}
 		r.ready.TryPut(struct{}{})
 	})
@@ -241,10 +304,14 @@ func (r *Rig) buildInjector() *chaos.Injector {
 		in.RegisterStaller("dma@"+string(nr.name), nr.dpu.SoCDMA())
 		in.RegisterCores("cores@"+string(nr.name), nr.dpu.Cores()...)
 		in.RegisterQPs("qp@"+string(nr.name), func() []chaos.QPErrorTarget {
-			pools := nr.eng.ConnPools()
-			ts := make([]chaos.QPErrorTarget, len(pools))
-			for i, cp := range pools {
-				ts[i] = cp
+			var ts []chaos.QPErrorTarget
+			for _, cp := range nr.eng.ConnPools() {
+				ts = append(ts, cp)
+			}
+			if nr.gw != nil {
+				for _, cp := range nr.gw.Links() {
+					ts = append(ts, cp)
+				}
 			}
 			return ts
 		})
@@ -252,6 +319,11 @@ func (r *Rig) buildInjector() *chaos.Injector {
 			var ts []chaos.QPErrorTarget
 			for _, cp := range nr.eng.ConnPools() {
 				ts = append(ts, cp)
+			}
+			if nr.gw != nil {
+				for _, cp := range nr.gw.Links() {
+					ts = append(ts, cp)
+				}
 			}
 			for _, other := range r.nodes {
 				if other == nr {
@@ -262,9 +334,17 @@ func (r *Rig) buildInjector() *chaos.Injector {
 						ts = append(ts, cp)
 					}
 				}
+				if other.gw != nil {
+					if cp := other.gw.Link(nr.name); cp != nil {
+						ts = append(ts, cp)
+					}
+				}
 			}
 			return ts
 		})
+		if nr.gw != nil {
+			in.RegisterCores("gw-cores@"+string(nr.name), nr.gw.Core())
+		}
 	}
 	return in
 }

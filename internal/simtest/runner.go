@@ -20,8 +20,9 @@ type Result struct {
 
 	Issued, Completed, Shed uint64
 	InFlight                int
-	Drops                   uint64 // engine-side losses (route/port/retry budget)
+	Drops                   uint64 // engine- and gateway-side losses (route/port/retry budget)
 	Retried                 uint64
+	Forwarded               uint64 // gateway writes posted (gateway scenarios only)
 	FaultsApplied           int
 	FaultsReverted          int
 	AuditOps                int
@@ -98,6 +99,11 @@ func Run(sc Scenario) *Result {
 			retried, dropped := nr.eng.RetryStats()
 			res.Drops += noRoute + noPort + dropped
 			res.Retried += retried
+			if nr.gw != nil {
+				s := nr.gw.Stats()
+				res.Drops += s.Dropped
+				res.Forwarded += s.Forwarded
+			}
 		}
 		res.FaultsApplied = r.inj.Applied()
 		res.FaultsReverted = r.inj.Reverted()
@@ -122,6 +128,9 @@ func (res *Result) render() string {
 	fmt.Fprintf(&b, "scenario: %s\n", res.Scenario)
 	fmt.Fprintf(&b, "issued=%d completed=%d shed=%d in_flight=%d drops=%d retried=%d\n",
 		res.Issued, res.Completed, res.Shed, res.InFlight, res.Drops, res.Retried)
+	if res.Scenario.Gateways {
+		fmt.Fprintf(&b, "gateway forwarded=%d\n", res.Forwarded)
+	}
 	fmt.Fprintf(&b, "faults applied=%d reverted=%d audit_ops=%d\n",
 		res.FaultsApplied, res.FaultsReverted, res.AuditOps)
 	if len(res.Violations) == 0 {

@@ -122,6 +122,12 @@ type Scenario struct {
 	// invariant registry has something to catch (tests and demos):
 	// "leak-buffer" makes one client keep a response buffer forever.
 	Defect string
+
+	// Gateways routes cross-node hops through a per-node gateway tier
+	// (internal/gateway) instead of the engines' direct per-tenant QPs,
+	// putting route-table failover and the landing-window credit protocol
+	// under the invariant registry (route-consistency).
+	Gateways bool
 }
 
 // DefectLeakBuffer is the planted harness bug used to prove the fuzzer
@@ -245,6 +251,9 @@ func Generate(seed int64) Scenario {
 	if rng.Intn(2) == 0 {
 		sc.Transfers = 8 + rng.Intn(56)
 	}
+	// Drawn last so earlier draws (and thus the non-gateway shape of every
+	// historical seed) stay stable.
+	sc.Gateways = rng.Intn(2) == 0
 	return sc
 }
 
@@ -313,6 +322,9 @@ func (sc Scenario) String() string {
 	}
 	if sc.Defect != "" {
 		fmt.Fprintf(&b, " defect=%s", sc.Defect)
+	}
+	if sc.Gateways {
+		b.WriteString(" gw")
 	}
 	return b.String()
 }

@@ -3,6 +3,9 @@ package simtest
 import (
 	"reflect"
 	"testing"
+	"time"
+
+	"nadino/internal/dne"
 )
 
 // TestGenerateDeterministic pins the generator as a pure function of seed.
@@ -95,6 +98,40 @@ func TestSweepClean(t *testing.T) {
 		if res.Failed() {
 			t.Errorf("seed %d failed:\n%s", seed, res.Report)
 		}
+	}
+}
+
+// TestGatewayScenarioForwards pins the gateway tier under the full invariant
+// registry: a 3-node scenario whose only tenant spans node0 -> node2 must
+// push every cross-node hop through the fabric (Forwarded > 0), survive a
+// mid-window partition, and pass all 12 invariants — including
+// route-consistency — byte-identically across reruns.
+func TestGatewayScenarioForwards(t *testing.T) {
+	sc := Scenario{
+		Seed: 42, Nodes: 3, Mode: dne.OffPath, Sched: dne.SchedFCFS,
+		QPs: 2, Load: 10 * time.Millisecond, Drain: 200 * time.Millisecond,
+		Gateways: true,
+		Tenants: []TenantScenario{{
+			Name: "amber", Weight: 1, CliNode: 0, SrvNode: 2,
+			PoolBufs: 300, BufSize: 8192, InitialRQ: 64,
+			Load: LoadClosed, Clients: 8, Payload: 1024,
+		}},
+		Faults: []FaultSpec{{Kind: FaultPartition, At: 2 * time.Millisecond,
+			For: 2 * time.Millisecond, Node: 0}},
+	}
+	res := Run(sc)
+	if res.Failed() {
+		t.Fatalf("gateway scenario failed:\n%s", res.Report)
+	}
+	if res.Forwarded == 0 {
+		t.Fatalf("no gateway forwards — cross-node hops bypassed the fabric:\n%s", res.Report)
+	}
+	if res.Completed == 0 {
+		t.Fatalf("nothing completed:\n%s", res.Report)
+	}
+	again := Run(sc)
+	if again.Report != res.Report || again.Fingerprint != res.Fingerprint {
+		t.Fatalf("gateway scenario not deterministic:\n--- first\n%s--- second\n%s", res.Report, again.Report)
 	}
 }
 

@@ -63,6 +63,8 @@ const (
 	StageFnDeliver    = "fn.deliver"      // local delivery wakeup (SK_MSG/TCP RX)
 	StageSidecar      = "fn.sidecar"      // cross-tenant sidecar copy
 	StageTransit      = "net.transit"     // TCP baseline wire transit
+	StageGwQueue      = "gw.queue"        // gateway pending queue (submit -> write post)
+	StageGwHop        = "gw.hop"          // detail: one inter-gateway hop (post -> landed ingest)
 )
 
 // DefaultRequestLimit bounds how many requests a Tracer records; later
