@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt race check bench bench-gate bench-res suite ci trace telemetry fuzz fuzz-smoke cover profile
+.PHONY: build test vet fmt race check bench bench-gate bench-res suite ci trace telemetry fuzz fuzz-smoke cover profile svc-smoke
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,9 @@ fmt:
 
 # race runs the full suite under the race detector. The simulation engine is
 # single-threaded by design, but the coroutine lockstep (sim.Proc), the
-# tracer, and the parallel experiment runner ride on real goroutines — this
+# tracer, the parallel experiment runner, the telemetry registry (atomic
+# counters scraped concurrently — TestConcurrentScrapeWhileUpdate hammers
+# it), and the nadino-svc pacer/HTTP plane ride on real goroutines — this
 # target proves the handoffs are clean. It includes TestParallelDeterminism,
 # which runs every experiment sequentially and sharded across all cores and
 # asserts byte-identical tables. (The experiments package needs more than
@@ -42,19 +44,22 @@ bench:
 	  $(GO) test -run '^$$' -bench 'BenchmarkQPPostSend$$|BenchmarkCQPollInto$$' -benchmem ./internal/rdma/ ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkMempoolCachedGetPut$$' -benchmem ./internal/mempool/ ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkGatewayForward$$|BenchmarkChainCrossNode$$' -benchmem ./internal/gateway/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkFlightRecord$$' -benchmem ./internal/flightrec/ ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkEndToEndEcho$$' -benchmem -benchtime 5x . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkScaleSweep' -benchtime 1x -timeout 30m ./internal/experiments/ ) | $(GO) run ./cmd/benchjson > BENCH_sim.json
 
 # bench-gate re-runs the headline microbenchmarks — event-core schedule hot
 # path and pooled spawn, plus the data-plane fast path (QP send, CQ ring
-# drain, cached mempool Get/Put) and the gateway forwarding path — and fails
-# if any regressed more than 25% in ns/op, or allocates more per op, against
-# the archived BENCH_sim.json.
+# drain, cached mempool Get/Put), the gateway forwarding path and the
+# flight-recorder record path (pinned at 0 allocs/op) — and fails if any
+# regressed more than 25% in ns/op, or allocates more per op, against the
+# archived BENCH_sim.json.
 bench-gate:
 	( $(GO) test -run '^$$' -bench 'BenchmarkEngineSchedule$$|BenchmarkProcSpawn$$' -benchmem ./internal/sim/ ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkQPPostSend$$|BenchmarkCQPollInto$$' -benchmem ./internal/rdma/ ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkMempoolCachedGetPut$$' -benchmem ./internal/mempool/ ; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkGatewayForward$$|BenchmarkChainCrossNode$$' -benchmem ./internal/gateway/ ) | $(GO) run ./cmd/benchjson -gate BENCH_sim.json
+	  $(GO) test -run '^$$' -bench 'BenchmarkGatewayForward$$|BenchmarkChainCrossNode$$' -benchmem ./internal/gateway/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkFlightRecord$$' -benchmem ./internal/flightrec/ ) | $(GO) run ./cmd/benchjson -gate BENCH_sim.json
 
 # profile captures pprof CPU and heap profiles of a representative slice of
 # the suite (fig15 exercises the full DNE data path at quick fidelity).
@@ -94,7 +99,16 @@ ci: fmt
 	$(GO) run ./cmd/nadino-bench -quick -parallel 0 -run everything
 	$(MAKE) telemetry
 	$(MAKE) fuzz-smoke
+	$(MAKE) svc-smoke
 	$(MAKE) bench-gate
+
+# svc-smoke is the live-daemon end-to-end check: boot nadino-svc on an
+# ephemeral port with the built-in template config, poll /readyz, scrape
+# /metrics (content type + core families), hot-install a chaos schedule via
+# the management API, pull a flight dump, verify traffic flowed, and shut
+# down cleanly. Exit status is the verdict.
+svc-smoke:
+	$(GO) run ./cmd/nadino-svc -smoke
 
 # Coverage floors for the correctness-critical packages: the simulation
 # engine, the ownership-checked mempool, the RDMA transport and the DNE.

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"nadino/internal/fabric"
+	"nadino/internal/flightrec"
 	"nadino/internal/sim"
 )
 
@@ -64,6 +65,8 @@ type Injector struct {
 	applied  int
 	reverted int
 	history  []string
+
+	rec *flightrec.Recorder
 }
 
 // NewInjector returns an injector for the engine and network, with its RNG
@@ -174,9 +177,20 @@ func (in *Injector) Install(s Schedule) {
 	}
 }
 
+// SetFlightRecorder routes apply/revert events into the flight recorder
+// (nil detaches). Actors are the fault labels, interned on first apply.
+func (in *Injector) SetFlightRecorder(r *flightrec.Recorder) { in.rec = r }
+
 func (in *Injector) record(verb string, f Fault) {
 	in.history = append(in.history,
 		fmt.Sprintf("t=%v %s %s", in.eng.Now(), verb, f.Label()))
+	if in.rec != nil {
+		k := flightrec.KindChaosApply
+		if verb == "revert" {
+			k = flightrec.KindChaosRevert
+		}
+		in.rec.Record(k, in.rec.Actor(f.Label()), 0, 0)
+	}
 }
 
 // Applied reports faults applied so far.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"nadino/internal/telemetry"
 )
@@ -17,6 +18,10 @@ import (
 // scraper touches them, once per period.
 func (c *Cluster) Instrument(reg *telemetry.Registry) {
 	eng := c.Eng
+	// build_info and uptime by both clocks, per exposition convention. The
+	// wall-clock uptime is the one deliberately nondeterministic series a
+	// rig exports; everything else stays a pure function of the seed.
+	reg.BuildInfo(eng.Now, time.Now())
 	reg.Gauge("sim.pending", func() float64 { return float64(eng.Pending()) })
 
 	gw := c.gw

@@ -6,6 +6,7 @@ import (
 
 	"nadino/internal/dpu"
 	"nadino/internal/fabric"
+	"nadino/internal/flightrec"
 	"nadino/internal/ipc"
 	"nadino/internal/mempool"
 	"nadino/internal/metrics"
@@ -173,6 +174,11 @@ type Engine struct {
 	dropRetryBudget  uint64
 	rateDeferred     uint64
 
+	// Flight recorder hook (optional): drop events land in the ring with
+	// this engine's interned actor id. Nil-safe via the rec==nil branch.
+	rec      *flightrec.Recorder
+	recActor uint16
+
 	// LoopIters and LoopWaits count worker-loop iterations and idle waits
 	// (diagnostics).
 	LoopIters, LoopWaits uint64
@@ -321,6 +327,48 @@ func (e *Engine) AddTenant(tenant string, pool *mempool.Pool, weight int) *rdma.
 		e.prioSched.SetWeight(tenant, weight)
 	}
 	return ts.srq
+}
+
+// SetTenantWeight re-weights a tenant's scheduler share at runtime — the
+// management-plane hot-reload path (weights are otherwise fixed at
+// AddTenant). Reports whether the tenant exists; engines without a weighted
+// scheduler accept the call as a recorded no-op.
+func (e *Engine) SetTenantWeight(tenant string, weight int) bool {
+	ts, ok := e.tenants[tenant]
+	if !ok {
+		return false
+	}
+	ts.weight = weight
+	if e.dwrrSched != nil {
+		e.dwrrSched.SetWeight(tenant, weight)
+	}
+	if e.prioSched != nil {
+		e.prioSched.SetWeight(tenant, weight)
+	}
+	return true
+}
+
+// SetFlightRecorder routes this engine's drop events into r (nil detaches).
+// The actor id is interned once here so the record path stays
+// allocation-free.
+func (e *Engine) SetFlightRecorder(r *flightrec.Recorder) {
+	e.rec = r
+	e.recActor = r.Actor(e.actorLabel)
+}
+
+// frDrop records one dropped descriptor in the flight recorder: A is the
+// tenant's dense id (-1 when unknown), B the payload bytes. Drop paths are
+// rare by construction, so the extra tenant resolve costs nothing in
+// steady state.
+func (e *Engine) frDrop(k flightrec.Kind, d *mempool.Descriptor) {
+	if e.rec == nil {
+		return
+	}
+	var tid int64 = -1
+	if ts := e.tenantOf(d); ts != nil {
+		tid = int64(ts.id)
+	}
+	e.rec.Record(k, e.recActor, tid, int64(d.Len))
 }
 
 // Tenant returns a tenant's meters for experiment plumbing.
@@ -582,6 +630,7 @@ func (e *Engine) txOne(pr *sim.Proc, d mempool.Descriptor) {
 	}
 	if nodeIdx < 0 {
 		e.dropNoRoute++
+		e.frDrop(flightrec.KindDropNoRoute, &d)
 		e.releaseBuffer(d)
 		sp.End()
 		return
@@ -609,6 +658,7 @@ func (e *Engine) txOne(pr *sim.Proc, d mempool.Descriptor) {
 	}
 	if cp == nil {
 		e.dropNoRoute++
+		e.frDrop(flightrec.KindDropNoRoute, &d)
 		e.releaseBuffer(d)
 		sp.End()
 		return
@@ -648,6 +698,7 @@ func (e *Engine) handleCQE(pr *sim.Proc, cqe rdma.CQE) {
 				return
 			}
 			e.dropRetryBudget++
+			e.frDrop(flightrec.KindDropRetry, &d)
 		}
 		e.releaseBuffer(cqe.Desc)
 	case rdma.OpRecv:
@@ -662,6 +713,7 @@ func (e *Engine) handleCQE(pr *sim.Proc, cqe rdma.CQE) {
 		fp, ok := e.ports[d.Dst]
 		if !ok {
 			e.dropNoPort++
+			e.frDrop(flightrec.KindDropNoPort, &d)
 			e.releaseRQBuffer(d)
 			sp.End()
 			return
@@ -693,6 +745,7 @@ func (e *Engine) gwDeliver(pr *sim.Proc, d mempool.Descriptor) {
 	fp, ok := e.ports[d.Dst]
 	if !ok {
 		e.dropNoPort++
+		e.frDrop(flightrec.KindDropNoPort, &d)
 		if ts := e.tenantOf(&d); ts != nil {
 			if err := ts.pool.Put(d.Buf, e.gwOwner); err != nil {
 				panic(fmt.Sprintf("dne: gateway buffer recycle failed: %v", err))

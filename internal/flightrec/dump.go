@@ -1,0 +1,83 @@
+package flightrec
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// chromeEvent mirrors the Chrome trace-event JSON shape used by
+// internal/trace; the flight dump is a standalone file, so the small struct
+// is duplicated here rather than exporting trace internals.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome renders the retained events as a Chrome trace-event JSON file
+// (chrome://tracing or ui.perfetto.dev): one instant event per record, one
+// thread row per actor, under a single "flightrec" process. Output order
+// and ids are deterministic (ring order and first-appearance order).
+func WriteChrome(w io.Writer, r *Recorder) error {
+	file := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	file.TraceEvents = append(file.TraceEvents, chromeEvent{
+		Name: "process_name", Phase: "M", PID: 0,
+		Args: map[string]any{"name": "flightrec"},
+	})
+	tids := make(map[uint16]int)
+	for _, e := range r.Snapshot() {
+		tid, ok := tids[e.Actor]
+		if !ok {
+			tid = len(tids) + 1
+			tids[e.Actor] = tid
+			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: 0, TID: tid,
+				Args: map[string]any{"name": r.ActorName(e.Actor)},
+			})
+		}
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name:  e.Kind.String(),
+			Phase: "i",
+			Scope: "t",
+			TS:    float64(e.At.Nanoseconds()) / 1e3,
+			PID:   0,
+			TID:   tid,
+			Args:  map[string]any{"a": e.A, "b": e.B},
+		})
+	}
+	return json.NewEncoder(w).Encode(file)
+}
+
+// WriteText renders the newest lastN retained events (all with lastN <= 0)
+// as a human-readable report, oldest first — the "last 50 events before the
+// breach" view attached to SLO and invariant reports.
+func WriteText(w io.Writer, r *Recorder, lastN int) error {
+	bw := bufio.NewWriter(w)
+	ev := r.Last(lastN)
+	fmt.Fprintf(bw, "flightrec: %d event(s) shown, %d retained, %d recorded\n",
+		len(ev), r.Len(), r.Total())
+	for _, e := range ev {
+		fmt.Fprintf(bw, "  t=%-12v %-18s %-24s a=%d b=%d\n",
+			e.At, e.Kind, r.ActorName(e.Actor), e.A, e.B)
+	}
+	return bw.Flush()
+}
+
+// TextDump is WriteText into a string (convenience for reports and tests).
+func TextDump(r *Recorder, lastN int) string {
+	var b strings.Builder
+	_ = WriteText(&b, r, lastN)
+	return b.String()
+}

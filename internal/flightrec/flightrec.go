@@ -1,0 +1,219 @@
+// Package flightrec is the simulation's always-on flight recorder: a
+// fixed-size, allocation-free ring buffer of timestamped data-plane events
+// (faults applied, descriptors dropped, QPs errored and repaired, routes
+// re-converged, SLOs breached) fed from small hook points across the chaos,
+// DNE, RDMA, ingress and gateway layers.
+//
+// Unlike the span tracer (internal/trace), which records a head sample of
+// whole requests, and the telemetry scraper (internal/telemetry), which
+// records periodic aggregates, the recorder keeps the last N *interesting*
+// events regardless of how long the system has been running — so when an
+// SLO breaches or a simtest invariant fires, "what happened in the 50ms
+// before this" has an answer without any pre-arranged capture window.
+//
+// The design contract mirrors the repository's other hot-path handles:
+//
+//   - Zero cost when off. Every producer holds a possibly-nil *Recorder;
+//     Record on nil is a no-op, so uninstrumented runs pay one branch.
+//
+//   - Zero allocation when on. The ring is a flat []Event allocated once,
+//     actor names are interned to uint16 ids up front, and the record path
+//     writes five fields into a pre-existing slot. The steady state is
+//     pinned at 0 allocs/op by test and benchmark.
+//
+//   - Deterministic. Timestamps come from the owning engine's virtual
+//     clock, and producers run in engine context, so the ring's contents
+//     are a pure function of the seed. Dumps of the same world are
+//     byte-identical run-to-run.
+//
+// The recorder is single-writer: producers record from engine context only.
+// Off-engine readers (the nadino-svc HTTP plane) must snapshot under the
+// pacer's engine lock, like every other engine-state read.
+package flightrec
+
+import "time"
+
+// Kind discriminates the recorded event types. Keep the list append-only:
+// dumps name kinds by this enumeration, and text dumps are diffed.
+type Kind uint8
+
+// Recorded event kinds. A/B carry kind-specific payloads documented here.
+const (
+	KindNone           Kind = iota
+	KindChaosApply          // fault applied; actor = fault label
+	KindChaosRevert         // fault reverted; actor = fault label
+	KindIngressDrop         // ingress shed a request under overload; A = client id
+	KindIngressRestart      // ingress restart window began; A = pause ns
+	KindDropNoRoute         // DNE dropped a descriptor with no route; A = tenant id, B = bytes
+	KindDropNoPort          // DNE dropped a descriptor with no local port; A = tenant id, B = bytes
+	KindDropRetry           // DNE dropped a descriptor after the retry budget; A = tenant id, B = bytes
+	KindQPError             // RC connections forced to error state; A = count
+	KindQPRepair            // RC connections re-established; A = count
+	KindGwDrop              // gateway dropped a cross-node message; A = hops so far, B = bytes
+	KindGwRouteUpdate       // gateway route table re-converged; A = new version
+	KindSLOBreach           // live SLO watchdog fired; actor = rule name
+	KindInvariant           // simtest invariant violated; actor = invariant name
+	KindMark                // free-form marker (management API, tests)
+)
+
+// kindNames renders kinds for dumps; indexed by Kind.
+var kindNames = [...]string{
+	"none", "chaos.apply", "chaos.revert", "ingress.drop", "ingress.restart",
+	"dne.drop_no_route", "dne.drop_no_port", "dne.drop_retry",
+	"rdma.qp_error", "rdma.qp_repair", "gw.drop", "gw.route_update",
+	"slo.breach", "invariant", "mark",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one recorded occurrence. At is virtual time; Actor indexes the
+// recorder's interned actor table; A and B are kind-specific payloads.
+type Event struct {
+	At    time.Duration
+	Kind  Kind
+	Actor uint16
+	A, B  int64
+}
+
+// Recorder is the ring buffer. One recorder serves one engine; see the
+// package comment for the single-writer contract.
+type Recorder struct {
+	clock func() time.Duration
+	buf   []Event
+	mask  uint64
+	n     uint64 // lifetime events recorded; buf[(n-1)&mask] is the newest
+
+	actors []string
+	ids    map[string]uint16
+
+	dropped uint64 // actor interning refusals past the uint16 space
+}
+
+// DefaultSize is the ring capacity used when callers pass size <= 0.
+const DefaultSize = 1 << 14
+
+// New returns a recorder holding the last size events (rounded up to a
+// power of two), timestamped from clock (usually sim.Engine.Now). A nil
+// clock stamps everything at 0.
+func New(size int, clock func() time.Duration) *Recorder {
+	if size <= 0 {
+		size = DefaultSize
+	}
+	cap := 1
+	for cap < size {
+		cap <<= 1
+	}
+	r := &Recorder{
+		clock:  clock,
+		buf:    make([]Event, cap),
+		mask:   uint64(cap - 1),
+		ids:    make(map[string]uint16),
+		actors: []string{"?"}, // id 0: unknown/unset actor
+	}
+	return r
+}
+
+// Actor interns name and returns its id. Interning allocates on first use
+// of a name only, so producers resolve their ids at setup time and the
+// record path stays allocation-free. Nil-safe (returns 0); the id space is
+// bounded by uint16 — past 65535 actors every further name maps to 0.
+func (r *Recorder) Actor(name string) uint16 {
+	if r == nil {
+		return 0
+	}
+	if id, ok := r.ids[name]; ok {
+		return id
+	}
+	if len(r.actors) > 0xFFFF {
+		r.dropped++
+		return 0
+	}
+	id := uint16(len(r.actors))
+	r.actors = append(r.actors, name)
+	r.ids[name] = id
+	return id
+}
+
+// ActorName resolves an interned id for dumps; unknown ids render as "?".
+func (r *Recorder) ActorName(id uint16) string {
+	if r == nil || int(id) >= len(r.actors) {
+		return "?"
+	}
+	return r.actors[id]
+}
+
+// Record appends one event, overwriting the oldest once the ring is full.
+// Safe (and free) on a nil Recorder; never allocates.
+func (r *Recorder) Record(k Kind, actor uint16, a, b int64) {
+	if r == nil {
+		return
+	}
+	e := &r.buf[r.n&r.mask]
+	if r.clock != nil {
+		e.At = r.clock()
+	} else {
+		e.At = 0
+	}
+	e.Kind = k
+	e.Actor = actor
+	e.A = a
+	e.B = b
+	r.n++
+}
+
+// Total reports lifetime recorded events (including overwritten ones).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Len reports how many events the ring currently retains.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	if r.n > uint64(len(r.buf)) {
+		return len(r.buf)
+	}
+	return int(r.n)
+}
+
+// Cap reports the ring capacity.
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// Snapshot copies the retained events oldest-first. It allocates (callers
+// are dump paths, not the hot path).
+func (r *Recorder) Snapshot() []Event {
+	n := r.Len()
+	if n == 0 {
+		return nil
+	}
+	out := make([]Event, 0, n)
+	start := r.n - uint64(n)
+	for i := uint64(0); i < uint64(n); i++ {
+		out = append(out, r.buf[(start+i)&r.mask])
+	}
+	return out
+}
+
+// Last copies the newest k retained events oldest-first (all of them when
+// k <= 0 or k exceeds retention).
+func (r *Recorder) Last(k int) []Event {
+	ev := r.Snapshot()
+	if k > 0 && len(ev) > k {
+		ev = ev[len(ev)-k:]
+	}
+	return ev
+}

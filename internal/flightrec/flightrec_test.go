@@ -1,0 +1,190 @@
+package flightrec
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRingWraparound drives the ring past capacity and checks that only the
+// newest events survive, oldest-first.
+func TestRingWraparound(t *testing.T) {
+	now := time.Duration(0)
+	r := New(8, func() time.Duration { return now })
+	if r.Cap() != 8 {
+		t.Fatalf("Cap() = %d, want 8", r.Cap())
+	}
+	a := r.Actor("dne@nodeA")
+	for i := 0; i < 20; i++ {
+		now = time.Duration(i) * time.Millisecond
+		r.Record(KindDropNoRoute, a, int64(i), 0)
+	}
+	if r.Total() != 20 {
+		t.Fatalf("Total() = %d, want 20", r.Total())
+	}
+	if r.Len() != 8 {
+		t.Fatalf("Len() = %d, want 8", r.Len())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("snapshot len = %d, want 8", len(snap))
+	}
+	for i, e := range snap {
+		want := int64(12 + i) // events 12..19 survive
+		if e.A != want {
+			t.Fatalf("snapshot[%d].A = %d, want %d", i, e.A, want)
+		}
+		if e.At != time.Duration(want)*time.Millisecond {
+			t.Fatalf("snapshot[%d].At = %v, want %v", i, e.At, time.Duration(want)*time.Millisecond)
+		}
+	}
+	last := r.Last(3)
+	if len(last) != 3 || last[0].A != 17 || last[2].A != 19 {
+		t.Fatalf("Last(3) = %+v, want events 17..19", last)
+	}
+}
+
+// TestSizeRounding pins the power-of-two capacity rule and the default.
+func TestSizeRounding(t *testing.T) {
+	if got := New(100, nil).Cap(); got != 128 {
+		t.Fatalf("New(100).Cap() = %d, want 128", got)
+	}
+	if got := New(0, nil).Cap(); got != DefaultSize {
+		t.Fatalf("New(0).Cap() = %d, want %d", got, DefaultSize)
+	}
+}
+
+// TestNilSafety checks the whole producer surface is a no-op on nil.
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	if id := r.Actor("x"); id != 0 {
+		t.Fatalf("nil Actor() = %d, want 0", id)
+	}
+	r.Record(KindMark, 0, 1, 2) // must not panic
+	if r.Total() != 0 || r.Len() != 0 || r.Cap() != 0 {
+		t.Fatal("nil recorder reports non-zero state")
+	}
+	if name := r.ActorName(3); name != "?" {
+		t.Fatalf("nil ActorName = %q, want ?", name)
+	}
+	if TextDump(r, 10) == "" {
+		t.Fatal("nil TextDump should still render a header")
+	}
+}
+
+// TestActorInterning pins id stability and the unknown-id fallback.
+func TestActorInterning(t *testing.T) {
+	r := New(8, nil)
+	a := r.Actor("gw@nodeA")
+	b := r.Actor("gw@nodeB")
+	if a == b {
+		t.Fatal("distinct actors interned to the same id")
+	}
+	if again := r.Actor("gw@nodeA"); again != a {
+		t.Fatalf("re-interning changed id: %d -> %d", a, again)
+	}
+	if r.ActorName(a) != "gw@nodeA" {
+		t.Fatalf("ActorName(%d) = %q", a, r.ActorName(a))
+	}
+	if r.ActorName(999) != "?" {
+		t.Fatal("unknown id should render as ?")
+	}
+}
+
+// TestRecordZeroAlloc pins the record path at zero allocations per op —
+// the recorder is always on, so any alloc here is a leak multiplied by
+// every drop, fault and repair in a long run.
+func TestRecordZeroAlloc(t *testing.T) {
+	now := time.Duration(0)
+	r := New(1024, func() time.Duration { return now })
+	actor := r.Actor("bench")
+	if allocs := testing.AllocsPerRun(1000, func() {
+		now += time.Microsecond
+		r.Record(KindQPError, actor, 7, 9)
+	}); allocs != 0 {
+		t.Fatalf("Record allocates %v allocs/op, want 0", allocs)
+	}
+	// Re-interning an existing actor must stay allocation-free too: hot
+	// paths that resolve by name on each event would otherwise churn.
+	if allocs := testing.AllocsPerRun(1000, func() {
+		r.Actor("bench")
+	}); allocs != 0 {
+		t.Fatalf("Actor re-intern allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestWriteChrome checks the dump loads as the Chrome trace-event shape:
+// process metadata, one thread per actor, instant events in ring order.
+func TestWriteChrome(t *testing.T) {
+	now := time.Duration(0)
+	r := New(16, func() time.Duration { return now })
+	a, b := r.Actor("chaos"), r.Actor("dne@nodeA")
+	now = 10 * time.Millisecond
+	r.Record(KindChaosApply, a, 0, 0)
+	now = 12 * time.Millisecond
+	r.Record(KindDropNoRoute, b, 1, 512)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	// 1 process meta + 2 thread metas + 2 instants.
+	if len(file.TraceEvents) != 5 {
+		t.Fatalf("trace has %d events, want 5:\n%s", len(file.TraceEvents), buf.String())
+	}
+	var kinds []string
+	for _, ev := range file.TraceEvents {
+		if ev["ph"] == "i" {
+			kinds = append(kinds, ev["name"].(string))
+		}
+	}
+	if len(kinds) != 2 || kinds[0] != "chaos.apply" || kinds[1] != "dne.drop_no_route" {
+		t.Fatalf("instant kinds = %v", kinds)
+	}
+}
+
+// TestWriteText checks the last-N report shape and determinism.
+func TestWriteText(t *testing.T) {
+	now := time.Duration(0)
+	r := New(16, func() time.Duration { return now })
+	a := r.Actor("ingress")
+	for i := 0; i < 5; i++ {
+		now = time.Duration(i) * time.Millisecond
+		r.Record(KindIngressDrop, a, int64(i), 0)
+	}
+	got := TextDump(r, 2)
+	if !strings.Contains(got, "5 retained, 5 recorded") {
+		t.Fatalf("header wrong:\n%s", got)
+	}
+	if strings.Count(got, "ingress.drop") != 2 {
+		t.Fatalf("want exactly the last 2 events:\n%s", got)
+	}
+	if !strings.Contains(got, "a=4") || strings.Contains(got, "a=2") {
+		t.Fatalf("want events 3 and 4 only:\n%s", got)
+	}
+	if again := TextDump(r, 2); again != got {
+		t.Fatal("TextDump not deterministic for identical state")
+	}
+}
+
+// BenchmarkFlightRecord measures the always-on record path; archived in
+// BENCH_sim.json and gated by `make bench-gate` (ns/op drift and any alloc
+// growth fail the gate).
+func BenchmarkFlightRecord(b *testing.B) {
+	now := time.Duration(0)
+	r := New(1<<14, func() time.Duration { return now })
+	actor := r.Actor("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += time.Microsecond
+		r.Record(KindGwDrop, actor, int64(i), 4096)
+	}
+}

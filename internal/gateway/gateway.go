@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"nadino/internal/fabric"
+	"nadino/internal/flightrec"
 	"nadino/internal/mempool"
 	"nadino/internal/params"
 	"nadino/internal/rdma"
@@ -133,6 +134,27 @@ type Gateway struct {
 	transit   uint64
 	retries   uint64
 	dropped   uint64
+
+	// Flight recorder hook (optional): drops and route re-convergences
+	// land in the ring under this gateway's interned actor id.
+	rec      *flightrec.Recorder
+	recActor uint16
+}
+
+// SetFlightRecorder routes drop and route-update events into r (nil
+// detaches). The actor id is interned once so record paths stay
+// allocation-free.
+func (g *Gateway) SetFlightRecorder(r *flightrec.Recorder) {
+	g.rec = r
+	g.recActor = r.Actor("gw@" + string(g.self))
+}
+
+// frDrop records one dropped cross-node descriptor: A is the hop count so
+// far, B the payload bytes.
+func (g *Gateway) frDrop(d *mempool.Descriptor) {
+	if g.rec != nil {
+		g.rec.Record(flightrec.KindGwDrop, g.recActor, int64(d.Hops), int64(d.Len))
+	}
 }
 
 // New creates the gateway for node self. The forwarding core runs at the
@@ -350,6 +372,7 @@ func (g *Gateway) pump(pr *sim.Proc) bool {
 		d := pf.d
 		d.Trace.EndStage(trace.StageGwQueue)
 		g.dropped++
+		g.frDrop(&d)
 		g.releaseSource(d)
 		return true
 	}
@@ -402,6 +425,7 @@ func (g *Gateway) handleCQE(pr *sim.Proc, e rdma.CQE) {
 		}
 	}
 	g.dropped++
+	g.frDrop(&d)
 	g.releaseSource(d)
 }
 
@@ -424,6 +448,7 @@ func (g *Gateway) ingest(pr *sim.Proc, tr *tenantReg, l rdma.Landed) {
 	dst, ok := g.routes.NodeOf(d.Dst)
 	if !ok {
 		g.dropped++
+		g.frDrop(&d)
 		tr.pool.Put(d.Buf, g.owner)
 		return
 	}
@@ -436,6 +461,7 @@ func (g *Gateway) ingest(pr *sim.Proc, tr *tenantReg, l rdma.Landed) {
 	// onward source; the TTL fences transient loops during failover.
 	if int(d.Hops)+1 > g.p.GwMaxHops {
 		g.dropped++
+		g.frDrop(&d)
 		tr.pool.Put(d.Buf, g.owner)
 		return
 	}
@@ -464,6 +490,9 @@ func (g *Gateway) keeperLoop(pr *sim.Proc) {
 	for {
 		pr.Sleep(g.p.GwFailoverInterval)
 		if g.routes.Refresh(g.net) {
+			if g.rec != nil {
+				g.rec.Record(flightrec.KindGwRouteUpdate, g.recActor, int64(g.routes.Version()), 0)
+			}
 			g.work.Pulse()
 		}
 		for _, lk := range g.linkSeq {

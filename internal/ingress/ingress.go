@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"nadino/internal/flightrec"
 	"nadino/internal/metrics"
 	"nadino/internal/params"
 	"nadino/internal/ring"
@@ -143,6 +144,17 @@ type Gateway struct {
 	CPUSeries     *metrics.Series // cores' worth of CPU in use
 	WorkersSeries *metrics.Series
 	scaleEvents   int
+
+	// Flight recorder hook (optional): sheds and restart windows land in
+	// the ring under this gateway's interned actor id.
+	rec      *flightrec.Recorder
+	recActor uint16
+}
+
+// SetFlightRecorder routes shed and restart events into r (nil detaches).
+func (g *Gateway) SetFlightRecorder(r *flightrec.Recorder) {
+	g.rec = r
+	g.recActor = r.Actor("ingress")
 }
 
 // New assembles a gateway in front of backend.
@@ -207,6 +219,9 @@ func (g *Gateway) InjectRestart(pause time.Duration) {
 		g.pausedUntil = until
 	}
 	g.injectedRestarts++
+	if g.rec != nil {
+		g.rec.Record(flightrec.KindIngressRestart, g.recActor, int64(pause), 0)
+	}
 }
 
 // InjectedRestarts reports how many restarts were injected.
@@ -243,6 +258,9 @@ func (g *Gateway) Submit(req Request) {
 		}
 		if g.cfg.QueueCap > 0 && w.q.Len() >= g.cfg.QueueCap {
 			g.dropped++
+			if g.rec != nil {
+				g.rec.Record(flightrec.KindIngressDrop, g.recActor, int64(req.Client), 0)
+			}
 			return
 		}
 		req.Trace.BeginStage(trace.StageIngressQueue, "ingress")

@@ -66,6 +66,24 @@ func (h *Hist) Observe(d time.Duration) {
 // Count reports the number of samples.
 func (h *Hist) Count() uint64 { return h.count }
 
+// Sum reports the total of all samples — the `_sum` of a Prometheus
+// histogram exposition.
+func (h *Hist) Sum() time.Duration { return h.sum }
+
+// CumulativeLE reports how many samples landed in buckets whose upper bound
+// is at most d — the cumulative `_bucket{le=...}` count of a Prometheus
+// histogram exposition, exact at the histogram's ~2% bucket resolution.
+func (h *Hist) CumulativeLE(d time.Duration) uint64 {
+	var n uint64
+	for i, c := range h.buckets {
+		if histBounds[i] > d {
+			break
+		}
+		n += c
+	}
+	return n
+}
+
 // Mean reports the mean sample, or 0 with no samples.
 func (h *Hist) Mean() time.Duration {
 	if h.count == 0 {

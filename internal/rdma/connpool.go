@@ -1,6 +1,7 @@
 package rdma
 
 import (
+	"nadino/internal/flightrec"
 	"nadino/internal/params"
 	"nadino/internal/sim"
 )
@@ -27,6 +28,18 @@ type ConnPool struct {
 	activations   uint64
 	deactivations uint64
 	repairs       uint64
+
+	// Flight recorder hook (optional): forced errors and repairs land in
+	// the ring under this pool's interned actor id.
+	rec      *flightrec.Recorder
+	recActor uint16
+}
+
+// SetFlightRecorder routes this pool's QP error/repair events into r under
+// actor (e.g. "qp:amber@nodeA>nodeB"); nil detaches.
+func (cp *ConnPool) SetFlightRecorder(r *flightrec.Recorder, actor string) {
+	cp.rec = r
+	cp.recActor = r.Actor(actor)
 }
 
 // EstablishPair creates n RC connections between RNICs a and b for tenant
@@ -144,6 +157,9 @@ func (cp *ConnPool) Repair() int {
 			q.repairing = false
 		})
 	}
+	if n > 0 && cp.rec != nil {
+		cp.rec.Record(flightrec.KindQPRepair, cp.recActor, int64(n), 0)
+	}
 	return n
 }
 
@@ -164,6 +180,9 @@ func (cp *ConnPool) ForceError(n int) int {
 		}
 		qp.ForceError()
 		hit++
+	}
+	if hit > 0 && cp.rec != nil {
+		cp.rec.Record(flightrec.KindQPError, cp.recActor, int64(hit), 0)
 	}
 	return hit
 }

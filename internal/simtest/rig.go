@@ -9,6 +9,7 @@ import (
 	"nadino/internal/dne"
 	"nadino/internal/dpu"
 	"nadino/internal/fabric"
+	"nadino/internal/flightrec"
 	"nadino/internal/gateway"
 	"nadino/internal/mempool"
 	"nadino/internal/params"
@@ -93,6 +94,11 @@ type Rig struct {
 	reg     *telemetry.Registry
 	scraper *telemetry.Scraper
 
+	// Flight recorder: always on, ring-buffered, kept out of Report so
+	// fingerprints stay stable; dumped into Result.FlightDump on failure.
+	rec      *flightrec.Recorder
+	invActor uint16
+
 	cores []coreRef
 
 	warm, loadEnd, endAt time.Duration
@@ -138,6 +144,8 @@ func NewRig(sc Scenario) *Rig {
 		tripped: make(map[string]bool),
 	}
 	r.tracer.SetLimit(0)
+	r.rec = flightrec.New(4096, eng.Now)
+	r.invActor = r.rec.Actor("invariant")
 	r.warm = p.QPSetupTime + 2*time.Millisecond
 	r.loadEnd = r.warm + sc.Load
 	r.endAt = r.loadEnd + sc.Drain
@@ -161,10 +169,12 @@ func NewRig(sc Scenario) *Rig {
 		cfg := dne.Config{Node: name, Mode: sc.Mode, Sched: sc.Sched,
 			Channel: dpu.ComchE, InitialRQ: rqInit}
 		nr := &nodeRig{name: name, dpu: d, eng: dne.New(eng, p, cfg, d, nil, nil), rqInit: rqInit}
+		nr.eng.SetFlightRecorder(r.rec)
 		if sc.Gateways {
 			nr.gw = gateway.New(eng, p, name, r.net, d.RNIC(), gwWindow)
 			nr.gw.SetEgress(nr.eng)
 			nr.eng.SetForwarder(nr.gw, nr.gw.Owner())
+			nr.gw.SetFlightRecorder(r.rec)
 		}
 		r.nodes = append(r.nodes, nr)
 		r.cores = append(r.cores,
@@ -242,6 +252,8 @@ func NewRig(sc Scenario) *Rig {
 					cli.eng.CQ(), srv.eng.CQ())
 				cli.eng.AddConnPool(srv.name, tr.sc.Name, cpC)
 				srv.eng.AddConnPool(cli.name, tr.sc.Name, cpS)
+				cpC.SetFlightRecorder(r.rec, "qp:"+tr.sc.Name+"@"+string(cli.name))
+				cpS.SetFlightRecorder(r.rec, "qp:"+tr.sc.Name+"@"+string(srv.name))
 				done.TryPut(struct{}{})
 			})
 		}
@@ -265,6 +277,9 @@ func NewRig(sc Scenario) *Rig {
 			nr.eng.Start()
 			if nr.gw != nil {
 				nr.gw.Start()
+				for _, cp := range nr.gw.Links() {
+					cp.SetFlightRecorder(r.rec, "gw-qp:"+cp.Tenant+"@"+string(nr.name))
+				}
 			}
 		}
 		r.ready.TryPut(struct{}{})
@@ -299,6 +314,7 @@ func NewRig(sc Scenario) *Rig {
 // both ends).
 func (r *Rig) buildInjector() *chaos.Injector {
 	in := chaos.NewInjector(r.eng, r.net, r.sc.Seed)
+	in.SetFlightRecorder(r.rec)
 	for _, nr := range r.nodes {
 		nr := nr
 		in.RegisterStaller("dma@"+string(nr.name), nr.dpu.SoCDMA())

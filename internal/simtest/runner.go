@@ -5,6 +5,8 @@ import (
 	"hash/fnv"
 	"strings"
 	"time"
+
+	"nadino/internal/flightrec"
 )
 
 // checkPeriod is the periodic-invariant tick: fine enough to interleave
@@ -33,6 +35,12 @@ type Result struct {
 	// hash, the byte-identity check for reproductions.
 	Report      string
 	Fingerprint uint64
+
+	// FlightDump is the flight recorder's last-N report, populated only
+	// when the run failed. It is deliberately NOT part of Report: the dump
+	// is deterministic too, but keeping it out preserves fingerprint
+	// stability across recorder-coverage changes.
+	FlightDump string
 }
 
 // Failed reports whether any invariant fired.
@@ -69,6 +77,7 @@ func Run(sc Scenario) *Result {
 				}
 				if msg := inv.Periodic(r, now); msg != "" {
 					r.tripped[inv.Name] = true
+					r.rec.Record(flightrec.KindInvariant, r.invActor, int64(len(r.violations)), 0)
 					r.violations = append(r.violations, Violation{At: now, Invariant: inv.Name, Detail: msg})
 				}
 			}
@@ -81,6 +90,7 @@ func Run(sc Scenario) *Result {
 				continue
 			}
 			for _, msg := range inv.Final(r) {
+				r.rec.Record(flightrec.KindInvariant, r.invActor, int64(len(r.violations)), 0)
 				r.violations = append(r.violations,
 					Violation{At: r.eng.Now(), Invariant: inv.Name, Detail: msg})
 			}
@@ -115,6 +125,9 @@ func Run(sc Scenario) *Result {
 			at = r.eng.Now()
 		}
 		res.Violations = append(res.Violations, Violation{At: at, Invariant: "panic", Detail: panicDetail})
+	}
+	if r != nil && len(res.Violations) > 0 {
+		res.FlightDump = flightrec.TextDump(r.rec, 64)
 	}
 	res.Report = res.render()
 	res.Fingerprint = fingerprint(res.Report)

@@ -2,6 +2,7 @@ package simtest
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -96,7 +97,10 @@ func TestSweepClean(t *testing.T) {
 	for seed := int64(0); seed < n; seed++ {
 		res := Run(Generate(seed))
 		if res.Failed() {
-			t.Errorf("seed %d failed:\n%s", seed, res.Report)
+			t.Errorf("seed %d failed:\n%s\n%s", seed, res.Report, res.FlightDump)
+		}
+		if res.FlightDump != "" {
+			t.Errorf("seed %d: passing run carries a flight dump", seed)
 		}
 	}
 }
@@ -148,6 +152,21 @@ func TestPlantedLeakCaught(t *testing.T) {
 	}
 	if !res.violatedNames()["buffer-conservation"] {
 		t.Fatalf("leak blamed on the wrong invariant:\n%s", res.Report)
+	}
+
+	// Failures carry the flight recorder's tail, with the invariant trip
+	// itself marked in the ring; the dump stays out of Report so
+	// fingerprints do not depend on recorder coverage.
+	if !strings.Contains(res.FlightDump, "flightrec:") ||
+		!strings.Contains(res.FlightDump, "invariant") {
+		t.Fatalf("failing run has no usable flight dump:\n%q", res.FlightDump)
+	}
+	if strings.Contains(res.Report, "flightrec:") {
+		t.Fatalf("flight dump leaked into the canonical report:\n%s", res.Report)
+	}
+	if again := Run(sc); again.FlightDump != res.FlightDump {
+		t.Fatalf("flight dump not deterministic:\n--- first\n%s--- second\n%s",
+			res.FlightDump, again.FlightDump)
 	}
 
 	sr := Shrink(sc, res, 30)

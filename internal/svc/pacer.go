@@ -1,0 +1,163 @@
+// Package svc is the live observability plane: it runs a simulated NADINO
+// cluster as a long-lived daemon (cmd/nadino-svc), bridging the virtual
+// clock to wall time with a real-time pacer and exposing the running
+// engine over HTTP — a live Prometheus /metrics endpoint, health and
+// readiness probes, pprof, and a small management API that hot-reloads
+// tenants, placements and chaos schedules against the running cluster while
+// the SLO watchdog evaluates continuously and the flight recorder captures
+// every fault and drop.
+//
+// Concurrency model. The simulation stays single-threaded: exactly one
+// goroutine executes engine code at a time, serialized by the pacer's
+// mutex. The pacer's advance loop holds it while stepping the engine in
+// bounded virtual-time slices; HTTP handlers take the same mutex via Do to
+// read or mutate engine state between slices. Handler latency is therefore
+// bounded by one slice, never by a whole catch-up burst. Telemetry
+// counters are atomic, so the one thing a scrape needs continuously —
+// counter totals — never waits on the engine at all.
+package svc
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nadino/internal/sim"
+)
+
+// Pacer advances a simulation engine in real time: virtual time tracks
+// wall time scaled by Dilation (virtual seconds per wall second, 1.0 =
+// real time), stepped at most Slice of virtual time per engine hold so
+// concurrent Do callers interleave promptly.
+type Pacer struct {
+	mu  sync.Mutex // serializes all engine access
+	eng *sim.Engine
+
+	dilation float64
+	slice    time.Duration
+	tick     time.Duration
+
+	wallStart time.Time
+	baseV     time.Duration // virtual time when the pacer started
+
+	vnow atomic.Int64 // last engine Now, readable without the lock
+	lag  atomic.Int64 // target - engine Now after the last advance
+
+	stop    chan struct{}
+	done    chan struct{}
+	once    sync.Once
+	started bool
+}
+
+// NewPacer wraps eng. dilation <= 0 defaults to 1.0 (real time); slice <= 0
+// defaults to 10ms of virtual time; the advance loop wakes every tick
+// (default 2ms wall).
+func NewPacer(eng *sim.Engine, dilation float64, slice, tick time.Duration) *Pacer {
+	if dilation <= 0 {
+		dilation = 1.0
+	}
+	if slice <= 0 {
+		slice = 10 * time.Millisecond
+	}
+	if tick <= 0 {
+		tick = 2 * time.Millisecond
+	}
+	return &Pacer{
+		eng:      eng,
+		dilation: dilation,
+		slice:    slice,
+		tick:     tick,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the advance loop. Call once.
+func (p *Pacer) Start() {
+	p.wallStart = time.Now()
+	p.mu.Lock()
+	p.baseV = p.eng.Now()
+	p.started = true
+	p.mu.Unlock()
+	go p.loop()
+}
+
+// Stop halts the advance loop and waits for it to exit. Idempotent; the
+// engine is left paused wherever it stopped.
+func (p *Pacer) Stop() {
+	p.once.Do(func() { close(p.stop) })
+	p.mu.Lock()
+	started := p.started
+	p.mu.Unlock()
+	if started {
+		<-p.done
+	}
+}
+
+// loop advances the engine toward the wall-derived target, one bounded
+// slice per engine hold.
+func (p *Pacer) loop() {
+	defer close(p.done)
+	ticker := time.NewTicker(p.tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-ticker.C:
+		}
+		target := p.target()
+		for {
+			select {
+			case <-p.stop:
+				return
+			default:
+			}
+			p.mu.Lock()
+			cur := p.eng.Now()
+			if cur >= target {
+				p.lag.Store(0)
+				p.mu.Unlock()
+				break
+			}
+			step := target - cur
+			if step > p.slice {
+				step = p.slice
+			}
+			p.eng.RunUntil(cur + step)
+			now := p.eng.Now()
+			p.vnow.Store(int64(now))
+			p.lag.Store(int64(target - now))
+			p.mu.Unlock()
+		}
+	}
+}
+
+// target maps the current wall clock onto virtual time.
+func (p *Pacer) target() time.Duration {
+	return p.baseV + time.Duration(float64(time.Since(p.wallStart))*p.dilation)
+}
+
+// Do runs fn with the engine paused and exclusively held — the only legal
+// way to touch engine-owned state (gauges, cluster mutations, the flight
+// recorder) from outside the engine. fn must not block.
+func (p *Pacer) Do(fn func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fn()
+}
+
+// VirtualNow reports the engine clock after the last advance, without
+// taking the engine lock.
+func (p *Pacer) VirtualNow() time.Duration { return time.Duration(p.vnow.Load()) }
+
+// Lag reports how far virtual time trailed its wall-derived target after
+// the last advance: persistently growing lag means the simulation cannot
+// keep up with the requested dilation.
+func (p *Pacer) Lag() time.Duration { return time.Duration(p.lag.Load()) }
+
+// Dilation reports the configured virtual-per-wall-second factor.
+func (p *Pacer) Dilation() float64 { return p.dilation }
+
+// WallStart reports when the pacer started.
+func (p *Pacer) WallStart() time.Time { return p.wallStart }

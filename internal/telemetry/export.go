@@ -79,29 +79,43 @@ func promName(name string) string {
 }
 
 // WritePrometheus renders an end-of-run snapshot in the Prometheus text
-// exposition format: every series' final sample as a gauge with its labels.
+// exposition format 0.0.4: every series' final sample as a gauge with its
+// labels, grouped by family (the format forbids interleaving a family's
+// series with another's) with # HELP and # TYPE lines per family. For the
+// live full-fidelity exposition (counter totals, histogram buckets), see
+// WriteLivePrometheus.
 func WritePrometheus(w io.Writer, sc *Scraper) error {
 	bw := bufio.NewWriter(w)
-	seen := make(map[string]bool)
+	// Family-group the tracks in first-appearance order: registration
+	// interleaves labeled variants (per-node loops register families
+	// round-robin).
+	order := make([]string, 0, len(sc.tracks))
+	byName := make(map[string][]track)
 	for _, t := range sc.tracks {
-		name := promName(t.meta.Name)
-		if !seen[name] {
-			seen[name] = true
-			fmt.Fprintf(bw, "# TYPE %s gauge\n", name)
+		if _, ok := byName[t.meta.Name]; !ok {
+			order = append(order, t.meta.Name)
 		}
-		var last float64
-		if n := len(t.series.Points); n > 0 {
-			last = t.series.Points[n-1].V
+		byName[t.meta.Name] = append(byName[t.meta.Name], t)
+	}
+	for _, fam := range order {
+		name := promName(fam)
+		fmt.Fprintf(bw, "# HELP %s %s\n", name, escapeHelp(sc.reg.helpFor(fam)))
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", name)
+		for _, t := range byName[fam] {
+			var last float64
+			if n := len(t.series.Points); n > 0 {
+				last = t.series.Points[n-1].V
+			}
+			if len(t.meta.Labels) == 0 {
+				fmt.Fprintf(bw, "%s %s\n", name, fnum(last))
+				continue
+			}
+			parts := make([]string, len(t.meta.Labels))
+			for i, l := range t.meta.Labels {
+				parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
+			}
+			fmt.Fprintf(bw, "%s{%s} %s\n", name, strings.Join(parts, ","), fnum(last))
 		}
-		if len(t.meta.Labels) == 0 {
-			fmt.Fprintf(bw, "%s %s\n", name, fnum(last))
-			continue
-		}
-		parts := make([]string, len(t.meta.Labels))
-		for i, l := range t.meta.Labels {
-			parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
-		}
-		fmt.Fprintf(bw, "%s{%s} %s\n", name, strings.Join(parts, ","), fnum(last))
 	}
 	return bw.Flush()
 }

@@ -86,6 +86,18 @@ func TestGoldenPrometheus(t *testing.T) {
 	checkGolden(t, "golden.prom", buf.Bytes())
 }
 
+// TestGoldenLivePrometheus pins the live full-fidelity exposition (counter
+// totals, histogram bucket ladder) byte-for-byte — the bytes nadino-svc
+// serves from /metrics for this registry state.
+func TestGoldenLivePrometheus(t *testing.T) {
+	var buf bytes.Buffer
+	sc := goldenScraper(t)
+	if err := WriteLivePrometheus(&buf, sc.reg); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden.live.prom", buf.Bytes())
+}
+
 // TestGoldenChromeCounters pins the Chrome counter-track trace export
 // byte-for-byte.
 func TestGoldenChromeCounters(t *testing.T) {

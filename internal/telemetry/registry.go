@@ -23,7 +23,10 @@ package telemetry
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"nadino/internal/metrics"
@@ -99,9 +102,14 @@ type probe struct {
 // so instrumented paths cost one branch when telemetry is off (the
 // trace.Req idiom). The scraper converts counters into windowed rate
 // series (events/second per scrape period).
+//
+// The count is atomic so a live scrape (the nadino-svc /metrics endpoint,
+// served off the simulation loop) can read counters while the engine
+// updates them without a data race; the simulation itself stays
+// single-threaded and pays one uncontended atomic add.
 type Counter struct {
 	meta Meta
-	v    uint64
+	v    atomic.Uint64
 }
 
 // Add records n events. Safe (and free) on a nil Counter.
@@ -109,7 +117,7 @@ func (c *Counter) Add(n uint64) {
 	if c == nil {
 		return
 	}
-	c.v += n
+	c.v.Add(n)
 }
 
 // Value reports the lifetime count; 0 on a nil Counter.
@@ -117,7 +125,7 @@ func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return c.v.Load()
 }
 
 // Hist is a labeled histogram handle. Observe on nil is a no-op, so
@@ -144,27 +152,60 @@ func (h *Hist) Snapshot() *metrics.Hist {
 	return h.h
 }
 
-// Registry holds every registered probe in insertion order. It is bound to
-// a single simulation engine's lifetime and is not safe for concurrent use
-// (the simulation is single-threaded; independent engines get independent
-// registries).
+// Registry holds every registered probe in insertion order. Registration
+// and structural reads are mutex-guarded and counters are atomic, so a live
+// exporter may scrape the registry concurrently with the simulation
+// updating it. Gauge, rate and histogram probes read engine-owned state:
+// sampling those concurrently with a running engine is only safe while the
+// engine is paused (the scraper runs in engine context; nadino-svc snapshots
+// under its pacer lock).
 type Registry struct {
+	mu     sync.RWMutex
 	probes []probe
 	keys   map[string]struct{}
+	help   map[string]string
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{keys: make(map[string]struct{})}
+	return &Registry{keys: make(map[string]struct{}), help: make(map[string]string)}
 }
 
 func (r *Registry) add(p probe) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	key := p.meta.Key()
 	if _, dup := r.keys[key]; dup {
 		panic(fmt.Sprintf("telemetry: duplicate metric %q", key))
 	}
 	r.keys[key] = struct{}{}
 	r.probes = append(r.probes, p)
+}
+
+// snapshot returns the registered probes in insertion order. The returned
+// slice is safe against concurrent registration (probes are append-only).
+func (r *Registry) snapshot() []probe {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.probes[:len(r.probes):len(r.probes)]
+}
+
+// SetHelp attaches exposition help text to a metric name (all labeled
+// variants share it). Exporters fall back to a generated line when unset.
+func (r *Registry) SetHelp(name, text string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = text
+}
+
+// helpFor resolves a metric's help text.
+func (r *Registry) helpFor(name string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if h, ok := r.help[name]; ok {
+		return h
+	}
+	return "NADINO simulation metric " + name + "."
 }
 
 // Counter registers and returns a labeled counter handle. The scraper
@@ -204,4 +245,32 @@ func (r *Registry) HistFrom(name string, h *metrics.Hist, kv ...string) {
 }
 
 // Len reports registered probes.
-func (r *Registry) Len() int { return len(r.probes) }
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.probes)
+}
+
+// BuildVersion identifies the NADINO tree in build_info expositions. It is a
+// var so release tooling can stamp it with -ldflags "-X ...".
+var BuildVersion = "dev"
+
+// BuildInfo registers the conventional `build_info` gauge (constant 1,
+// version/goversion labels) plus `process.uptime_seconds` gauges for both
+// clocks: virtual (how far the simulation has advanced) and wall (how long
+// the process has been up). Every rig and the nadino-svc daemon call this
+// once so dashboards can join series against the emitting build.
+func (r *Registry) BuildInfo(virtualNow func() time.Duration, wallStart time.Time) {
+	r.SetHelp("build_info", "Constant 1; labels carry the NADINO build and Go runtime version.")
+	r.SetHelp("process.uptime_seconds", "Process uptime by clock: virtual simulation time or wall time.")
+	r.Gauge("build_info", func() float64 { return 1 },
+		"version", BuildVersion, "goversion", runtime.Version())
+	if virtualNow != nil {
+		r.Gauge("process.uptime_seconds", func() float64 {
+			return virtualNow().Seconds()
+		}, "clock", "virtual")
+	}
+	r.Gauge("process.uptime_seconds", func() float64 {
+		return time.Since(wallStart).Seconds()
+	}, "clock", "wall")
+}

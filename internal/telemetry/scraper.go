@@ -19,6 +19,7 @@ type track struct {
 // the seed. One registry feeds at most one scraper.
 type Scraper struct {
 	reg    *Registry
+	probes []probe // snapshot of reg at Scrape time, fixes series order
 	period time.Duration
 
 	tracks []track
@@ -26,14 +27,24 @@ type Scraper struct {
 	// probes, indexed by probe position.
 	lastV []float64
 	stop  func()
+
+	// onSample hooks run after each scrape period's samples land, in
+	// engine context — the live SLO watchdog evaluates here.
+	onSample []func(now time.Duration)
+
+	// retain > 0 bounds each series to roughly that many newest points
+	// (see Retain) — batch runs keep everything, daemons must not.
+	retain int
 }
 
 // Scrape starts sampling the registry every period of virtual time,
 // beginning one period from now. Call Stop to detach; stopping is optional
-// when the engine simply halts.
+// when the engine simply halts. Probes registered after Scrape are not
+// sampled (register first, scrape second).
 func (r *Registry) Scrape(eng *sim.Engine, period time.Duration) *Scraper {
-	sc := &Scraper{reg: r, period: period, lastV: make([]float64, len(r.probes))}
-	for _, p := range r.probes {
+	probes := r.snapshot()
+	sc := &Scraper{reg: r, probes: probes, period: period, lastV: make([]float64, len(probes))}
+	for _, p := range probes {
 		switch p.kind {
 		case kindHist:
 			for _, q := range []string{".p50", ".p99"} {
@@ -46,10 +57,10 @@ func (r *Registry) Scrape(eng *sim.Engine, period time.Duration) *Scraper {
 	}
 	// Seed the cumulative baselines at start so the first window's rates
 	// cover (start, start+period] rather than (0, start+period].
-	for i, p := range r.probes {
+	for i, p := range probes {
 		switch p.kind {
 		case kindCounter:
-			sc.lastV[i] = float64(p.counter.v)
+			sc.lastV[i] = float64(p.counter.Value())
 		case kindRate:
 			sc.lastV[i] = p.fn()
 		}
@@ -62,10 +73,10 @@ func (r *Registry) Scrape(eng *sim.Engine, period time.Duration) *Scraper {
 func (sc *Scraper) sample(now time.Duration) {
 	secs := sc.period.Seconds()
 	ti := 0
-	for i, p := range sc.reg.probes {
+	for i, p := range sc.probes {
 		switch p.kind {
 		case kindCounter:
-			v := float64(p.counter.v)
+			v := float64(p.counter.Value())
 			sc.tracks[ti].series.Add(now, (v-sc.lastV[i])/secs)
 			sc.lastV[i] = v
 			ti++
@@ -83,6 +94,32 @@ func (sc *Scraper) sample(now time.Duration) {
 			ti += 2
 		}
 	}
+	for _, fn := range sc.onSample {
+		fn(now)
+	}
+	// Trim lazily at 2x the retention bound so steady state amortizes the
+	// copies: each series oscillates between retain and 2*retain points.
+	if sc.retain > 0 {
+		for _, t := range sc.tracks {
+			if pts := t.series.Points; len(pts) >= 2*sc.retain {
+				n := copy(pts, pts[len(pts)-sc.retain:])
+				t.series.Points = pts[:n]
+			}
+		}
+	}
+}
+
+// Retain bounds every series to between n and 2n of its newest points,
+// trimmed as samples land. A long-running daemon scrapes forever; without
+// a bound the append-only series are an unbounded leak. n <= 0 restores
+// keep-everything (the batch-run default).
+func (sc *Scraper) Retain(n int) { sc.retain = n }
+
+// OnSample registers fn to run after each scrape period's samples land, in
+// engine context. The live watchdog attaches here so rules see every window
+// the moment it closes.
+func (sc *Scraper) OnSample(fn func(now time.Duration)) {
+	sc.onSample = append(sc.onSample, fn)
 }
 
 // Stop detaches the scraper from the engine clock.
