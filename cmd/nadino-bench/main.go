@@ -11,6 +11,8 @@
 //	nadino-bench -run res-storm,res-recovery,res-tenant
 //	nadino-bench -run fabric     # multi-node gateway fabric: placement + failover
 //	nadino-bench -run fabric-shard -trace   # per-hop gw.queue/gw.hop attribution
+//	nadino-bench -run clone      # speculative clone/hedge tail-cutting sweep
+//	nadino-bench -run clone-chaos -telemetry telemetry/   # spec.* family under a straggler storm
 //	nadino-bench -parallel 0     # shard sweep points across all cores
 //	nadino-bench -run fig06 -trace
 //	nadino-bench -run resilience -telemetry telemetry/
@@ -42,7 +44,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment IDs, 'all' (paper artifacts), 'ablations', 'resilience' (res-*), 'fabric' (fabric-*), or 'everything'")
+	run := flag.String("run", "all", "comma-separated experiment IDs, 'all' (paper artifacts), 'ablations', 'resilience' (res-*), 'fabric' (fabric-*), 'clone' (clone-*), or 'everything'")
 	quick := flag.Bool("quick", false, "shrink measurement windows and sweeps")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", 1, "workers sharding each experiment's sweep points (0 = all cores, 1 = sequential); output is identical either way")
@@ -75,6 +77,8 @@ func main() {
 		selected = experiments.Resilience()
 	case "fabric":
 		selected = experiments.Fabric()
+	case "clone":
+		selected = experiments.Speculation()
 	default:
 		for _, id := range strings.Split(*run, ",") {
 			e, ok := experiments.Lookup(strings.TrimSpace(id))

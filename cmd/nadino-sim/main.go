@@ -102,11 +102,14 @@ func runCluster(cfg core.Config, r runOpts, w io.Writer) (*telemetry.Scraper, er
 		// otherwise land in warmup and never be measured). The replay is
 		// read-only and each replica's Start spawns its own process, so
 		// replicas can share one parsed trace.
-		_, hook := r.replay.Shifted(warm).Start(c.Eng)
+		_, hook := r.replay.Shifted(warm).StartSpec(c.Eng)
 		n := 0
-		hook(func(ch string) {
+		hook(func(ch string, clone int, hedge time.Duration) {
 			n++
-			c.SubmitChain(ch, n, nil)
+			// Recorded speculation overrides ride each arrival: clone/hedge
+			// are zero for plain trace lines, and SubmitChainSpec falls back
+			// to the cluster policy in that case.
+			c.SubmitChainSpec(ch, n, clone, hedge, nil)
 		})
 		fmt.Fprintf(w, "workload  : replay of %d arrivals (%d requests over %v)\n",
 			len(r.replay.Arrivals), r.replay.Total(), r.replay.Duration())
@@ -252,7 +255,7 @@ func main() {
 	replicas := flag.Int("replicas", 1, "independent replica runs with seeds seed..seed+N-1")
 	parallel := flag.Int("parallel", 1, "workers running replicas concurrently (0 = all cores)")
 	traceRPS := flag.Float64("trace-rps", 0, "drive ALL chains open-loop at this aggregate rate instead of closed-loop clients")
-	traceFile := flag.String("trace-file", "", "replay a recorded arrival trace (one `t_us,chain[,count]` line per arrival) instead of synthetic load")
+	traceFile := flag.String("trace-file", "", "replay a recorded arrival trace (one `t_us,chain[,count[,clone[,hedge_us]]]` line per arrival) instead of synthetic load")
 	traceOut := flag.String("trace", "", "record per-stage latency attribution after warmup and write a Chrome trace to this file")
 	telemetryDir := flag.String("telemetry", "", "scrape labeled metrics during the run and export CSV/JSON/Prometheus/dashboard into this directory")
 	zipf := flag.Float64("zipf", 1.0, "trace mode: chain popularity skew")

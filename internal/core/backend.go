@@ -126,14 +126,19 @@ func (b *rdmaBackend) Forward(req ingress.Request, done func(ingress.Response)) 
 		b.drops++
 		return
 	}
+	rc := &reqCtx{
+		Chain: req.Chain, Calls: spec.Calls, RespBytes: spec.RespBytes,
+		IngressDone: done, Stamp: req.Stamp,
+	}
+	if req.Group != nil {
+		rc.Spec = req.Group.Killed
+	}
 	d := mempool.Descriptor{
 		Tenant: t.name, Buf: buf, Len: req.Bytes,
 		Src: "ingress", Dst: entry.name,
-		Ctx: &msgCtx{Kind: kindRequest, Req: &reqCtx{
-			Chain: req.Chain, Calls: spec.Calls, RespBytes: spec.RespBytes,
-			IngressDone: done, Stamp: req.Stamp,
-		}},
+		Ctx:   &msgCtx{Kind: kindRequest, Req: rc},
 		Trace: req.Trace,
+		Spec:  rc.Spec,
 	}
 	entry.noteInflight()
 	cp := t.conns[string(entry.node.name)]
@@ -218,10 +223,16 @@ func (b *tcpBackend) Forward(req ingress.Request, done func(ingress.Response)) {
 		panic(fmt.Sprintf("core: ingress request for unknown chain %q", req.Chain))
 	}
 	entry := b.c.resolveInstance(spec.Entry)
-	mc := &msgCtx{Kind: kindRequest, Req: &reqCtx{
+	rc := &reqCtx{
 		Chain: req.Chain, Calls: spec.Calls, RespBytes: spec.RespBytes,
 		IngressDone: done, Stamp: req.Stamp,
-	}}
+	}
+	if req.Group != nil {
+		// TCP baselines carry no descriptor through a TX gate, so the
+		// only mid-plane kill site is the function's inbox dequeue.
+		rc.Spec = req.Group.Killed
+	}
+	mc := &msgCtx{Kind: kindRequest, Req: rc}
 	entry.noteInflight()
 	t0 := b.c.Eng.Now()
 	b.c.Eng.After(b.c.tcpTransit(b.c.workerStack()), func() {

@@ -16,6 +16,7 @@ import (
 	"nadino/internal/params"
 	"nadino/internal/rdma"
 	"nadino/internal/sim"
+	"nadino/internal/speculate"
 	"nadino/internal/trace"
 	"nadino/internal/transport"
 )
@@ -66,6 +67,14 @@ type Config struct {
 	// request submitted through SubmitChain (see internal/trace). A nil
 	// tracer keeps the whole path span-free.
 	Tracer *trace.Tracer
+
+	// Speculate configures clone-to-N and hedged retries at the ingress
+	// (zero value = no speculation); see internal/speculate.
+	Speculate speculate.Policy
+	// PSCores runs every function core in processor-sharing mode instead
+	// of FCFS: concurrent handler work on a core progresses at 1/n speed
+	// rather than queueing (the clone-sweep experiments compare both).
+	PSCores bool
 
 	Seed int64
 }
@@ -142,6 +151,9 @@ type Cluster struct {
 	crossTenantCopies uint64
 	// coldStarts counts container boots paid by idle handlers.
 	coldStarts uint64
+	// specFnKills counts speculative clones killed at a function's inbox
+	// dequeue (the deepest core-side cancellation point).
+	specFnKills uint64
 
 	gw      *ingress.Gateway
 	tracer  *trace.Tracer
@@ -318,13 +330,17 @@ func (c *Cluster) addFunction(fs FunctionSpec) *Function {
 	if tenant == "" {
 		tenant = c.cfg.Tenant
 	}
+	disc := sim.FCFS
+	if c.cfg.PSCores {
+		disc = sim.PS
+	}
 	f := &Function{
 		spec:   fs,
 		name:   fs.Name,
 		tenant: tenant,
 		owner:  mempool.Owner(fs.Name),
 		node:   n,
-		core:   sim.NewProcessor(c.Eng, nodeName+"/"+fs.Name, c.P.HostCoreSpeed),
+		core:   sim.NewProcessorDisc(c.Eng, nodeName+"/"+fs.Name, c.P.HostCoreSpeed, disc),
 		inbox:  sim.NewQueue[mempool.Descriptor](c.Eng, 0),
 	}
 	// The function maps its tenant's pool as a DPDK secondary process; the
@@ -383,6 +399,7 @@ func (c *Cluster) buildIngress() {
 		InitialWorkers: c.cfg.IngressWorkers,
 		MaxWorkers:     c.cfg.IngressMax,
 		AutoScale:      c.cfg.IngressAutoScale,
+		Speculate:      c.cfg.Speculate,
 	}
 	if c.cfg.System == NightCore {
 		// NightCore's built-in kernel gateway is a single-threaded HTTP
@@ -419,6 +436,9 @@ func (c *Cluster) CrossTenantCopies() uint64 { return c.crossTenantCopies }
 
 // ColdStarts reports container boots paid by idle handlers.
 func (c *Cluster) ColdStarts() uint64 { return c.coldStarts }
+
+// SpecFnKills reports speculative clones killed at function dequeue.
+func (c *Cluster) SpecFnKills() uint64 { return c.specFnKills }
 
 // Gateway returns the cluster ingress.
 func (c *Cluster) Gateway() *ingress.Gateway { return c.gw }
@@ -657,6 +677,13 @@ func (c *Cluster) getBufferRetry(pr *sim.Proc, pool *mempool.Pool, owner mempool
 // SubmitChain issues one external request for chain through the ingress.
 // reply is invoked (engine context) when the response reaches the client.
 func (c *Cluster) SubmitChain(chain string, client int, reply func(ingress.Response)) {
+	c.SubmitChainSpec(chain, client, 0, 0, reply)
+}
+
+// SubmitChainSpec is SubmitChain with per-request speculation overrides:
+// clone > 0 overrides the gateway policy's clone factor, hedge > 0 forces a
+// hedged retry with that deadline floor (trace replays carry both).
+func (c *Cluster) SubmitChainSpec(chain string, client int, clone int, hedge time.Duration, reply func(ingress.Response)) {
 	spec, ok := c.chains[chain]
 	if !ok {
 		panic(fmt.Sprintf("core: unknown chain %q", chain))
@@ -668,6 +695,8 @@ func (c *Cluster) SubmitChain(chain string, client int, reply func(ingress.Respo
 		Bytes: spec.ReqBytes, RespBytes: spec.RespBytes,
 		Stamp: now,
 		Trace: tr,
+		Clone: clone,
+		Hedge: hedge,
 		Reply: func(r ingress.Response) {
 			c.Completed.Inc(1)
 			c.ChainLatency[chain].Observe(c.Eng.Now() - r.Stamp)

@@ -6,6 +6,8 @@ import (
 	"io"
 	"strings"
 	"time"
+
+	"nadino/internal/speculate"
 )
 
 // systemNames maps config strings to systems.
@@ -94,12 +96,21 @@ type wireConfig struct {
 		Calls     []wireCall `json:"calls"`
 	} `json:"chains"`
 
-	IngressWorkers   int   `json:"ingress_workers"`
-	IngressAutoScale bool  `json:"ingress_autoscale"`
-	IngressMax       int   `json:"ingress_max"`
-	Gateways         bool  `json:"gateways"`
-	GatewayWindow    int   `json:"gateway_window"`
-	Seed             int64 `json:"seed"`
+	IngressWorkers   int  `json:"ingress_workers"`
+	IngressAutoScale bool `json:"ingress_autoscale"`
+	IngressMax       int  `json:"ingress_max"`
+	Gateways         bool `json:"gateways"`
+	GatewayWindow    int  `json:"gateway_window"`
+
+	// Speculation and core-discipline knobs (see internal/speculate and
+	// sim.Discipline).
+	SpecClone    int          `json:"spec_clone"`
+	SpecHedge    bool         `json:"spec_hedge"`
+	SpecHedgeMin wireDuration `json:"spec_hedge_min"`
+	SpecWindow   int          `json:"spec_window"`
+	PSCores      bool         `json:"ps_cores"`
+
+	Seed int64 `json:"seed"`
 }
 
 // LoadConfig parses a JSON cluster definition (see configs/ for samples)
@@ -125,7 +136,14 @@ func LoadConfig(r io.Reader) (Config, error) {
 		IngressMax:       w.IngressMax,
 		Gateways:         w.Gateways,
 		GatewayWindow:    w.GatewayWindow,
-		Seed:             w.Seed,
+		Speculate: speculate.Policy{
+			CloneN:   w.SpecClone,
+			Hedge:    w.SpecHedge,
+			HedgeMin: time.Duration(w.SpecHedgeMin),
+			Window:   w.SpecWindow,
+		},
+		PSCores: w.PSCores,
+		Seed:    w.Seed,
 	}
 	for _, f := range w.Functions {
 		cfg.Functions = append(cfg.Functions, FunctionSpec{

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"nadino/internal/speculate"
 	"nadino/internal/telemetry"
 )
 
@@ -29,6 +30,28 @@ func (c *Cluster) Instrument(reg *telemetry.Registry) {
 	reg.Gauge("ingress.queue_depth", func() float64 { return float64(gw.QueueDepth()) })
 	reg.Gauge("ingress.workers", func() float64 { return float64(gw.ActiveWorkers()) })
 	reg.Rate("ingress.dropped", func() float64 { return float64(gw.Dropped()) })
+
+	// spec.* family: speculation control-plane counters. The controller is
+	// created lazily (first speculated request), so every accessor re-reads
+	// gw.Spec() at scrape time instead of capturing a possibly-nil pointer.
+	specStat := func(pick func(st speculate.Stats) uint64) func() float64 {
+		return func() float64 {
+			if sp := gw.Spec(); sp != nil {
+				return float64(pick(sp.Stats()))
+			}
+			return 0
+		}
+	}
+	reg.Rate("spec.launched", specStat(func(st speculate.Stats) uint64 { return st.Launched }))
+	reg.Rate("spec.arms", specStat(func(st speculate.Stats) uint64 { return st.Arms }))
+	reg.Rate("spec.clones", specStat(func(st speculate.Stats) uint64 { return st.Clones }))
+	reg.Rate("spec.hedges", specStat(func(st speculate.Stats) uint64 { return st.Hedges }))
+	reg.Rate("spec.cancels", specStat(func(st speculate.Stats) uint64 { return st.Cancels }))
+	reg.Rate("spec.kills", specStat(func(st speculate.Stats) uint64 { return st.Kills }))
+	reg.Rate("spec.win_primary", specStat(func(st speculate.Stats) uint64 { return st.WinPrimary }))
+	reg.Rate("spec.win_clone", specStat(func(st speculate.Stats) uint64 { return st.WinClone }))
+	reg.Rate("spec.win_hedge", specStat(func(st speculate.Stats) uint64 { return st.WinHedge }))
+	reg.Rate("spec.fn_kills", func() float64 { return float64(c.specFnKills) })
 
 	reg.Rate("cluster.goodput", func() float64 { return float64(c.Completed.Total()) })
 	for i := range c.cfg.Chains {

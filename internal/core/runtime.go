@@ -25,6 +25,18 @@ func (c *Cluster) functionWorker(pr *sim.Proc, f *Function) {
 		if !ok || mc.Kind != kindRequest || mc.Req == nil {
 			panic(fmt.Sprintf("core: %s received malformed request descriptor", f.name))
 		}
+		if mc.Req.Spec != nil && mc.Req.Spec() {
+			// A clone whose group already won elsewhere: kill it at the
+			// dequeue boundary — return the buffer, skip the cold start and
+			// the application work entirely.
+			tr.Event(trace.StageSpecCancel, f.name)
+			if err := f.node.pool(f.tenant).Put(d.Buf, f.owner); err != nil {
+				panic(fmt.Sprintf("core: %s cancelled clone recycle: %v", f.name, err))
+			}
+			f.inflight--
+			c.specFnKills++
+			continue
+		}
 		if f.spec.ColdStart > 0 {
 			idle := lastServed < 0 || pr.Now()-lastServed > f.spec.KeepWarm
 			if idle {
@@ -163,6 +175,10 @@ func (c *Cluster) respondIngress(pr *sim.Proc, f *Function, rc *reqCtx, tr *trac
 			Src: f.name, Dst: "ingress",
 			Ctx:   &msgCtx{Kind: kindResponse, IngressDone: rc.IngressDone, Stamp: rc.Stamp},
 			Trace: tr,
+			// The response leg keeps the probe: a loser's response is killed
+			// at the DNE TX gate, while the winner's response always passes
+			// it before the group resolves at the ingress boundary.
+			Spec: rc.Spec,
 		}
 		if err := f.port.Send(pr, f.core, d); err != nil {
 			_ = f.node.pool(f.tenant).Put(buf, f.owner)

@@ -170,6 +170,11 @@ type reqCtx struct {
 	// IngressDone delivers the final response to the ingress gateway.
 	IngressDone func(ingress.Response)
 	Stamp       time.Duration
+	// Spec is the speculation cancellation probe for cloned requests
+	// (speculate.Group.Killed); nil on unspeculated requests and on
+	// nested calls — a clone that starts executing runs its call tree to
+	// completion, so a mid-chain kill can never strand a waiting caller.
+	Spec func() bool
 }
 
 // msgCtx is the Ctx payload carried by every descriptor in the cluster.

@@ -173,6 +173,7 @@ type Engine struct {
 	retriedSends     uint64
 	dropRetryBudget  uint64
 	rateDeferred     uint64
+	specDrops        uint64 // losing clones killed at the TX gate
 
 	// Flight recorder hook (optional): drop events land in the ring with
 	// this engine's interned actor id. Nil-safe via the rec==nil branch.
@@ -468,6 +469,10 @@ func (e *Engine) RetryStats() (retried, dropped uint64) {
 	return e.retriedSends, e.dropRetryBudget
 }
 
+// SpecDrops reports losing speculative clones killed at the TX gate (their
+// buffers returned to the tenant pool without spending a WR).
+func (e *Engine) SpecDrops() uint64 { return e.specDrops }
+
 // RQDebt reports the total replenishment shortfall across tenants: consumed
 // RQ slots the keeper has not yet been able to repost. Nonzero sustained
 // debt means tenant pools are squeezed (telemetry's keeper-debt gauge).
@@ -607,6 +612,18 @@ func (e *Engine) deferRateLimited(b *tokenBucket, d mempool.Descriptor) {
 // indexing) when the descriptor carries hints, with the string maps as the
 // slow-path fallback for hintless callers.
 func (e *Engine) txOne(pr *sim.Proc, d mempool.Descriptor) {
+	if d.Spec != nil && d.Spec() {
+		// A speculative clone whose group already completed elsewhere:
+		// kill it at the TX gate, before it spends engine work or a WR.
+		// The buffer returns to the tenant pool here; the DWRR credit it
+		// consumed stays spent (cloning still pays for its queue slot).
+		now := e.eng.Now()
+		d.Trace.Record(trace.StageSpecCancel, e.actorLabel, now, now)
+		e.specDrops++
+		e.frDrop(flightrec.KindSpecCancel, &d)
+		e.releaseBuffer(d)
+		return
+	}
 	ts := e.tenantOf(&d)
 	var b *tokenBucket
 	if ts != nil {

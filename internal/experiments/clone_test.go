@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCloneSweepShapes runs the quick clone sweep and checks the mechanics
+// the experiment exists to demonstrate: the unspeculated baseline fires no
+// extra arms, cloned configurations amplify and then reap their losers, and
+// exactly-once holds at every point.
+func TestCloneSweepShapes(t *testing.T) {
+	o := Opts{Quick: true, Seed: 3}
+	res := CloneSweep(o)
+	if len(res.Rows) != len(clonePoints(o))*len(res.Loads) {
+		t.Fatalf("got %d rows, want %d points x %d loads",
+			len(res.Rows), len(clonePoints(o)), len(res.Loads))
+	}
+	for _, row := range res.Rows {
+		if row.RPS <= 0 {
+			t.Fatalf("%s@%d: no completions", row.Point, row.Clients)
+		}
+		if row.P999 < row.P99 || row.P99 < row.P50 {
+			t.Fatalf("%s@%d: quantiles out of order: P50=%v P99=%v P999=%v",
+				row.Point, row.Clients, row.P50, row.P99, row.P999)
+		}
+		st := row.Spec
+		if row.Point.clone <= 1 && !row.Point.hedge {
+			if st.Arms != 0 || row.TxDrops != 0 || row.FnKills != 0 {
+				t.Fatalf("%s@%d: unspeculated baseline fired arms: %+v", row.Point, row.Clients, st)
+			}
+			continue
+		}
+		if st.Clones == 0 && row.Point.clone > 1 {
+			t.Fatalf("%s@%d: clone factor %d never cloned: %+v",
+				row.Point, row.Clients, row.Point.clone, st)
+		}
+		if st.Kills+st.Cancels == 0 {
+			t.Fatalf("%s@%d: losers never reaped: %+v", row.Point, row.Clients, st)
+		}
+		// Every fired arm either won, was suppressed at the boundary, or was
+		// killed mid-plane (in-flight arms at cutoff make <= not ==).
+		if st.Cancels+st.Kills+st.Wins() > st.Arms {
+			t.Fatalf("%s@%d: more resolutions than arms: %+v", row.Point, row.Clients, st)
+		}
+	}
+	// Hedging must actually fire on the hedged points at the heavy load.
+	heavy := res.Loads[len(res.Loads)-1]
+	hedged := false
+	for _, pt := range clonePoints(o) {
+		if !pt.hedge {
+			continue
+		}
+		if row, ok := res.Get(pt, heavy); ok && row.Spec.Hedges > 0 {
+			hedged = true
+		}
+	}
+	if !hedged {
+		t.Fatal("no hedged point ever fired a hedge arm")
+	}
+}
+
+// TestCloneChaosShapes runs the storm variant: the cluster must keep
+// completing under the straggler storm and the speculation counters must
+// stay exactly-once consistent.
+func TestCloneChaosShapes(t *testing.T) {
+	res := CloneChaos(Opts{Quick: true, Seed: 5})
+	for _, row := range res.Rows {
+		if !row.Storm {
+			t.Fatalf("%s@%d: chaos row not marked stormy", row.Point, row.Clients)
+		}
+		if row.RPS <= 0 {
+			t.Fatalf("%s@%d: no completions under storm", row.Point, row.Clients)
+		}
+		st := row.Spec
+		if st.Cancels+st.Kills+st.Wins() > st.Arms {
+			t.Fatalf("%s@%d: more resolutions than arms under storm: %+v",
+				row.Point, row.Clients, st)
+		}
+	}
+}
+
+// TestCloneSweepDeterministic: the full grid is a pure function of the seed,
+// sequential or sharded.
+func TestCloneSweepDeterministic(t *testing.T) {
+	a := CloneSweep(Opts{Quick: true, Seed: 11})
+	b := CloneSweep(Opts{Quick: true, Seed: 11, Parallel: 4})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("clone sweep diverged between sequential and parallel runs:\n%+v\n%+v", a, b)
+	}
+}

@@ -204,6 +204,7 @@ func All() []Experiment {
 // the simulator scale sweep.
 func AllWithAblations() []Experiment {
 	out := append(append(append(All(), Ablations()...), Resilience()...), Fabric()...)
+	out = append(out, Speculation()...)
 	return append(out, Experiment{
 		ID:    "scale",
 		Title: "Scale sweep — million-client event core",

@@ -54,6 +54,7 @@ const (
 	KindSLOBreach           // live SLO watchdog fired; actor = rule name
 	KindInvariant           // simtest invariant violated; actor = invariant name
 	KindMark                // free-form marker (management API, tests)
+	KindSpecCancel          // speculation killed a losing clone; A = tenant id, B = bytes
 )
 
 // kindNames renders kinds for dumps; indexed by Kind.
@@ -61,7 +62,7 @@ var kindNames = [...]string{
 	"none", "chaos.apply", "chaos.revert", "ingress.drop", "ingress.restart",
 	"dne.drop_no_route", "dne.drop_no_port", "dne.drop_retry",
 	"rdma.qp_error", "rdma.qp_repair", "gw.drop", "gw.route_update",
-	"slo.breach", "invariant", "mark",
+	"slo.breach", "invariant", "mark", "spec.cancel",
 }
 
 func (k Kind) String() string {

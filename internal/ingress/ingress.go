@@ -19,6 +19,7 @@ import (
 	"nadino/internal/params"
 	"nadino/internal/ring"
 	"nadino/internal/sim"
+	"nadino/internal/speculate"
 	"nadino/internal/trace"
 	"nadino/internal/transport"
 )
@@ -70,6 +71,16 @@ type Request struct {
 	Reply func(Response)
 	// Trace is the request's latency-attribution trace (nil when untraced).
 	Trace *trace.Req
+	// Clone overrides the gateway speculation policy's clone factor for
+	// this request (0 defers to the policy). Hedge, when positive, forces
+	// a hedged retry with that deadline floor even on a non-speculating
+	// gateway — trace replays carry both per arrival.
+	Clone int
+	Hedge time.Duration
+	// Group and Arm identify a cloned request's speculation group and arm
+	// inside the backend; the gateway stamps them when it fires the arms.
+	Group *speculate.Group
+	Arm   int
 }
 
 // Response is the gateway's answer to a Request.
@@ -99,6 +110,12 @@ type Config struct {
 	// ExtraPerRequest is an additional per-request processing cost, used
 	// to model heavier gateways (NightCore's built-in kernel gateway).
 	ExtraPerRequest time.Duration
+	// Speculate configures request cloning and hedged retries at the
+	// ingress boundary (zero value = no speculation). Clone arms fan out
+	// through the regular backend path — per-tenant pools, DWRR, gateway
+	// credit windows — and losers are cancelled wherever they happen to
+	// be when the first arm completes.
+	Speculate speculate.Policy
 }
 
 // workerEvent flows through a worker's run-to-completion loop.
@@ -149,6 +166,10 @@ type Gateway struct {
 	// the ring under this gateway's interned actor id.
 	rec      *flightrec.Recorder
 	recActor uint16
+
+	// spec is the speculation controller, constructed when the policy
+	// speculates (or lazily, on the first per-request override).
+	spec *speculate.Spec
 }
 
 // SetFlightRecorder routes shed and restart events into r (nil detaches).
@@ -174,6 +195,9 @@ func New(eng *sim.Engine, p *params.Params, cfg Config, backend Backend) *Gatewa
 		RPSSeries:     metrics.NewSeries("rps"),
 		CPUSeries:     metrics.NewSeries("cpu"),
 		WorkersSeries: metrics.NewSeries("workers"),
+	}
+	if cfg.Speculate.Enabled() {
+		g.spec = speculate.New(eng, cfg.Speculate)
 	}
 	for i := 0; i < cfg.InitialWorkers; i++ {
 		g.addWorker()
@@ -208,6 +232,10 @@ func (g *Gateway) QueueDepth() int {
 
 // ScaleEvents reports how many scale-up/-down transitions happened.
 func (g *Gateway) ScaleEvents() int { return g.scaleEvents }
+
+// Spec returns the speculation controller (nil when no request has ever
+// speculated). Experiments read the spec.* counters off it.
+func (g *Gateway) Spec() *speculate.Spec { return g.spec }
 
 // InjectRestart pauses every worker for pause from now, reusing the worker
 // restart window of §3.6 — the same stall a gateway redeploy causes.
@@ -315,30 +343,31 @@ func (g *Gateway) workerLoop(pr *sim.Proc, w *worker) {
 			sp := tr.Begin(trace.StageIngressRecv, actor)
 			w.core.Exec(pr, transport.RecvCost(p, cs, req.Bytes)+transport.HTTPCost(p)+g.cfg.ExtraPerRequest)
 			sp.End()
-			sp = tr.Begin(trace.StageIngressConv, actor)
+			// Transport conversion / upstream proxy cost, paid once per arm
+			// (every clone is a separate post toward the backend).
+			var conv time.Duration
 			if kind == Nadino {
 				// Early transport conversion: copy the payload into an
 				// RDMA-registered buffer and post a two-sided send.
-				w.core.Exec(pr, p.MemcpyBase+params.Bytes(p.MemcpyPerByteCached, req.Bytes)+p.VerbsPostCost)
+				conv = p.MemcpyBase + params.Bytes(p.MemcpyPerByteCached, req.Bytes) + p.VerbsPostCost
 			} else {
 				// Proxy the HTTP request upstream over TCP, paying half
 				// the upstream connection-management overhead here.
-				w.core.Exec(pr, transport.SendCost(p, us, req.Bytes)+p.ProxyUpstreamOverhead/2)
+				conv = transport.SendCost(p, us, req.Bytes) + p.ProxyUpstreamOverhead/2
 			}
-			sp.End()
-			// The backend wait wraps every worker-side stage, so it is a
-			// detail span: useful in the timeline, excluded from sums.
-			tr.BeginStageDetail(trace.StageIngressWait, actor)
-			g.backend.Forward(req, func(resp Response) {
-				tr.EndStage(trace.StageIngressWait)
-				tr.BeginStage(trace.StageIngressQueue, "ingress")
-				w2 := w
-				if !w2.active {
-					w2 = g.pick(req.Client)
-				}
-				w2.q.PushBack(workerEvent{isResp: true, resp: resp, reply: req.Reply, tr: tr})
-				w2.wake.Pulse()
-			})
+			if g.spec == nil && req.Clone <= 1 && req.Hedge <= 0 {
+				// Unspeculated fast path, byte-identical to the
+				// pre-speculation gateway.
+				sp = tr.Begin(trace.StageIngressConv, actor)
+				w.core.Exec(pr, conv)
+				sp.End()
+				// The backend wait wraps every worker-side stage, so it is
+				// a detail span: in the timeline, excluded from sums.
+				tr.BeginStageDetail(trace.StageIngressWait, actor)
+				g.backend.Forward(req, g.deliver(w, req, tr))
+				continue
+			}
+			g.forwardSpeculative(pr, w, req, conv)
 			continue
 		}
 		resp := ev.resp
@@ -364,6 +393,70 @@ func (g *Gateway) workerLoop(pr *sim.Proc, w *worker) {
 			})
 		}
 	}
+}
+
+// deliver returns the backend completion callback that requeues a response
+// onto a worker for the client-facing reply path. Exactly one arm of a
+// request may deliver: the IngressWait/IngressQueue stages opened for the
+// request are closed here, once.
+func (g *Gateway) deliver(w *worker, req Request, tr *trace.Req) func(Response) {
+	return func(resp Response) {
+		tr.EndStage(trace.StageIngressWait)
+		tr.BeginStage(trace.StageIngressQueue, "ingress")
+		w2 := w
+		if !w2.active {
+			w2 = g.pick(req.Client)
+		}
+		w2.q.PushBack(workerEvent{isResp: true, resp: resp, reply: req.Reply, tr: tr})
+		w2.wake.Pulse()
+	}
+}
+
+// forwardSpeculative fires a request's speculation arms through the backend.
+// Initial arms run synchronously on the worker's core (each clone pays its
+// own conversion cost); a hedge arm fires later from the deadline timer and
+// charges its conversion asynchronously. The first arm to complete wins at
+// the Finish boundary and delivers; every later completion is a cancelled
+// loser that records a spec.cancel instant and releases nothing here —
+// whatever it held was returned by the layers it already traversed.
+func (g *Gateway) forwardSpeculative(pr *sim.Proc, w *worker, req Request, conv time.Duration) {
+	if g.spec == nil {
+		// Per-request override on a gateway whose policy never speculates.
+		g.spec = speculate.New(g.eng, g.cfg.Speculate)
+	}
+	tr := req.Trace
+	actor := w.actor
+	deliver := g.deliver(w, req, tr)
+	tr.BeginStageDetail(trace.StageIngressWait, actor)
+	sync := true
+	g.spec.Launch(req.Chain, req.Clone, req.Hedge, func(grp *speculate.Group, arm int) bool {
+		armReq := req
+		armReq.Group = grp
+		armReq.Arm = arm
+		armSpan := tr.BeginDetail(trace.StageSpecClone, actor)
+		if sync {
+			spc := tr.Begin(trace.StageIngressConv, actor)
+			w.core.Exec(pr, conv)
+			spc.End()
+		} else {
+			// Hedge arm: fired in engine context by the deadline timer;
+			// the conversion work lands on the worker core asynchronously.
+			w.core.Charge(conv)
+		}
+		g.backend.Forward(armReq, func(resp Response) {
+			armSpan.End()
+			if !grp.Finish(armReq.Arm) {
+				// A loser that made it all the way back to the boundary:
+				// suppressed here, its response buffer already recycled by
+				// the backend's completion path.
+				tr.Event(trace.StageSpecCancel, actor)
+				return
+			}
+			deliver(resp)
+		})
+		return true
+	})
+	sync = false
 }
 
 // masterLoop is the autoscaler: hysteresis on average useful-work CPU

@@ -42,4 +42,14 @@ type Descriptor struct {
 	// Hops counts inter-gateway relays (TTL): bumped per transit forward,
 	// fencing transient routing loops during failover.
 	Hops uint8
+	// Spec is the speculation cancellation probe, non-nil only on the
+	// request legs of cloned/hedged requests. Carriers call it at their
+	// drop-decision points (scheduler dequeue, TX issue, function dequeue);
+	// a true return means the request's group already completed elsewhere —
+	// the carrier must kill this clone, recycling the buffer and returning
+	// whatever credits or WR state it holds at that stage. The probe itself
+	// performs the group-side bookkeeping for the kill, so carriers must
+	// call it at most once per descriptor death. Simulation bookkeeping,
+	// not part of the modeled 16 bytes.
+	Spec func() bool
 }

@@ -400,6 +400,7 @@ func (f *recvFlow) dma() {
 	recv.Stamp = f.d.Stamp
 	recv.Ctx = f.d.Ctx
 	recv.Trace = f.d.Trace
+	recv.Spec = f.d.Spec
 	dst.srq.consumed++
 	dst.cq.push(CQE{WRID: r.wrID(), Op: OpRecv, Status: StatusOK, Bytes: f.d.Len, Tenant: dst.Tenant, QP: dst, Desc: recv})
 	// RC ack completes the sender after one propagation delay.

@@ -5,18 +5,44 @@ import (
 	"time"
 )
 
-// Processor models a single FCFS, non-preemptive core. Costs passed to Exec
-// are expressed in reference-core time (the testbed's x86 core); the
-// processor scales them by its Speed factor, so a wimpy DPU core with
-// Speed 0.45 takes ~2.2x longer for the same work.
+// Discipline selects how a Processor shares its capacity among concurrent
+// Exec callers.
+type Discipline int
+
+const (
+	// FCFS is exact first-come-first-served, non-preemptive service:
+	// requests run to completion in Exec-call order.
+	FCFS Discipline = iota
+	// PS is exact egalitarian processor sharing: the n in-service requests
+	// each progress at speed/n, re-evaluated on every arrival, departure
+	// and speed change. It is the limit of round-robin as the quantum goes
+	// to zero, modeled without per-quantum events: each job's completion
+	// instant is re-armed in place on the process's owned timer slot, so
+	// the re-arm hot path allocates nothing.
+	PS
+)
+
+func (d Discipline) String() string {
+	if d == PS {
+		return "PS"
+	}
+	return "FCFS"
+}
+
+// Processor models a single core. Costs passed to Exec are expressed in
+// reference-core time (the testbed's x86 core); the processor scales them
+// by its Speed factor, so a wimpy DPU core with Speed 0.45 takes ~2.2x
+// longer for the same work.
 //
-// The FCFS discipline is exact: requests are served in Exec-call order and
-// each caller sleeps until its own completion instant, so queueing delay
-// under load emerges naturally.
+// The default FCFS discipline is exact: requests are served in Exec-call
+// order and each caller sleeps until its own completion instant, so
+// queueing delay under load emerges naturally. NewProcessorDisc selects
+// processor sharing instead (see Discipline).
 type Processor struct {
 	eng       *Engine
 	name      string
 	speed     float64
+	disc      Discipline
 	busyUntil time.Duration
 	busyTime  time.Duration
 	ops       uint64
@@ -25,6 +51,12 @@ type Processor struct {
 	// stays tiny (one entry per concurrently blocked process) and is
 	// swap-removed on wake, so steady state allocates nothing.
 	waiters []procWaiter
+
+	// psJobs is the PS in-service set; rem is each job's remaining
+	// reference-cost work. psLast is the last instant the set was advanced;
+	// between advances every job drains at speed/len(psJobs).
+	psJobs []psJob
+	psLast time.Duration
 }
 
 // procWaiter is one process blocked in Exec until its completion instant.
@@ -34,12 +66,26 @@ type procWaiter struct {
 	ev   Event
 }
 
-// NewProcessor returns a core with the given relative speed (1.0 = reference).
+// psJob is one in-service PS request.
+type psJob struct {
+	proc *Proc
+	rem  time.Duration // remaining reference-cost work
+	ev   Event
+}
+
+// NewProcessor returns an FCFS core with the given relative speed
+// (1.0 = reference).
 func NewProcessor(e *Engine, name string, speed float64) *Processor {
+	return NewProcessorDisc(e, name, speed, FCFS)
+}
+
+// NewProcessorDisc returns a core with the given speed and service
+// discipline.
+func NewProcessorDisc(e *Engine, name string, speed float64, disc Discipline) *Processor {
 	if speed <= 0 {
 		panic(fmt.Sprintf("sim: processor %q with non-positive speed", name))
 	}
-	return &Processor{eng: e, name: name, speed: speed}
+	return &Processor{eng: e, name: name, speed: speed, disc: disc}
 }
 
 // Scale converts a reference-core cost into this core's execution time.
@@ -48,10 +94,15 @@ func (c *Processor) Scale(cost time.Duration) time.Duration {
 }
 
 // Exec runs cost worth of reference-core work on this core, blocking p
-// through any queueing delay plus the scaled service time.
+// through any queueing delay plus the scaled service time (FCFS), or
+// through the shared-service completion instant (PS).
 func (c *Processor) Exec(p *Proc, cost time.Duration) {
 	if cost < 0 {
 		panic("sim: negative exec cost")
+	}
+	if c.disc == PS {
+		c.execPS(p, cost)
+		return
 	}
 	now := c.eng.now
 	start := now
@@ -89,6 +140,74 @@ func (c *Processor) dropWaiter(p *Proc) {
 	}
 }
 
+// execPS admits p into the PS service set and blocks it until its share of
+// the core has drained the whole cost. Arrivals, departures and speed
+// changes re-evaluate every in-service completion instant; the re-arms ride
+// each process's owned timer slot, so steady-state churn allocates nothing.
+func (c *Processor) execPS(p *Proc, cost time.Duration) {
+	now := c.eng.now
+	c.psAdvance(now)
+	c.ops++
+	if cost == 0 {
+		// Zero-cost work completes at this instant; yield for ordering
+		// fairness like the FCFS path does.
+		p.Sleep(0)
+		return
+	}
+	c.psJobs = append(c.psJobs, psJob{proc: p, rem: cost})
+	c.psRearm(now)
+	p.block()
+	// Our completion event fired: this job's remaining work is exactly zero
+	// (every set change re-arms, so events never fire early). Settle the
+	// drain since the last change, leave the set, and re-arm the survivors.
+	now = c.eng.now
+	c.psAdvance(now)
+	for i := range c.psJobs {
+		if c.psJobs[i].proc == p {
+			last := len(c.psJobs) - 1
+			c.psJobs[i] = c.psJobs[last]
+			c.psJobs[last] = psJob{}
+			c.psJobs = c.psJobs[:last]
+			break
+		}
+	}
+	c.psRearm(now)
+}
+
+// psAdvance drains the in-service set for the time elapsed since the last
+// change and accrues occupancy: a PS core is busy whenever its set is
+// non-empty, regardless of how the capacity is split.
+func (c *Processor) psAdvance(now time.Duration) {
+	elapsed := now - c.psLast
+	c.psLast = now
+	n := len(c.psJobs)
+	if elapsed <= 0 || n == 0 {
+		return
+	}
+	c.busyTime += elapsed
+	served := time.Duration(float64(elapsed) * c.speed / float64(n))
+	for i := range c.psJobs {
+		c.psJobs[i].rem -= served
+		if c.psJobs[i].rem < 0 {
+			c.psJobs[i].rem = 0
+		}
+	}
+}
+
+// psRearm reschedules every in-service job's completion event to its share-
+// weighted finish instant: rem_i * n / speed from now. Each wake is disarmed
+// and re-armed in place on the job's owned timer slot — the 0-alloc quantum
+// re-arm the PS discipline is built on.
+func (c *Processor) psRearm(now time.Duration) {
+	n := len(c.psJobs)
+	for i := range c.psJobs {
+		j := &c.psJobs[i]
+		j.ev.Cancel()
+		wake := now + time.Duration(float64(j.rem)*float64(n)/c.speed)
+		j.ev = c.eng.wakeProcAt(wake, j.proc)
+	}
+}
+
 // Charge accounts cost of busy time without blocking anyone. Use it for
 // work performed inside another component's timeline (e.g. interrupt
 // processing stolen from a core) where only utilization matters.
@@ -112,6 +231,13 @@ func (c *Processor) BusyTime() time.Duration {
 	busy := c.busyTime
 	if pending := c.busyUntil - c.eng.now; pending > 0 {
 		busy -= pending
+	}
+	// A PS core accrues occupancy lazily at set changes; add the open
+	// interval since the last change while the set is non-empty.
+	if len(c.psJobs) > 0 {
+		if since := c.eng.now - c.psLast; since > 0 {
+			busy += since
+		}
 	}
 	return busy
 }
@@ -140,9 +266,17 @@ func (c *Processor) SetSpeed(speed float64) {
 	if speed == c.speed {
 		return
 	}
+	now := c.eng.now
+	if c.disc == PS {
+		// Drain the in-service set at the old speed up to this instant,
+		// then re-arm every completion at the new share rate.
+		c.psAdvance(now)
+	}
 	ratio := c.speed / speed
 	c.speed = speed
-	now := c.eng.now
+	if c.disc == PS {
+		c.psRearm(now)
+	}
 	pending := c.busyUntil - now
 	if pending <= 0 {
 		return
@@ -163,32 +297,51 @@ func (c *Processor) SetSpeed(speed float64) {
 }
 
 // QueueDelay reports how long a request issued now would wait before
-// starting service.
+// starting service. Under PS service begins immediately (at a shared
+// rate), so the queueing delay is always zero.
 func (c *Processor) QueueDelay() time.Duration {
+	if c.disc == PS {
+		return 0
+	}
 	if c.busyUntil <= c.eng.now {
 		return 0
 	}
 	return c.busyUntil - c.eng.now
 }
 
-// CorePool models k identical cores fed by a single FCFS queue (an M/G/k
-// style station). Each Exec is placed on the earliest-available core.
+// Discipline reports the core's service discipline.
+func (c *Processor) Discipline() Discipline { return c.disc }
+
+// Load reports the number of requests currently in PS service (0 on FCFS
+// cores, which track backlog through QueueDelay instead).
+func (c *Processor) Load() int { return len(c.psJobs) }
+
+// CorePool models k identical cores fed by a single dispatch queue (an
+// M/G/k style station). Each Exec is placed on the least-loaded core:
+// earliest-available for FCFS cores, fewest in-service requests for PS.
 type CorePool struct {
 	eng   *Engine
 	name  string
+	disc  Discipline
 	cores []*Processor
 }
 
-// NewCorePool returns a pool of n cores with the given speed.
+// NewCorePool returns a pool of n FCFS cores with the given speed.
 func NewCorePool(e *Engine, name string, n int, speed float64) *CorePool {
+	return NewCorePoolDisc(e, name, n, speed, FCFS)
+}
+
+// NewCorePoolDisc returns a pool of n cores with the given speed and
+// service discipline.
+func NewCorePoolDisc(e *Engine, name string, n int, speed float64, disc Discipline) *CorePool {
 	if n <= 0 {
 		panic("sim: core pool must have at least one core")
 	}
 	cores := make([]*Processor, n)
 	for i := range cores {
-		cores[i] = NewProcessor(e, fmt.Sprintf("%s/%d", name, i), speed)
+		cores[i] = NewProcessorDisc(e, fmt.Sprintf("%s/%d", name, i), speed, disc)
 	}
-	return &CorePool{eng: e, name: name, cores: cores}
+	return &CorePool{eng: e, name: name, disc: disc, cores: cores}
 }
 
 // Exec runs cost on the earliest-available core, blocking p until done.
@@ -203,6 +356,16 @@ func (cp *CorePool) Charge(cost time.Duration) {
 
 func (cp *CorePool) pick() *Processor {
 	best := cp.cores[0]
+	if cp.disc == PS {
+		// Fewest in-service requests wins; strict < keeps the lowest index
+		// on ties, so dispatch order is deterministic.
+		for _, c := range cp.cores[1:] {
+			if len(c.psJobs) < len(best.psJobs) {
+				best = c
+			}
+		}
+		return best
+	}
 	for _, c := range cp.cores[1:] {
 		if c.busyUntil < best.busyUntil {
 			best = c

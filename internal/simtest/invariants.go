@@ -119,6 +119,12 @@ func Invariants() []Invariant {
 			Final: checkRoutes,
 		},
 		{
+			Name:     "speculation-safety",
+			Desc:     "speculated requests complete exactly once at the ingress boundary; losers return their buffers and in-flight state; no cancel touches a recycled generation",
+			Periodic: checkSpecPeriodic,
+			Final:    checkSpecFinal,
+		},
+		{
 			Name: "sched-equivalence",
 			Desc: "timing-wheel engine fires in the same order and at the same times as a pure-heap reference",
 			Final: func(r *Rig) []string {
@@ -425,6 +431,81 @@ func checkRoutes(r *Rig) []string {
 					"tenant %s relay pool on %s: %d buffers in use but the gateway holds only %d slots (leak of %d)",
 					tr.sc.Name, rel.node, rel.pool.InUse(), held, rel.pool.InUse()-held))
 			}
+		}
+	}
+	return out
+}
+
+// checkSpecPeriodic enforces the always-true half of the speculation ledger
+// on every speculative tenant: a group wins at most once, arm resolutions
+// never exceed arms fired, and every win the controller records was observed
+// exactly once at the rig's ingress boundary.
+func checkSpecPeriodic(r *Rig, now time.Duration) string {
+	for _, tr := range r.tenants {
+		if tr.spec == nil {
+			continue
+		}
+		st := tr.spec.Stats()
+		if st.Wins() > st.Launched {
+			return fmt.Sprintf("tenant %s: %d wins for %d launches: %+v",
+				tr.sc.Name, st.Wins(), st.Launched, st)
+		}
+		if st.Cancels+st.Kills+st.Wins() > st.Arms {
+			return fmt.Sprintf("tenant %s: %d resolutions exceed %d arms fired: %+v",
+				tr.sc.Name, st.Cancels+st.Kills+st.Wins(), st.Arms, st)
+		}
+		if tr.specWinsSeen != st.Wins() {
+			return fmt.Sprintf("tenant %s: boundary observed %d winners but controller recorded %d",
+				tr.sc.Name, tr.specWinsSeen, st.Wins())
+		}
+	}
+	return ""
+}
+
+// checkSpecFinal closes the speculation ledger at quiesce. Exactly-once and
+// hedge-timer hygiene hold unconditionally; the full arm ledger (every arm
+// won, was suppressed at the boundary, was killed mid-plane, or was shed
+// before firing) closes with equality only when no faults or planted defects
+// could strand arms inside the engines — mirroring request-conservation,
+// faulted runs get the <= bound against engine drops instead. Loser buffer
+// return is covered by buffer-conservation, and generation safety by the
+// pool's ownership audit: a cancel that touched a recycled buffer would fire
+// both.
+func checkSpecFinal(r *Rig) []string {
+	var out []string
+	strict := len(r.sc.Faults) == 0 && r.sc.Defect == ""
+	for _, tr := range r.tenants {
+		if tr.spec == nil {
+			continue
+		}
+		st := tr.spec.Stats()
+		if tr.specWinsSeen != st.Wins() {
+			out = append(out, fmt.Sprintf(
+				"tenant %s: boundary observed %d winners at quiesce but controller recorded %d",
+				tr.sc.Name, tr.specWinsSeen, st.Wins()))
+		}
+		if n := tr.spec.PendingHedges(); n != 0 {
+			out = append(out, fmt.Sprintf(
+				"tenant %s: %d hedge timers still armed at quiesce", tr.sc.Name, n))
+		}
+		resolved := st.Wins() + st.Cancels + st.Kills + tr.specUnfired
+		if resolved > st.Arms {
+			out = append(out, fmt.Sprintf(
+				"tenant %s: %d arm resolutions exceed %d arms fired: %+v",
+				tr.sc.Name, resolved, st.Arms, st))
+		}
+		if !strict {
+			continue
+		}
+		if st.Launched != tr.specWinsSeen+tr.specNoArm {
+			out = append(out, fmt.Sprintf(
+				"tenant %s: fault-free run launched %d groups but saw %d winners + %d no-arm launches",
+				tr.sc.Name, st.Launched, tr.specWinsSeen, tr.specNoArm))
+		}
+		if resolved != st.Arms {
+			out = append(out, fmt.Sprintf(
+				"tenant %s: fault-free run fired %d arms but resolved only %d (wins=%d cancels=%d kills=%d unfired=%d)",
+				tr.sc.Name, st.Arms, resolved, st.Wins(), st.Cancels, st.Kills, tr.specUnfired))
 		}
 	}
 	return out

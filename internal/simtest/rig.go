@@ -15,6 +15,7 @@ import (
 	"nadino/internal/params"
 	"nadino/internal/rdma"
 	"nadino/internal/sim"
+	"nadino/internal/speculate"
 	"nadino/internal/telemetry"
 	"nadino/internal/trace"
 	"nadino/internal/workload"
@@ -43,6 +44,23 @@ type gwRelay struct {
 	pool *mempool.Pool
 }
 
+// waiter is one in-flight arm's ledger entry: the queue its winner delivery
+// unblocks (nil for open-loop arms nobody waits on) plus, for speculated
+// arms, the group and arm index the demux resolves at the boundary.
+type waiter struct {
+	q   *sim.Queue[mempool.Descriptor]
+	g   *speculate.Group
+	arm int
+}
+
+// hedgeFire relays a hedge arm from its timer context to the tenant's pump
+// proc, which owns the proc context FnPort.Send needs.
+type hedgeFire struct {
+	g   *speculate.Group
+	arm int
+	q   *sim.Queue[mempool.Descriptor]
+}
+
 // tenantRig is one tenant's runtime state: pools on its two nodes, function
 // ports, and the request-conservation ledger.
 type tenantRig struct {
@@ -52,12 +70,23 @@ type tenantRig struct {
 	cliCore          *sim.Processor
 	relays           []gwRelay
 
-	// Ledger: issued counts requests handed to the engine, completed
-	// counts responses received, shed counts open-loop sends skipped on
-	// pool exhaustion. waiters holds the in-flight requests by sequence
-	// number; a nil queue marks an open-loop request nobody blocks on.
+	// Speculation state (Scenario.CloneN/HedgeAfter): the per-tenant
+	// controller, the hedge relay queue, and the arm-resolution counters
+	// the speculation-safety invariant closes its ledger with.
+	spec         *speculate.Spec
+	hedgeQ       *sim.Queue[hedgeFire]
+	specWinsSeen uint64 // winner deliveries observed at the boundary
+	specLosers   uint64 // loser completions suppressed at the boundary
+	specKills    uint64 // arms killed mid-plane via the cancellation probe
+	specUnfired  uint64 // hedge arms counted by the controller but shed by the pump
+	specNoArm    uint64 // launches where every arm shed (pool exhausted)
+
+	// Ledger: issued counts arms handed to the engine, completed counts
+	// arms that terminated (winner deliveries, suppressed losers, and
+	// mid-plane kills), shed counts sends skipped on pool exhaustion.
+	// waiters holds the in-flight arms by sequence number.
 	issued, completed, shed uint64
-	waiters                 map[uint64]*sim.Queue[mempool.Descriptor]
+	waiters                 map[uint64]waiter
 	seq                     uint64
 
 	// windowCompleted is the completion count inside the measured load
@@ -196,7 +225,15 @@ func NewRig(sc Scenario) *Rig {
 			sc:      ts,
 			cliPool: mempool.NewPool(ts.Name, ts.BufSize, ts.PoolBufs, p.HugepageSize),
 			srvPool: mempool.NewPool(ts.Name, ts.BufSize, ts.PoolBufs, p.HugepageSize),
-			waiters: make(map[uint64]*sim.Queue[mempool.Descriptor]),
+			waiters: make(map[uint64]waiter),
+		}
+		if sc.Speculative() {
+			tr.spec = speculate.New(eng, speculate.Policy{
+				CloneN:   sc.CloneN,
+				Hedge:    sc.HedgeAfter > 0,
+				HedgeMin: sc.HedgeAfter,
+			})
+			tr.hedgeQ = sim.NewQueue[hedgeFire](eng, 0)
 		}
 		cli.eng.AddTenant(ts.Name, tr.cliPool, ts.Weight)
 		srv.eng.AddTenant(ts.Name, tr.srvPool, ts.Weight)
@@ -425,12 +462,25 @@ func (r *Rig) takeLeak() bool {
 	return false
 }
 
+// serveCore builds a serve-side processor honoring the scenario's serving
+// discipline (PSServe runs the tenant cores processor-sharing).
+func (r *Rig) serveCore(name string) *sim.Processor {
+	disc := sim.FCFS
+	if r.sc.PSServe {
+		disc = sim.PS
+	}
+	return sim.NewProcessorDisc(r.eng, name, r.p.HostCoreSpeed, disc)
+}
+
 // spawnWorkloads starts the echo server and the tenant's driver (closed
 // loop, open loop or Poisson trace).
 func (r *Rig) spawnWorkloads() {
 	for _, tr := range r.tenants {
 		r.spawnServer(tr)
 		r.spawnDemux(tr)
+		if tr.spec != nil {
+			r.spawnHedgePump(tr)
+		}
 		switch tr.sc.Load {
 		case LoadClosed:
 			r.spawnClosedClients(tr)
@@ -447,12 +497,20 @@ func (r *Rig) spawnWorkloads() {
 // spawnServer answers every request with a same-size reply, backpressuring
 // on pool exhaustion exactly like the benchmark rigs.
 func (r *Rig) spawnServer(tr *tenantRig) {
-	core := sim.NewProcessor(r.eng, "srv-core-"+tr.sc.Name, r.p.HostCoreSpeed)
+	core := r.serveCore("srv-core-" + tr.sc.Name)
 	r.cores = append(r.cores, coreRef{"srv-core-" + tr.sc.Name, core})
 	srv := mempool.Owner("srv-" + tr.sc.Name)
 	r.eng.Spawn("srv-"+tr.sc.Name, func(pr *sim.Proc) {
 		for {
 			d := tr.srvPort.Recv(pr, core)
+			if d.Spec != nil && d.Spec() {
+				// Losing clone killed at the serve boundary: recycle the
+				// landed request buffer, never burn serve time on it.
+				if err := tr.srvPool.Put(d.Buf, srv); err != nil {
+					panic(err)
+				}
+				continue
+			}
 			reply, err := tr.srvPool.Get(srv)
 			for err != nil {
 				pr.Sleep(20 * time.Microsecond)
@@ -465,6 +523,9 @@ func (r *Rig) spawnServer(tr *tenantRig) {
 				Tenant: tr.sc.Name, Buf: reply, Len: d.Len,
 				Src: "srv-" + tr.sc.Name, Dst: d.Src, Seq: d.Seq, Stamp: d.Stamp,
 				Trace: d.Trace,
+				// The probe rides the response leg too, so a loser's reply
+				// dies at the serve-side TX gate instead of crossing back.
+				Spec: d.Spec,
 			}
 			if err := tr.srvPort.Send(pr, core, out); err != nil {
 				panic(err)
@@ -475,16 +536,18 @@ func (r *Rig) spawnServer(tr *tenantRig) {
 
 // spawnDemux routes responses back to waiters. Open-loop requests (nil
 // waiter queue) are counted complete and recycled here; deliveries with no
-// ledger entry are at-least-once duplicates and recycled.
+// ledger entry are at-least-once duplicates and recycled. Speculated arms
+// resolve here at the boundary: the first completion wins its group, every
+// later one is a suppressed loser whose buffer is recycled in place.
 func (r *Rig) spawnDemux(tr *tenantRig) {
-	core := sim.NewProcessor(r.eng, "cli-core-"+tr.sc.Name, r.p.HostCoreSpeed)
+	core := r.serveCore("cli-core-" + tr.sc.Name)
 	r.cores = append(r.cores, coreRef{"cli-core-" + tr.sc.Name, core})
 	tr.cliCore = core
 	cli := mempool.Owner("cli-" + tr.sc.Name)
 	r.eng.Spawn("cli-demux-"+tr.sc.Name, func(pr *sim.Proc) {
 		for {
 			d := tr.cliPort.Recv(pr, core)
-			q, ok := tr.waiters[d.Seq]
+			w, ok := tr.waiters[d.Seq]
 			if !ok {
 				// Duplicate delivery from the retry path: recycle or leak.
 				if err := tr.cliPool.Put(d.Buf, cli); err != nil {
@@ -493,7 +556,22 @@ func (r *Rig) spawnDemux(tr *tenantRig) {
 				continue
 			}
 			delete(tr.waiters, d.Seq)
-			if q == nil {
+			if w.g != nil {
+				if !w.g.Finish(w.arm) {
+					// Loser reached the boundary: suppress, close its arm's
+					// ledger entry, recycle its buffer.
+					tr.specLosers++
+					tr.completed++
+					tr.compCounter.Add(1)
+					d.Trace.Finish()
+					if err := tr.cliPool.Put(d.Buf, cli); err != nil {
+						panic(err)
+					}
+					continue
+				}
+				tr.specWinsSeen++
+			}
+			if w.q == nil {
 				// Open-loop completion.
 				tr.completed++
 				tr.compCounter.Add(1)
@@ -505,14 +583,15 @@ func (r *Rig) spawnDemux(tr *tenantRig) {
 				}
 				continue
 			}
-			q.TryPut(d)
+			w.q.TryPut(d)
 		}
 	})
 }
 
-// sendReq issues one request for tr (proc context). Returns false when the
-// tenant pool is exhausted (the caller sheds or retries).
-func (r *Rig) sendReq(tr *tenantRig, pr *sim.Proc, q *sim.Queue[mempool.Descriptor]) bool {
+// fireArm issues one arm of a request for tr (proc context); g is nil for
+// unspeculated requests. Returns false when the tenant pool is exhausted
+// (the caller sheds or retries).
+func (r *Rig) fireArm(tr *tenantRig, pr *sim.Proc, q *sim.Queue[mempool.Descriptor], g *speculate.Group, arm int) bool {
 	cli := mempool.Owner("cli-" + tr.sc.Name)
 	buf, err := tr.cliPool.Get(cli)
 	if err != nil {
@@ -524,7 +603,7 @@ func (r *Rig) sendReq(tr *tenantRig, pr *sim.Proc, q *sim.Queue[mempool.Descript
 	}
 	tr.seq++
 	id := tr.seq
-	tr.waiters[id] = q
+	tr.waiters[id] = waiter{q: q, g: g, arm: arm}
 	tr.issued++
 	req := r.tracer.StartRequest("echo/" + tr.sc.Name)
 	d := mempool.Descriptor{
@@ -532,8 +611,84 @@ func (r *Rig) sendReq(tr *tenantRig, pr *sim.Proc, q *sim.Queue[mempool.Descript
 		Src: "cli-" + tr.sc.Name, Dst: "srv-" + tr.sc.Name, Seq: id, Stamp: pr.Now(),
 		Trace: req,
 	}
+	if g != nil {
+		d.Spec = r.armProbe(tr, g, id, req)
+	}
 	if err := tr.cliPort.Send(pr, tr.cliCore, d); err != nil {
 		panic(err)
+	}
+	return true
+}
+
+// armProbe wraps the group's cancellation probe (mempool.Descriptor.Spec)
+// with the rig's ledger: the first true verdict closes the arm's in-flight
+// entry — the carrier at the kill site (DNE TX gate, serve boundary)
+// returns the buffer itself; retry duplicates of an already-dead arm get
+// the kill verdict without double-accounting, and the mempool's generation
+// fence makes their buffer release a no-op.
+func (r *Rig) armProbe(tr *tenantRig, g *speculate.Group, id uint64, req *trace.Req) func() bool {
+	dead := false
+	return func() bool {
+		if !g.Won() {
+			return false
+		}
+		if !dead {
+			dead = true
+			g.Killed()
+			delete(tr.waiters, id)
+			tr.completed++
+			tr.compCounter.Add(1)
+			tr.specKills++
+			req.Finish()
+		}
+		return true
+	}
+}
+
+// launchReq fires one speculated request through the tenant's controller:
+// launch-time arms fire synchronously in the caller's proc context, the
+// hedge arm (firing later, in timer context) relays through the tenant's
+// hedge pump.
+func (r *Rig) launchReq(tr *tenantRig, pr *sim.Proc, q *sim.Queue[mempool.Descriptor]) *speculate.Group {
+	sync := true
+	g := tr.spec.Launch(tr.sc.Name, 0, 0, func(g *speculate.Group, arm int) bool {
+		if sync {
+			return r.fireArm(tr, pr, q, g, arm)
+		}
+		// Counted optimistically; the pump sheds on pool exhaustion and
+		// accounts the unfired arm (specUnfired) for the safety invariant.
+		tr.hedgeQ.TryPut(hedgeFire{g: g, arm: arm, q: q})
+		return true
+	})
+	sync = false
+	return g
+}
+
+// spawnHedgePump drains the tenant's hedge relay: each entry is a hedge arm
+// fired from its timer context, sent here from a proc that can pay the
+// port-send cost.
+func (r *Rig) spawnHedgePump(tr *tenantRig) {
+	r.eng.Spawn("hedge-pump-"+tr.sc.Name, func(pr *sim.Proc) {
+		for {
+			hf := tr.hedgeQ.Get(pr)
+			if !r.fireArm(tr, pr, hf.q, hf.g, hf.arm) {
+				tr.specUnfired++
+			}
+		}
+	})
+}
+
+// issueReq fires one logical request: unspeculated tenants send a single
+// arm, speculative tenants launch a clone group. Returns false when nothing
+// went out (pool exhausted on every arm).
+func (r *Rig) issueReq(tr *tenantRig, pr *sim.Proc, q *sim.Queue[mempool.Descriptor]) bool {
+	if tr.spec == nil {
+		return r.fireArm(tr, pr, q, nil, 0)
+	}
+	g := r.launchReq(tr, pr, q)
+	if g.Arms() == 0 {
+		tr.specNoArm++
+		return false
 	}
 	return true
 }
@@ -548,7 +703,7 @@ func (r *Rig) spawnClosedClients(tr *tenantRig) {
 			for pr.Now() < r.loadEnd {
 				// Think-time jitter decorrelates the lockstep clients.
 				pr.Sleep(time.Duration(r.eng.Rand().Intn(3000)) * time.Nanosecond)
-				if !r.sendReq(tr, pr, respQ) {
+				if !r.issueReq(tr, pr, respQ) {
 					pr.Sleep(50 * time.Microsecond)
 					continue
 				}
@@ -576,7 +731,7 @@ func (r *Rig) spawnOpenLoop(tr *tenantRig) {
 			if pr.Now() >= r.loadEnd {
 				break
 			}
-			r.sendReq(tr, pr, nil)
+			r.issueReq(tr, pr, nil)
 		}
 	})
 }
@@ -602,7 +757,7 @@ func (r *Rig) spawnPoisson(tr *tenantRig) {
 			if pr.Now() >= r.loadEnd {
 				continue // generator never stops; discard post-window arrivals
 			}
-			r.sendReq(tr, pr, nil)
+			r.issueReq(tr, pr, nil)
 		}
 	})
 }

@@ -29,6 +29,12 @@ type Result struct {
 	FaultsReverted          int
 	AuditOps                int
 
+	// Speculation ledger totals, summed across speculative tenants (all
+	// zero when the scenario runs without cloning or hedging).
+	SpecLaunched, SpecArms uint64
+	SpecWins, SpecCancels  uint64
+	SpecKills, SpecUnfired uint64
+
 	Violations []Violation
 
 	// Report is the canonical textual summary; Fingerprint is its FNV-64a
@@ -103,6 +109,15 @@ func Run(sc Scenario) *Result {
 			res.Completed += tr.completed
 			res.Shed += tr.shed
 			res.InFlight += tr.inFlight()
+			if tr.spec != nil {
+				st := tr.spec.Stats()
+				res.SpecLaunched += st.Launched
+				res.SpecArms += st.Arms
+				res.SpecWins += st.Wins()
+				res.SpecCancels += st.Cancels
+				res.SpecKills += st.Kills
+				res.SpecUnfired += tr.specUnfired
+			}
 		}
 		for _, nr := range r.nodes {
 			_, _, noRoute, noPort, _ := nr.eng.Stats()
@@ -143,6 +158,12 @@ func (res *Result) render() string {
 		res.Issued, res.Completed, res.Shed, res.InFlight, res.Drops, res.Retried)
 	if res.Scenario.Gateways {
 		fmt.Fprintf(&b, "gateway forwarded=%d\n", res.Forwarded)
+	}
+	// Emitted only for speculative scenarios so every historical seed's
+	// report — and fingerprint — stays byte-identical.
+	if res.Scenario.Speculative() {
+		fmt.Fprintf(&b, "spec launched=%d arms=%d wins=%d cancels=%d kills=%d unfired=%d\n",
+			res.SpecLaunched, res.SpecArms, res.SpecWins, res.SpecCancels, res.SpecKills, res.SpecUnfired)
 	}
 	fmt.Fprintf(&b, "faults applied=%d reverted=%d audit_ops=%d\n",
 		res.FaultsApplied, res.FaultsReverted, res.AuditOps)

@@ -128,7 +128,24 @@ type Scenario struct {
 	// putting route-table failover and the landing-window credit protocol
 	// under the invariant registry (route-consistency).
 	Gateways bool
+
+	// CloneN > 1 fires that many arms per request through a per-tenant
+	// speculation controller (internal/speculate): first completion wins,
+	// losers are killed mid-plane via the descriptor cancellation probe or
+	// suppressed at the client boundary (speculation-safety invariant).
+	CloneN int
+	// HedgeAfter > 0 arms a hedged retry per request with that deadline
+	// floor (the rolling P95 takes over once the window warms).
+	HedgeAfter time.Duration
+	// PSServe runs the tenants' serve and demux cores processor-sharing
+	// instead of FCFS (sim.PS), putting the PS quantum re-arm path under
+	// the fuzzer.
+	PSServe bool
 }
+
+// Speculative reports whether the scenario fires more than one arm per
+// request (cloning or hedging).
+func (sc Scenario) Speculative() bool { return sc.CloneN > 1 || sc.HedgeAfter > 0 }
 
 // DefectLeakBuffer is the planted harness bug used to prove the fuzzer
 // catches (and shrinks) invariant violations.
@@ -254,6 +271,15 @@ func Generate(seed int64) Scenario {
 	// Drawn last so earlier draws (and thus the non-gateway shape of every
 	// historical seed) stay stable.
 	sc.Gateways = rng.Intn(2) == 0
+	// Speculation and serving-discipline bits: drawn after everything else,
+	// again so every historical seed keeps its earlier draws.
+	if rng.Intn(3) == 0 {
+		sc.CloneN = 2 + rng.Intn(2)
+	}
+	if rng.Intn(3) == 0 {
+		sc.HedgeAfter = time.Duration(150+rng.Intn(600)) * time.Microsecond
+	}
+	sc.PSServe = rng.Intn(4) == 0
 	return sc
 }
 
@@ -325,6 +351,15 @@ func (sc Scenario) String() string {
 	}
 	if sc.Gateways {
 		b.WriteString(" gw")
+	}
+	if sc.CloneN > 1 {
+		fmt.Fprintf(&b, " clone=%d", sc.CloneN)
+	}
+	if sc.HedgeAfter > 0 {
+		fmt.Fprintf(&b, " hedge=%v", sc.HedgeAfter)
+	}
+	if sc.PSServe {
+		b.WriteString(" ps")
 	}
 	return b.String()
 }

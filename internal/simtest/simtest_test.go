@@ -105,10 +105,80 @@ func TestSweepClean(t *testing.T) {
 	}
 }
 
+// TestSpeculationSweepClean is invariant #13's seed sweep: every scenario
+// runs with cloning and/or hedging forced on, so the speculation-safety
+// checker (exactly-once at the boundary, losers returning buffers and
+// in-flight state, generation-fenced cancels) sees real clone traffic on
+// every seed — including seeds whose own draws add faults, gateways, PS
+// serving, or retry storms on top.
+func TestSpeculationSweepClean(t *testing.T) {
+	n := int64(50)
+	if testing.Short() {
+		n = 8
+	}
+	for seed := int64(0); seed < n; seed++ {
+		sc := Generate(seed)
+		if !sc.Speculative() {
+			// Force speculation onto non-speculative seeds, varying the
+			// flavor so the sweep covers clone-only, hedge-only, and both.
+			switch seed % 3 {
+			case 0:
+				sc.CloneN = 2 + int(seed%2)
+			case 1:
+				sc.HedgeAfter = time.Duration(150*(1+seed%3)) * time.Microsecond
+			default:
+				sc.CloneN = 2
+				sc.HedgeAfter = 300 * time.Microsecond
+			}
+		}
+		res := Run(sc)
+		if res.Failed() {
+			t.Errorf("seed %d (%s) failed:\n%s\n%s", seed, sc, res.Report, res.FlightDump)
+		}
+		if res.SpecLaunched == 0 {
+			t.Errorf("seed %d (%s): speculative scenario launched no groups", seed, sc)
+		}
+	}
+}
+
+// TestSpeculationDeterministic pins a fully-loaded speculative scenario —
+// clone=3 with hedging on PS cores, under a slow-core fault — to a
+// byte-identical rerun.
+func TestSpeculationDeterministic(t *testing.T) {
+	sc := Scenario{
+		Seed: 77, Nodes: 2, Mode: dne.OffPath, Sched: dne.SchedDWRR,
+		QPs: 2, Load: 8 * time.Millisecond, Drain: 200 * time.Millisecond,
+		CloneN: 3, HedgeAfter: 250 * time.Microsecond, PSServe: true,
+		Tenants: []TenantScenario{
+			{Name: "amber", Weight: 1, CliNode: 0, SrvNode: 1,
+				PoolBufs: 300, BufSize: 4096, InitialRQ: 64,
+				Load: LoadClosed, Clients: 6, Payload: 512},
+			{Name: "basil", Weight: 1, CliNode: 0, SrvNode: 1,
+				PoolBufs: 300, BufSize: 4096, InitialRQ: 64,
+				Load: LoadClosed, Clients: 6, Payload: 512},
+		},
+		Faults: []FaultSpec{{Kind: FaultSlowCores, At: 2 * time.Millisecond,
+			For: 2 * time.Millisecond, Node: 1, Factor: 0.4}},
+	}
+	res := Run(sc)
+	if res.Failed() {
+		t.Fatalf("speculative scenario failed:\n%s\n%s", res.Report, res.FlightDump)
+	}
+	if res.SpecWins == 0 || res.SpecCancels+res.SpecKills == 0 {
+		t.Fatalf("speculation never exercised (wins=%d cancels=%d kills=%d):\n%s",
+			res.SpecWins, res.SpecCancels, res.SpecKills, res.Report)
+	}
+	again := Run(sc)
+	if again.Report != res.Report || again.Fingerprint != res.Fingerprint {
+		t.Fatalf("speculative scenario not deterministic:\n--- first\n%s--- second\n%s",
+			res.Report, again.Report)
+	}
+}
+
 // TestGatewayScenarioForwards pins the gateway tier under the full invariant
 // registry: a 3-node scenario whose only tenant spans node0 -> node2 must
 // push every cross-node hop through the fabric (Forwarded > 0), survive a
-// mid-window partition, and pass all 12 invariants — including
+// mid-window partition, and pass all 13 invariants — including
 // route-consistency — byte-identically across reruns.
 func TestGatewayScenarioForwards(t *testing.T) {
 	sc := Scenario{

@@ -65,6 +65,8 @@ const (
 	StageTransit      = "net.transit"     // TCP baseline wire transit
 	StageGwQueue      = "gw.queue"        // gateway pending queue (submit -> write post)
 	StageGwHop        = "gw.hop"          // detail: one inter-gateway hop (post -> landed ingest)
+	StageSpecClone    = "spec.clone"      // detail: a speculative clone arm's in-flight window
+	StageSpecCancel   = "spec.cancel"     // instant: a losing clone killed (at whatever stage it died)
 )
 
 // DefaultRequestLimit bounds how many requests a Tracer records; later

@@ -14,11 +14,19 @@ import (
 )
 
 // Arrival is one recorded request arrival: Count requests for Chain at At.
+// Clone and Hedge are optional per-arrival speculation overrides (recorded
+// traces can carry the production tail-cutting policy): Clone > 0 forces
+// that clone factor, Hedge > 0 forces a hedged retry with that deadline.
 type Arrival struct {
 	At    time.Duration
 	Chain string
 	Count int
+	Clone int
+	Hedge time.Duration
 }
+
+// Speculative reports whether the arrival carries speculation overrides.
+func (a Arrival) Speculative() bool { return a.Clone > 0 || a.Hedge > 0 }
 
 // Replay is a parsed arrival trace — the recorded-production counterpart of
 // TraceGen's synthetic Poisson/Zipf process. Arrivals are non-decreasing in
@@ -34,12 +42,15 @@ const (
 	maxTraceTus   = 1e15      // ~31 years in µs, far under Duration overflow
 	maxTraceCount = 1_000_000 // requests folded into one line
 	maxChainName  = 256
+	maxTraceClone = 64 // clone factors past this are trace corruption, not policy
 )
 
-// ParseTrace reads a replay trace: one `t_us,chain[,count]` arrival per
-// line, `#` comments and blank lines ignored. Timestamps are microseconds
-// (fractions allowed), must be finite, non-negative and non-decreasing;
-// count defaults to 1. Errors carry 1-based line numbers.
+// ParseTrace reads a replay trace: one `t_us,chain[,count[,clone[,hedge_us]]]`
+// arrival per line, `#` comments and blank lines ignored. Timestamps are
+// microseconds (fractions allowed), must be finite, non-negative and
+// non-decreasing; count defaults to 1. The optional clone factor and hedge
+// deadline (microseconds) default to 0 — no speculation override. Errors
+// carry 1-based line numbers.
 func ParseTrace(r io.Reader) (*Replay, error) {
 	rp := &Replay{}
 	scan := bufio.NewScanner(r)
@@ -56,8 +67,8 @@ func ParseTrace(r io.Reader) (*Replay, error) {
 			continue
 		}
 		fields := strings.Split(line, ",")
-		if len(fields) < 2 || len(fields) > 3 {
-			return nil, fmt.Errorf("workload: line %d: want t_us,chain[,count], got %d fields", lineNo, len(fields))
+		if len(fields) < 2 || len(fields) > 5 {
+			return nil, fmt.Errorf("workload: line %d: want t_us,chain[,count[,clone[,hedge_us]]], got %d fields", lineNo, len(fields))
 		}
 		tus, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
 		if err != nil {
@@ -75,7 +86,7 @@ func ParseTrace(r io.Reader) (*Replay, error) {
 			return nil, fmt.Errorf("workload: line %d: %v", lineNo, err)
 		}
 		count := 1
-		if len(fields) == 3 {
+		if len(fields) >= 3 {
 			count, err = strconv.Atoi(strings.TrimSpace(fields[2]))
 			if err != nil {
 				return nil, fmt.Errorf("workload: line %d: bad count: %v", lineNo, err)
@@ -84,8 +95,29 @@ func ParseTrace(r io.Reader) (*Replay, error) {
 				return nil, fmt.Errorf("workload: line %d: count %d outside [1,%d]", lineNo, count, maxTraceCount)
 			}
 		}
+		clone := 0
+		if len(fields) >= 4 {
+			clone, err = strconv.Atoi(strings.TrimSpace(fields[3]))
+			if err != nil {
+				return nil, fmt.Errorf("workload: line %d: bad clone factor: %v", lineNo, err)
+			}
+			if clone < 0 || clone > maxTraceClone {
+				return nil, fmt.Errorf("workload: line %d: clone factor %d outside [0,%d]", lineNo, clone, maxTraceClone)
+			}
+		}
+		hedge := time.Duration(0)
+		if len(fields) == 5 {
+			hus, err := strconv.ParseFloat(strings.TrimSpace(fields[4]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: line %d: bad hedge deadline: %v", lineNo, err)
+			}
+			if math.IsNaN(hus) || math.IsInf(hus, 0) || hus < 0 || hus > maxTraceTus {
+				return nil, fmt.Errorf("workload: line %d: hedge deadline %v outside [0,%g]µs", lineNo, hus, float64(maxTraceTus))
+			}
+			hedge = time.Duration(hus * float64(time.Microsecond))
+		}
 		last = at
-		rp.Arrivals = append(rp.Arrivals, Arrival{At: at, Chain: chain, Count: count})
+		rp.Arrivals = append(rp.Arrivals, Arrival{At: at, Chain: chain, Count: count, Clone: clone, Hedge: hedge})
 	}
 	if err := scan.Err(); err != nil {
 		return nil, fmt.Errorf("workload: read trace: %w", err)
@@ -110,12 +142,19 @@ func checkChainName(s string) error {
 }
 
 // String renders the replay in canonical trace form — parse(render(rp))
-// reproduces rp exactly, which is the parser's fuzz oracle.
+// reproduces rp exactly, which is the parser's fuzz oracle. Arrivals without
+// speculation overrides keep the historical 3-field form so pre-speculation
+// traces canonicalize exactly as before.
 func (rp *Replay) String() string {
 	var b strings.Builder
 	for _, a := range rp.Arrivals {
-		fmt.Fprintf(&b, "%s,%s,%d\n",
+		fmt.Fprintf(&b, "%s,%s,%d",
 			strconv.FormatFloat(float64(a.At.Nanoseconds())/1e3, 'g', -1, 64), a.Chain, a.Count)
+		if a.Speculative() {
+			fmt.Fprintf(&b, ",%d,%s", a.Clone,
+				strconv.FormatFloat(float64(a.Hedge.Nanoseconds())/1e3, 'g', -1, 64))
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
@@ -125,7 +164,8 @@ func (rp *Replay) String() string {
 func (rp *Replay) Shifted(d time.Duration) *Replay {
 	out := &Replay{Arrivals: make([]Arrival, len(rp.Arrivals))}
 	for i, a := range rp.Arrivals {
-		out.Arrivals[i] = Arrival{At: a.At + d, Chain: a.Chain, Count: a.Count}
+		a.At += d
+		out.Arrivals[i] = a
 	}
 	return out
 }
@@ -164,11 +204,21 @@ func (rp *Replay) Chains() []string {
 // TraceGen.Start: per-chain counters plus a submit-hook registrar; the hook
 // runs in the replayer's own process at each recorded arrival time.
 func (rp *Replay) Start(eng *sim.Engine) (counts map[string]*uint64, submitHook func(func(chain string))) {
+	counts, specHook := rp.StartSpec(eng)
+	return counts, func(fn func(chain string)) {
+		specHook(func(chain string, _ int, _ time.Duration) { fn(chain) })
+	}
+}
+
+// StartSpec is Start with each arrival's speculation overrides surfaced to
+// the submit hook (both zero for plain trace lines), so replay drivers can
+// route them into per-request clone/hedge submission.
+func (rp *Replay) StartSpec(eng *sim.Engine) (counts map[string]*uint64, submitHook func(func(chain string, clone int, hedge time.Duration))) {
 	counts = make(map[string]*uint64)
 	for _, name := range rp.Chains() {
 		counts[name] = new(uint64)
 	}
-	var submit func(string)
+	var submit func(string, int, time.Duration)
 	arrivals := append([]Arrival(nil), rp.Arrivals...)
 	eng.Spawn("trace-replay", func(pr *sim.Proc) {
 		for _, a := range arrivals {
@@ -178,10 +228,10 @@ func (rp *Replay) Start(eng *sim.Engine) (counts map[string]*uint64, submitHook 
 			for i := 0; i < a.Count; i++ {
 				*counts[a.Chain]++
 				if submit != nil {
-					submit(a.Chain)
+					submit(a.Chain, a.Clone, a.Hedge)
 				}
 			}
 		}
 	})
-	return counts, func(fn func(chain string)) { submit = fn }
+	return counts, func(fn func(chain string, clone int, hedge time.Duration)) { submit = fn }
 }

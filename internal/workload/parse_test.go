@@ -20,9 +20,9 @@ func TestParseTraceBasic(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []Arrival{
-		{0, "checkout", 1},
-		{12500 * time.Nanosecond, "checkout", 3},
-		{250 * time.Microsecond, "browse", 1},
+		{At: 0, Chain: "checkout", Count: 1},
+		{At: 12500 * time.Nanosecond, Chain: "checkout", Count: 3},
+		{At: 250 * time.Microsecond, Chain: "browse", Count: 1},
 	}
 	if len(rp.Arrivals) != len(want) {
 		t.Fatalf("got %d arrivals, want %d", len(rp.Arrivals), len(want))
@@ -43,7 +43,13 @@ func TestParseTraceBasic(t *testing.T) {
 func TestParseTraceRejects(t *testing.T) {
 	for _, tc := range []struct{ name, in string }{
 		{"missing chain", "10\n"},
-		{"too many fields", "10,a,1,extra\n"},
+		{"too many fields", "10,a,1,2,50,extra\n"},
+		{"bad clone", "10,a,1,extra\n"},
+		{"negative clone", "10,a,1,-1\n"},
+		{"huge clone", "10,a,1,1000\n"},
+		{"bad hedge", "10,a,1,2,soon\n"},
+		{"nan hedge", "10,a,1,2,nan\n"},
+		{"negative hedge", "10,a,1,2,-50\n"},
 		{"bad timestamp", "ten,a\n"},
 		{"negative timestamp", "-1,a\n"},
 		{"nan timestamp", "nan,a\n"},
@@ -75,6 +81,47 @@ func TestReplayRoundTrip(t *testing.T) {
 	}
 }
 
+// TestParseTraceSpeculative pins the speculation fields: clone factors and
+// hedge deadlines parse, plain lines leave both zero, and the canonical
+// rendering keeps the historical 3-field form for non-speculative arrivals
+// while round-tripping speculative ones exactly.
+func TestParseTraceSpeculative(t *testing.T) {
+	in := "0,a,2\n10,a,1,3\n20,b,1,0,250\n30,b,4,2,62.5\n"
+	rp, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Arrival{
+		{At: 0, Chain: "a", Count: 2},
+		{At: 10 * time.Microsecond, Chain: "a", Count: 1, Clone: 3},
+		{At: 20 * time.Microsecond, Chain: "b", Count: 1, Hedge: 250 * time.Microsecond},
+		{At: 30 * time.Microsecond, Chain: "b", Count: 4, Clone: 2, Hedge: 62500 * time.Nanosecond},
+	}
+	for i, a := range rp.Arrivals {
+		if a != want[i] {
+			t.Fatalf("arrival %d = %+v, want %+v", i, a, want[i])
+		}
+	}
+	canon := rp.String()
+	if strings.Contains(strings.Split(canon, "\n")[0], ",0,") {
+		t.Fatalf("plain arrival rendered with speculation fields: %q", canon)
+	}
+	again, err := ParseTrace(strings.NewReader(canon))
+	if err != nil {
+		t.Fatalf("canonical form rejected: %v\n%s", err, canon)
+	}
+	for i, a := range again.Arrivals {
+		if a != rp.Arrivals[i] {
+			t.Fatalf("round trip changed arrival %d: %+v vs %+v", i, a, rp.Arrivals[i])
+		}
+	}
+	// Shifting moves only time, never the speculation overrides.
+	sh := rp.Shifted(time.Millisecond)
+	if sh.Arrivals[3].Clone != 2 || sh.Arrivals[3].Hedge != 62500*time.Nanosecond {
+		t.Fatalf("Shifted dropped speculation fields: %+v", sh.Arrivals[3])
+	}
+}
+
 func TestReplayShifted(t *testing.T) {
 	rp, err := ParseTrace(strings.NewReader("0,a\n100,b,2\n"))
 	if err != nil {
@@ -82,8 +129,8 @@ func TestReplayShifted(t *testing.T) {
 	}
 	sh := rp.Shifted(time.Millisecond)
 	want := []Arrival{
-		{time.Millisecond, "a", 1},
-		{time.Millisecond + 100*time.Microsecond, "b", 2},
+		{At: time.Millisecond, Chain: "a", Count: 1},
+		{At: time.Millisecond + 100*time.Microsecond, Chain: "b", Count: 2},
 	}
 	for i, a := range sh.Arrivals {
 		if a != want[i] {
@@ -133,6 +180,9 @@ func FuzzParseTrace(f *testing.F) {
 	f.Add("1e3,a\n1e6,b,1000\n")
 	f.Add("0.0015,x\n")
 	f.Add("10,a,1,extra\n")
+	f.Add("0,a,1,3\n5,b,2,0,250\n10,c,1,2,62.5\n")
+	f.Add("0,a,1,0,0\n1,b,1,1,0\n")
+	f.Add("7,a,1,-1\n8,b,1,2,nan\n")
 	f.Add("nan,a\n")
 	f.Add(strings.Repeat("5,ab\n", 200))
 	f.Fuzz(func(t *testing.T, in string) {
